@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every harness regenerates one of the paper's tables/figures (see the
+per-experiment index in DESIGN.md).  Monte-Carlo trial counts default to
+values that keep the whole benchmark suite to a few minutes on a laptop; set
+the environment variables below to trade time for tighter error bars:
+
+* ``REPRO_TRIALS``   — trials per Monte-Carlo measurement (default 300).
+* ``REPRO_FULL=1``   — use the paper's full parameter grids (e.g. γ up to 10⁵).
+
+The paper itself used 100,000 trials per point for Figure 3; the *shape* of
+every result is already clear at the defaults, and EXPERIMENTS.md records a
+higher-trial run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+__all__ = ["TRIALS", "FULL", "trials", "report", "REPORT_DIR"]
+
+TRIALS = int(os.environ.get("REPRO_TRIALS", "300"))
+FULL = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+#: Directory where each harness writes its regenerated table/figure as text.
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def trials(default_scale: float = 1.0, minimum: int = 50) -> int:
+    """A trial count scaled from the REPRO_TRIALS baseline."""
+    return max(minimum, int(TRIALS * default_scale))
+
+
+def report(title: str, body: str) -> None:
+    """Record a labelled report block.
+
+    The block is printed (visible with ``pytest -s``) and also written to
+    ``benchmarks/reports/<slug>.txt`` so the regenerated tables and ASCII
+    figures survive pytest's output capturing and can be diffed across runs.
+    """
+    line = "=" * max(20, len(title) + 8)
+    text = f"{line}\n=== {title} ===\n{line}\n{body}\n"
+    print("\n" + text)
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:80] or "report"
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    (REPORT_DIR / f"{slug}.txt").write_text(text, encoding="utf-8")

@@ -1,0 +1,42 @@
+"""A4 — Ablation: decision latency vs rate separation γ.
+
+Figure 3 shows that raising γ buys accuracy; the natural follow-up question a
+designer asks is what it costs.  The answer, quantified here: essentially
+nothing in *latency*, because the decision pace is set by the slow
+initializing tier (rate k·E), which Equation 1 keeps fixed as γ grows — only
+the simulation cost (number of firings) grows mildly because the fast tiers
+fire more often per decision.
+
+This is an ablation beyond the paper's own evaluation (the paper discusses the
+rate ordering qualitatively in Section 2.1.3).
+"""
+
+from __future__ import annotations
+
+from _config import report, trials
+
+from repro.analysis import decision_time_vs_gamma, format_table
+
+GAMMAS = (10.0, 100.0, 1e3, 1e4)
+TARGET = {"1": 0.3, "2": 0.4, "3": 0.3}
+
+
+def test_decision_time_vs_gamma(benchmark):
+    n_trials = trials(0.4, minimum=80)
+    rows = benchmark.pedantic(
+        decision_time_vs_gamma,
+        kwargs={"probabilities": TARGET, "gammas": GAMMAS, "n_trials": n_trials, "seed": 55},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        f"A4: decision latency and cost vs gamma ({n_trials} trials per point)",
+        format_table(rows, floatfmt="{:.4g}"),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    by_gamma = {row["gamma"]: row for row in rows}
+    # Latency stays on the same order across three decades of gamma ...
+    assert by_gamma[1e4]["mean_decision_time"] < 20 * by_gamma[10.0]["mean_decision_time"]
+    # ... while accuracy does not degrade.
+    assert by_gamma[1e4]["tv_from_target"] <= by_gamma[10.0]["tv_from_target"] + 0.1

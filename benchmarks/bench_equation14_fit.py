@@ -1,0 +1,66 @@
+"""E5 — Equation 14 (Section 3.1): curve fit of the natural model's response.
+
+The paper characterizes the natural lambda model by Monte-Carlo simulation,
+sweeping MOI and fitting ``P = a + b·log2(MOI) + c·MOI``; the reported fit is
+``(a, b, c) = (15, 6, 1/6)``.
+
+This harness regenerates that pipeline against the natural-model surrogate
+(see the substitution note in DESIGN.md): simulate data points across the MOI
+grid, fit the three-term model, and compare the recovered coefficients with
+the paper's.  The reproduced quantity: the coefficients land close to
+(15, 6, 1/6) — deviations reflect Monte-Carlo noise in the data points plus
+the 1-molecule granularity of the surrogate's probability programming.
+"""
+
+from __future__ import annotations
+
+import math
+
+from _config import report, trials
+
+from repro.analysis import PAPER_EQ14_COEFFICIENTS, format_table
+from repro.lambda_phage import NaturalLambdaSurrogate, PAPER_MOI_VALUES, fit_response_data
+
+
+def run_fit(n_trials: int):
+    surrogate = NaturalLambdaSurrogate()
+    curve = surrogate.response_curve(PAPER_MOI_VALUES, n_trials=n_trials, seed=1998)
+    data = {moi: estimate.percent for moi, estimate in curve.items()}
+    return data, fit_response_data(data)
+
+
+def test_equation14_fit(benchmark):
+    n_trials = trials(0.7, minimum=100)
+    data, fit = benchmark.pedantic(run_fit, args=(n_trials,), rounds=1, iterations=1)
+
+    a, b, c = fit.coefficients
+    pa, pb, pc = PAPER_EQ14_COEFFICIENTS
+    rows = [
+        {"coefficient": "a (intercept)", "paper": pa, "measured": a},
+        {"coefficient": "b (log2 term)", "paper": pb, "measured": b},
+        {"coefficient": "c (linear term)", "paper": pc, "measured": c},
+    ]
+    data_rows = [{"MOI": moi, "simulated %": value} for moi, value in sorted(data.items())]
+    report(
+        "E5: Equation 14 curve fit",
+        format_table(rows, floatfmt="{:.3f}")
+        + f"\nfit quality: {fit.summary()}\n\n"
+        + format_table(data_rows, floatfmt="{:.1f}")
+        + f"\n({n_trials} trials per MOI point)",
+    )
+    benchmark.extra_info["coefficients"] = {"a": a, "b": b, "c": c}
+    benchmark.extra_info["r_squared"] = fit.r_squared
+
+    # Reproduction checks (shape).  At a few hundred trials per point the log
+    # and linear terms are nearly collinear over MOI = 1..10, so individual
+    # coefficients are noisy (the paper used 100,000 trials); the meaningful
+    # check is that the fitted *curve* reproduces Equation 14 and that the
+    # response grows (positive log/linear contribution).
+    assert fit.r_squared > 0.8
+    assert abs(a - pa) < 6.0
+    predictions = fit.predict(list(PAPER_MOI_VALUES))
+    targets = [15 + 6 * math.log2(m) + m / 6 for m in PAPER_MOI_VALUES]
+    worst = max(abs(p - t) for p, t in zip(predictions, targets))
+    benchmark.extra_info["worst_curve_deviation_percent"] = worst
+    assert worst < 6.0
+    assert b + c > 0.0

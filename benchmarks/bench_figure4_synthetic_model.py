@@ -1,0 +1,74 @@
+"""E4 — Figure 4 (Section 3.2): the synthetic lambda-phage model.
+
+Figure 4 lists the synthesized model: 19 reactions over 17 molecular types,
+organized as fan-out + linear + logarithm + assimilation glue feeding a
+two-outcome stochastic module, with initial quantities E1 = 15, E2 = 85,
+B = 1 and food quantities high enough for the output thresholds.
+
+This harness regenerates the model two ways and checks the structural census:
+
+* the *literal* transcription of the Figure-4 listing (19 reactions /
+  17 species, rates spanning 10⁻⁹ … 10⁹);
+* the model *built through the synthesis API* (composer + modules +
+  stochastic module), whose category census mirrors the paper's grouping.
+
+It also benchmarks the cost of generating the model (synthesis is cheap — the
+expensive part of the paper's methodology is simulation, covered by E6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from _config import report
+
+from repro.analysis import format_table
+from repro.lambda_phage import SyntheticLambdaModel, figure4_network
+
+
+def test_figure4_literal_census(benchmark):
+    network = benchmark.pedantic(figure4_network, kwargs={"moi": 1}, rounds=1, iterations=1)
+    rates = [reaction.rate for reaction in network.reactions]
+    rows = [
+        {"property": "reactions", "value": network.size, "paper": 19},
+        {"property": "molecular types", "value": len(network.species), "paper": 17},
+        {"property": "min rate", "value": min(rates), "paper": 1e-9},
+        {"property": "max rate", "value": max(rates), "paper": 1e9},
+        {"property": "E1 (initial)", "value": network.initial_count("e1"), "paper": 15},
+        {"property": "E2 (initial)", "value": network.initial_count("e2"), "paper": 85},
+        {"property": "B (initial)", "value": network.initial_count("b"), "paper": 1},
+    ]
+    report("E4: Figure 4 literal model census", format_table(rows, floatfmt="{:.3g}"))
+    benchmark.extra_info["reactions"] = network.size
+    benchmark.extra_info["species"] = len(network.species)
+    assert network.size == 19
+    assert len(network.species) == 17
+
+
+def test_figure4_api_model_structure(benchmark):
+    model = SyntheticLambdaModel()
+    network = benchmark.pedantic(model.build, args=(5,), rounds=1, iterations=1)
+    categories = Counter(reaction.category for reaction in network.reactions)
+    rows = [{"category": cat, "reactions": count} for cat, count in sorted(categories.items())]
+    rows.append({"category": "TOTAL", "reactions": network.size})
+    report(
+        "E4: synthesis-API lambda model (category census)",
+        format_table(rows)
+        + f"\nspecies: {len(network.species)}   "
+        f"E_lysogeny={network.initial_count('e_lysogeny')}  "
+        f"E_lysis={network.initial_count('e_lysis')}",
+    )
+    benchmark.extra_info["categories"] = dict(categories)
+    # The paper's decomposition: fan-out, linear (x2), logarithm, assimilation (x2),
+    # and the five stochastic-module categories for two outcomes.
+    assert categories["fanout"] == 1
+    assert categories["linear"] == 2
+    assert categories["logarithm"] == 6
+    assert categories["assimilation"] == 2
+    assert categories["initializing"] == 2
+    assert categories["reinforcing"] == 2
+    assert categories["stabilizing"] == 2
+    assert categories["purifying"] == 1
+    assert categories["working"] == 2
+    assert network.initial_count("e_lysogeny") == 15
+    assert network.initial_count("e_lysis") == 85

@@ -1,0 +1,57 @@
+"""E6 — Figure 5 (Section 3.2): probabilistic response of natural vs synthetic model.
+
+The paper sweeps MOI from 1 through 10 and plots, for both the natural model
+and the synthesized 19-reaction model, the percentage of Monte-Carlo trials in
+which the cI2 threshold (145 molecules) is reached; the two curves and their
+``a + b·log2 + c·x`` fits agree closely.
+
+This harness regenerates the comparison with the natural-model surrogate and
+the synthesis-API lambda model.  The reproduced quantities (shape):
+
+* both series increase with MOI following Equation 14;
+* the synthetic model tracks the natural series within Monte-Carlo error
+  (the paper's "close fit");
+* the fitted coefficients of both series are near (15, 6, 1/6).
+"""
+
+from __future__ import annotations
+
+from _config import FULL, report, trials
+
+from repro.lambda_phage import run_figure5_experiment
+
+MOI_FAST = (1, 2, 4, 6, 8, 10)
+MOI_FULL = tuple(range(1, 11))
+
+
+def test_figure5_probabilistic_response(benchmark):
+    moi_values = MOI_FULL if FULL else MOI_FAST
+    n_trials = trials(0.7, minimum=80)
+    result = benchmark.pedantic(
+        run_figure5_experiment,
+        kwargs={"moi_values": moi_values, "n_trials": n_trials, "seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+    report("E6: Figure 5 — probabilistic response (cI2 threshold reached %)", result.summary())
+
+    natural = {p.moi: p.natural.percent for p in result.points}
+    synthetic = {p.moi: p.synthetic.percent for p in result.points}
+    target = {p.moi: p.equation14_percent for p in result.points}
+    benchmark.extra_info["natural_percent"] = natural
+    benchmark.extra_info["synthetic_percent"] = synthetic
+    benchmark.extra_info["natural_fit"] = result.natural_fit.coefficients
+    benchmark.extra_info["synthetic_fit"] = result.synthetic_fit.coefficients
+
+    lowest, highest = min(moi_values), max(moi_values)
+    # Shape: both curves rise with MOI.
+    assert natural[highest] > natural[lowest]
+    assert synthetic[highest] > synthetic[lowest]
+    # Shape: the synthetic model tracks Equation 14 within sampling noise
+    # (binomial std at these trial counts is ~3-5 percentage points).
+    for moi in moi_values:
+        assert abs(synthetic[moi] - target[moi]) < 12.0
+        assert abs(natural[moi] - target[moi]) < 12.0
+    # The two fitted log-coefficients are in the same range as the paper's 6.
+    assert 2.0 < result.synthetic_fit.log_coefficient < 10.0
+    assert 2.0 < result.natural_fit.log_coefficient < 10.0

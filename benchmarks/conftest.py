@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `import _config` from benchmark modules regardless of invocation CWD.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Reproduce the lambda bacteriophage experiment (Section 3, Figure 5).
+
+Sweeps the input quantity MOI from 1 through 10 and, for each MOI, estimates
+the probability that the cI2 threshold is reached:
+
+* for the natural-model surrogate (per-MOI lookup of Equation 14 — see
+  DESIGN.md for the substitution note), and
+* for the synthetic model built through the synthesis API (fan-out +
+  logarithm + linear modules + assimilation + two-outcome stochastic module).
+
+Both series are fitted with the paper's three-term model
+``a + b·log2(MOI) + c·MOI`` and compared against Equation 14 (15, 6, 1/6).
+
+Run:  python examples/lambda_phage.py             (≈200 trials/point, ~1 min)
+      REPRO_TRIALS=50 python examples/lambda_phage.py   (fast, noisier)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lambda_phage import figure4_network, run_figure5_experiment
+
+TRIALS = int(os.environ.get("REPRO_TRIALS", "200"))
+MOI_VALUES = tuple(range(1, 11))
+
+
+def main() -> None:
+    print("=== The literal Figure-4 model (structural census) ===")
+    literal = figure4_network(moi=1)
+    print(literal.summary())
+    print(f"  (paper: 19 reactions in 17 types)")
+    print()
+
+    print(f"=== Figure 5: MOI sweep, {TRIALS} trials per model per point ===")
+    result = run_figure5_experiment(moi_values=MOI_VALUES, n_trials=TRIALS, seed=2007)
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

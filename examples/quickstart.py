@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: synthesize a probability distribution and check it by simulation.
+
+This reproduces Example 1 of the paper (Section 2.1): a set of reactions that
+produces outcome types d1/d2/d3 with probabilities 0.3 / 0.4 / 0.3.  The
+synthesizer emits the five reaction categories (initializing, reinforcing,
+stabilizing, purifying, working); Monte-Carlo simulation then confirms the
+realized outcome frequencies match the programmed distribution.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import synthesize_distribution
+from repro.core import verify_by_sampling
+
+TRIALS = int(os.environ.get("REPRO_TRIALS", "1000"))
+
+
+def main() -> None:
+    # 1. Specify the target distribution and synthesize the reactions.
+    system = synthesize_distribution(
+        {"1": 0.3, "2": 0.4, "3": 0.3},
+        gamma=1e3,     # rate separation (Equation 1); larger = lower error
+        scale=100,     # total input molecules: E1=30, E2=40, E3=30 as in Example 1
+    )
+
+    print("=== Synthesized design ===")
+    print(system.describe())
+    print()
+    print(system.network.pretty())
+    print()
+
+    # 2. Sample the outcome distribution by stochastic simulation.
+    print(f"=== Monte-Carlo check ({TRIALS} trials) ===")
+    sampled = system.sample_distribution(n_trials=TRIALS, seed=2007)
+    print(sampled.summary())
+    print()
+
+    # 3. A formal verification report (TV distance + chi-square goodness of fit).
+    report = verify_by_sampling(system, n_trials=TRIALS, seed=42, tolerance=0.05)
+    print("=== Verification ===")
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro: reproduction of "Synthesizing Stochasticity in Biochemical Systems".
+
+Fett, Bruck & Riedel, DAC 2007.  The library provides:
+
+* :mod:`repro.crn` — chemical reaction network data model (species, reactions,
+  networks, a text DSL, serialization, stoichiometric analysis);
+* :mod:`repro.sim` — stochastic simulation engines (Gillespie direct,
+  first-reaction, Gibson–Bruck next-reaction, tau-leaping), mean-field ODEs,
+  stopping conditions and Monte-Carlo ensembles;
+* :mod:`repro.core` — the paper's synthesis method: the five-category
+  stochastic module, the deterministic functional modules (linear,
+  exponentiation, logarithm, power, isolation, glue), the composer, the
+  top-level synthesizer, and the γ error model;
+* :mod:`repro.analysis` — empirical statistics, distribution distances, exact
+  CTMC outcome probabilities, curve fitting, sweeps and reporting;
+* :mod:`repro.lambda_phage` — the Section-3 lambda bacteriophage application
+  (the Figure-4 synthetic model, the natural-model surrogate, and the
+  Figure-5 experiment).
+
+Quickstart::
+
+    from repro import synthesize_distribution
+
+    system = synthesize_distribution({"a": 0.3, "b": 0.4, "c": 0.3}, gamma=1e3)
+    sampled = system.sample_distribution(n_trials=1000, seed=1)
+    print(sampled.summary())
+"""
+
+from repro.core import (
+    AffineResponseSpec,
+    DistributionSpec,
+    OutcomeSpec,
+    RateLadder,
+    SynthesizedSystem,
+    SystemComposer,
+    TierScheme,
+    build_stochastic_module,
+    estimate_error_rate,
+    gamma_sweep,
+    settle_module,
+    synthesize_affine_response,
+    synthesize_distribution,
+    verify_by_sampling,
+)
+from repro.crn import (
+    NetworkBuilder,
+    Reaction,
+    ReactionNetwork,
+    Species,
+    State,
+    parse_network,
+    parse_reaction,
+)
+from repro.sim import (
+    DirectMethodSimulator,
+    EnsembleResult,
+    OutcomeThresholds,
+    SimulationOptions,
+    run_ensemble,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # crn
+    "Species",
+    "Reaction",
+    "State",
+    "ReactionNetwork",
+    "NetworkBuilder",
+    "parse_reaction",
+    "parse_network",
+    # sim
+    "DirectMethodSimulator",
+    "SimulationOptions",
+    "OutcomeThresholds",
+    "EnsembleResult",
+    "run_ensemble",
+    # core
+    "DistributionSpec",
+    "OutcomeSpec",
+    "AffineResponseSpec",
+    "RateLadder",
+    "TierScheme",
+    "SystemComposer",
+    "SynthesizedSystem",
+    "build_stochastic_module",
+    "synthesize_distribution",
+    "synthesize_affine_response",
+    "settle_module",
+    "verify_by_sampling",
+    "estimate_error_rate",
+    "gamma_sweep",
+]

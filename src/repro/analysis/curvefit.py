@@ -1,0 +1,121 @@
+"""Curve fitting for the lambda-phage response (Section 3.1, Equation 14).
+
+The paper sweeps the input ``MOI``, records the percentage of trials reaching
+the outcome threshold, and fits the three-term model::
+
+    P(%) = a + b·log2(MOI) + c·MOI            (Eq. 14: a=15, b=6, c=1/6)
+
+:func:`fit_log_linear` performs that fit by linear least squares (the model is
+linear in its coefficients); :class:`ResponseFit` carries the coefficients,
+predictions and goodness-of-fit so benchmark reports can compare the paper's
+coefficients with the ones recovered from our surrogate data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FitError
+
+__all__ = ["ResponseFit", "fit_log_linear", "paper_equation_14", "PAPER_EQ14_COEFFICIENTS"]
+
+
+#: The coefficients reported by the paper's fit (a, b, c) of Eq. 14.
+PAPER_EQ14_COEFFICIENTS = (15.0, 6.0, 1.0 / 6.0)
+
+
+def paper_equation_14(moi: float) -> float:
+    """The paper's fitted response, in percent, clipped to [0, 100].
+
+    ``P = 15 + 6·log2(MOI) + MOI/6`` (Equation 14).  Defined for MOI ≥ 1; the
+    paper sweeps MOI from 1 through 10.
+    """
+    if moi < 1:
+        raise FitError(f"Equation 14 is defined for MOI >= 1, got {moi}")
+    a, b, c = PAPER_EQ14_COEFFICIENTS
+    return float(min(max(a + b * math.log2(moi) + c * moi, 0.0), 100.0))
+
+
+@dataclass(frozen=True)
+class ResponseFit:
+    """A fitted ``a + b·log2(x) + c·x`` response.
+
+    Attributes
+    ----------
+    intercept / log_coefficient / linear_coefficient:
+        The fitted ``a``, ``b`` and ``c``.
+    residual_rms:
+        Root-mean-square residual of the fit (same unit as the response).
+    r_squared:
+        Coefficient of determination.
+    """
+
+    intercept: float
+    log_coefficient: float
+    linear_coefficient: float
+    residual_rms: float
+    r_squared: float
+
+    @property
+    def coefficients(self) -> tuple[float, float, float]:
+        """``(a, b, c)``."""
+        return (self.intercept, self.log_coefficient, self.linear_coefficient)
+
+    def predict(self, moi: "float | Sequence[float] | np.ndarray") -> np.ndarray:
+        """Evaluate the fitted response at the given MOI value(s)."""
+        x = np.atleast_1d(np.asarray(moi, dtype=float))
+        if np.any(x <= 0):
+            raise FitError("the log2 term requires strictly positive MOI values")
+        a, b, c = self.coefficients
+        return a + b * np.log2(x) + c * x
+
+    def summary(self) -> str:
+        a, b, c = self.coefficients
+        return (
+            f"P ≈ {a:.2f} + {b:.2f}·log2(MOI) + {c:.3f}·MOI   "
+            f"(RMS residual {self.residual_rms:.2f}, R² {self.r_squared:.3f})"
+        )
+
+
+def fit_log_linear(
+    moi_values: Sequence[float], response_percent: Sequence[float]
+) -> ResponseFit:
+    """Least-squares fit of ``a + b·log2(MOI) + c·MOI`` to response data.
+
+    Parameters
+    ----------
+    moi_values:
+        Strictly positive MOI values (at least three, distinct enough for the
+        three-parameter model to be identifiable).
+    response_percent:
+        Observed response (in percent) at each MOI.
+    """
+    x = np.asarray(list(moi_values), dtype=float)
+    y = np.asarray(list(response_percent), dtype=float)
+    if x.shape != y.shape:
+        raise FitError(f"x and y lengths differ: {x.shape} vs {y.shape}")
+    if x.size < 3:
+        raise FitError("need at least three data points to fit three coefficients")
+    if np.any(x <= 0):
+        raise FitError("MOI values must be strictly positive for the log2 term")
+    design = np.column_stack([np.ones_like(x), np.log2(x), x])
+    if np.linalg.matrix_rank(design) < 3:
+        raise FitError(
+            "design matrix is rank deficient; provide more distinct MOI values"
+        )
+    coefficients, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ coefficients
+    residuals = y - predictions
+    total_variance = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - float(np.sum(residuals**2)) / total_variance if total_variance > 0 else 1.0
+    return ResponseFit(
+        intercept=float(coefficients[0]),
+        log_coefficient=float(coefficients[1]),
+        linear_coefficient=float(coefficients[2]),
+        residual_rms=float(np.sqrt(np.mean(residuals**2))),
+        r_squared=r_squared,
+    )

@@ -1,0 +1,134 @@
+"""Decision-time statistics for synthesized systems.
+
+Besides *which* outcome the stochastic module picks, a designer cares about
+*how long* the decision takes (the working reactions cannot act before the
+winner-take-all race resolves) and how that latency scales with the rate
+separation γ: raising γ buys accuracy (Figure 3) at essentially no latency
+cost, because the slow initializing tier — not the fast tiers — sets the
+decision time.  This module measures both quantities from Monte-Carlo
+ensembles, giving the A3/A2 benchmarks and downstream users a quantitative
+latency/accuracy picture the paper only discusses qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.synthesizer import SynthesizedSystem
+from repro.errors import AnalysisError
+from repro.sim.base import SimulationOptions
+from repro.sim.ensemble import EnsembleRunner
+
+__all__ = ["DecisionTimeStats", "decision_time_statistics", "decision_time_vs_gamma"]
+
+
+@dataclass(frozen=True)
+class DecisionTimeStats:
+    """Summary of per-trial decision latency (simulated time units).
+
+    Attributes
+    ----------
+    mean / std / median / p95:
+        Moments and quantiles of the time at which the outcome was declared.
+    mean_firings:
+        Average number of reaction firings per trial — the simulation cost.
+    n_trials:
+        Number of decided trials included.
+    """
+
+    mean: float
+    std: float
+    median: float
+    p95: float
+    mean_firings: float
+    n_trials: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "p95": self.p95,
+            "mean_firings": self.mean_firings,
+            "n_trials": float(self.n_trials),
+        }
+
+
+def decision_time_statistics(
+    system: SynthesizedSystem,
+    n_trials: int = 200,
+    seed: "int | None" = None,
+    working_firings: int = 10,
+    inputs: "Mapping[str, int] | None" = None,
+    engine: str = "direct",
+) -> DecisionTimeStats:
+    """Measure the decision latency of a synthesized system.
+
+    A trial's decision time is the simulated time at which the stopping
+    condition (``working_firings`` firings of some working reaction) is met.
+    Undecided trials are excluded.
+    """
+    if n_trials <= 0:
+        raise AnalysisError(f"n_trials must be positive, got {n_trials}")
+    network = system.network_with_inputs(inputs)
+    runner = EnsembleRunner(
+        network,
+        engine=engine,
+        stopping=system.stopping_condition(working_firings),
+        options=SimulationOptions(record_firings=False),
+        outcome_classifier=system.classify_outcome,
+    )
+    result = runner.run(n_trials, seed=seed)
+    decided = result.final_times[result.final_times > 0.0]
+    if decided.size == 0:
+        raise AnalysisError("no trial reached a decision; check the stopping condition")
+    return DecisionTimeStats(
+        mean=float(np.mean(decided)),
+        std=float(np.std(decided, ddof=1)) if decided.size > 1 else 0.0,
+        median=float(np.median(decided)),
+        p95=float(np.percentile(decided, 95)),
+        mean_firings=float(np.mean(result.n_firings)),
+        n_trials=int(decided.size),
+    )
+
+
+def decision_time_vs_gamma(
+    probabilities: Mapping[str, float],
+    gammas: Sequence[float],
+    n_trials: int = 150,
+    seed: "int | None" = None,
+    scale: int = 100,
+) -> list[dict[str, float]]:
+    """Sweep γ and report decision latency and cost at each value.
+
+    Returns one row per γ with the latency statistics plus the measured
+    total-variation distance from the programmed distribution, so the
+    latency/accuracy trade-off is visible in a single table.
+    """
+    from repro.analysis.distance import total_variation
+    from repro.core.synthesizer import synthesize_distribution
+
+    rows: list[dict[str, float]] = []
+    for offset, gamma in enumerate(gammas):
+        system = synthesize_distribution(dict(probabilities), gamma=gamma, scale=scale)
+        stats = decision_time_statistics(
+            system,
+            n_trials=n_trials,
+            seed=None if seed is None else seed + offset,
+        )
+        sampled = system.sample_distribution(
+            n_trials=n_trials, seed=None if seed is None else seed + 1000 + offset
+        )
+        rows.append(
+            {
+                "gamma": float(gamma),
+                "mean_decision_time": stats.mean,
+                "p95_decision_time": stats.p95,
+                "mean_firings": stats.mean_firings,
+                "tv_from_target": total_variation(sampled.frequencies, dict(probabilities)),
+            }
+        )
+    return rows

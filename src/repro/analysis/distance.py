@@ -1,0 +1,87 @@
+"""Distances between discrete probability distributions.
+
+Small, dependency-free helpers used by verification, tests and benchmark
+reports: total-variation distance, Kullback–Leibler divergence, Jensen–Shannon
+divergence and Hellinger distance, all over ``{label: probability}``
+dictionaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "normalize",
+    "total_variation",
+    "kl_divergence",
+    "jensen_shannon",
+    "hellinger",
+]
+
+
+def normalize(distribution: Mapping[str, float]) -> dict[str, float]:
+    """Return ``distribution`` scaled to sum to one.
+
+    Raises
+    ------
+    AnalysisError
+        If the distribution is empty, has negative entries, or sums to zero.
+    """
+    if not distribution:
+        raise AnalysisError("cannot normalize an empty distribution")
+    values = {str(k): float(v) for k, v in distribution.items()}
+    if any(v < 0 for v in values.values()):
+        raise AnalysisError(f"probabilities must be non-negative: {values}")
+    total = sum(values.values())
+    if total <= 0:
+        raise AnalysisError("distribution sums to zero")
+    return {k: v / total for k, v in values.items()}
+
+
+def _aligned(p: Mapping[str, float], q: Mapping[str, float]) -> tuple[dict, dict, list[str]]:
+    p_norm, q_norm = normalize(p), normalize(q)
+    labels = sorted(set(p_norm) | set(q_norm))
+    return p_norm, q_norm, labels
+
+
+def total_variation(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Total-variation distance: half the L1 distance; in [0, 1]."""
+    p_norm, q_norm, labels = _aligned(p, q)
+    return 0.5 * sum(abs(p_norm.get(l, 0.0) - q_norm.get(l, 0.0)) for l in labels)
+
+
+def kl_divergence(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Kullback–Leibler divergence ``D(p || q)`` in nats.
+
+    Infinite when ``p`` puts mass where ``q`` has none.
+    """
+    p_norm, q_norm, labels = _aligned(p, q)
+    divergence = 0.0
+    for label in labels:
+        p_value = p_norm.get(label, 0.0)
+        if p_value == 0.0:
+            continue
+        q_value = q_norm.get(label, 0.0)
+        if q_value == 0.0:
+            return math.inf
+        divergence += p_value * math.log(p_value / q_value)
+    return divergence
+
+
+def jensen_shannon(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Jensen–Shannon divergence (symmetric, finite, in [0, ln 2])."""
+    p_norm, q_norm, labels = _aligned(p, q)
+    mixture = {l: 0.5 * (p_norm.get(l, 0.0) + q_norm.get(l, 0.0)) for l in labels}
+    return 0.5 * kl_divergence(p_norm, mixture) + 0.5 * kl_divergence(q_norm, mixture)
+
+
+def hellinger(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Hellinger distance (in [0, 1])."""
+    p_norm, q_norm, labels = _aligned(p, q)
+    total = sum(
+        (math.sqrt(p_norm.get(l, 0.0)) - math.sqrt(q_norm.get(l, 0.0))) ** 2 for l in labels
+    )
+    return math.sqrt(total / 2.0)

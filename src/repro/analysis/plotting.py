@@ -1,0 +1,110 @@
+"""ASCII plotting: terminal renditions of the paper's figures.
+
+No graphical plotting library is available offline, so the benchmark
+harnesses draw their figures as character charts: a scatter/line chart in a
+fixed-size grid with optionally log-scaled axes (Figure 3 is log–log).  This
+is deliberately simple — just enough to see the shapes the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["ascii_chart"]
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    transformed = []
+    for v in values:
+        if v <= 0:
+            raise AnalysisError(f"log-scaled axis requires positive values, got {v}")
+        transformed.append(math.log10(v))
+    return transformed
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 18,
+    x_log: bool = False,
+    y_log: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        ``{series name: [(x, y), ...]}``.  Each series is drawn with its own
+        marker character (``*``, ``o``, ``+``, ``x`` ... in order).
+    width, height:
+        Plot-area size in characters.
+    x_log, y_log:
+        Log-scale the corresponding axis (base 10).
+    x_label, y_label, title:
+        Labels for the axes and an optional title line.
+    """
+    if not series or all(not points for points in series.values()):
+        raise AnalysisError("ascii_chart needs at least one non-empty series")
+    markers = "*o+x#@%&"
+    all_x: list[float] = []
+    all_y: list[float] = []
+    transformed: dict[str, list[tuple[float, float]]] = {}
+    for name, points in series.items():
+        if not points:
+            continue
+        xs = _transform([p[0] for p in points], x_log)
+        ys = _transform([p[1] for p in points], y_log)
+        transformed[name] = list(zip(xs, ys))
+        all_x.extend(xs)
+        all_y.extend(ys)
+
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, points) in enumerate(transformed.items()):
+        marker = markers[series_index % len(markers)]
+        for x, y in points:
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        return f"{10 ** value:.3g}" if log else f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = fmt(y_max, y_log)
+    bottom_label = fmt(y_min, y_log)
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    left = fmt(x_min, x_log)
+    right = fmt(x_max, x_log)
+    axis = left + x_label.center(width - len(left) - len(right)) + right
+    lines.append(f"{' ' * label_width}  {axis}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(transformed)
+    )
+    lines.append(f"{' ' * label_width}  legend: {legend}")
+    return "\n".join(lines)

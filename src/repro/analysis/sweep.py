@@ -1,0 +1,105 @@
+"""Parameter sweeps: run an experiment over a grid and collect tabular results.
+
+The benchmark harnesses all have the same shape — sweep a parameter (γ, MOI,
+trial count), run a measurement at each point, and report a table of rows —
+so that shape is factored out here.  Results are plain lists of dictionaries,
+renderable as aligned text (:func:`repro.analysis.tables.format_table`) or CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["SweepResult", "ParameterSweep"]
+
+
+@dataclass
+class SweepResult:
+    """The rows produced by a parameter sweep.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the swept parameter (becomes the first column).
+    rows:
+        One dictionary per sweep point; all rows share the same keys.
+    """
+
+    parameter: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, with the swept parameter first."""
+        if not self.rows:
+            return [self.parameter]
+        keys = [self.parameter] + [k for k in self.rows[0] if k != self.parameter]
+        return keys
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        if not self.rows:
+            return []
+        if name not in self.rows[0]:
+            raise AnalysisError(f"unknown column {name!r}; have {list(self.rows[0])}")
+        return [row[name] for row in self.rows]
+
+    def to_csv(self, path: "str | Path") -> Path:
+        """Write the rows to a CSV file and return the path."""
+        import csv
+
+        target = Path(path)
+        with target.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({key: row.get(key, "") for key in self.columns})
+        return target
+
+    def format(self, floatfmt: str = "{:.4g}") -> str:
+        """Render the rows as an aligned text table."""
+        from repro.analysis.tables import format_table
+
+        return format_table(self.rows, columns=self.columns, floatfmt=floatfmt)
+
+
+class ParameterSweep:
+    """Run a measurement function over a parameter grid.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the swept parameter.
+    values:
+        The grid.
+    measure:
+        Callable taking one grid value and returning a ``{column: value}``
+        mapping for that row.
+    """
+
+    def __init__(
+        self,
+        parameter: str,
+        values: Iterable[object],
+        measure: Callable[[object], Mapping[str, object]],
+    ) -> None:
+        self.parameter = parameter
+        self.values = list(values)
+        self.measure = measure
+        if not self.values:
+            raise AnalysisError("sweep needs at least one parameter value")
+
+    def run(self, progress: "Callable[[str], None] | None" = None) -> SweepResult:
+        """Execute the sweep and return its :class:`SweepResult`."""
+        result = SweepResult(parameter=self.parameter)
+        for value in self.values:
+            if progress is not None:
+                progress(f"{self.parameter} = {value}")
+            row = dict(self.measure(value))
+            row.setdefault(self.parameter, value)
+            result.rows.append(row)
+        return result

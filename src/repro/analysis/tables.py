@@ -1,0 +1,96 @@
+"""Plain-text tables and CSV helpers for benchmark reports.
+
+No plotting library is available offline, so benchmark harnesses report their
+figures as aligned text tables (plus the ASCII charts in
+:mod:`repro.analysis.plotting`) and can dump CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["format_table", "write_csv", "format_kv"]
+
+
+def _format_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: "Sequence[str] | None" = None,
+    floatfmt: str = "{:.4g}",
+    title: str = "",
+) -> str:
+    """Render dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row.
+    columns:
+        Column order; defaults to the keys of the first row.
+    floatfmt:
+        Format spec applied to float cells.
+    title:
+        Optional heading line.
+    """
+    if not rows:
+        return title or "(empty table)"
+    column_names = list(columns) if columns else list(rows[0])
+    rendered = [
+        [_format_cell(row.get(column, ""), floatfmt) for column in column_names]
+        for row in rows
+    ]
+    widths = [
+        max(len(column_names[i]), max(len(row[i]) for row in rendered))
+        for i in range(len(column_names))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(name.ljust(width) for name, width in zip(column_names, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(mapping: Mapping[str, object], floatfmt: str = "{:.4g}") -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not mapping:
+        return "(empty)"
+    width = max(len(str(key)) for key in mapping)
+    return "\n".join(
+        f"{str(key).ljust(width)} : {_format_cell(value, floatfmt)}"
+        for key, value in mapping.items()
+    )
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: "str | Path | None" = None,
+    columns: "Sequence[str] | None" = None,
+) -> str:
+    """Write rows as CSV; returns the CSV text (and writes ``path`` if given)."""
+    if not rows:
+        raise AnalysisError("cannot write an empty CSV")
+    column_names = list(columns) if columns else list(rows[0])
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=column_names)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in column_names})
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,292 @@
+"""Command-line interface: synthesize, simulate and reproduce from the shell.
+
+The CLI wraps the library's main entry points so a network can be designed,
+saved, inspected and exercised without writing Python::
+
+    repro synthesize --probabilities "lysis=0.15,lysogeny=0.85" --gamma 1e3 -o design.json
+    repro simulate design.json --trials 500 --working-firings 10
+    repro settle --module logarithm --inputs "x=16"
+    repro figure3 --trials 500 --gammas 1,10,100,1000
+    repro figure5 --trials 100 --moi 1,2,4,8
+    repro example1
+    repro example2
+
+Every subcommand prints a plain-text report (tables / ASCII charts); the
+``synthesize`` command additionally writes the design as JSON so it can be fed
+back to ``simulate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.analysis import format_table
+from repro.core import (
+    AffineResponseSpec,
+    gamma_sweep,
+    settle_module,
+    synthesize_affine_response,
+    synthesize_distribution,
+)
+from repro.core.modules import (
+    exponentiation_module,
+    isolation_module,
+    linear_module,
+    logarithm_module,
+    polynomial_module,
+    power_module,
+)
+from repro.crn import load_network, save_network
+from repro.errors import ReproError
+from repro.sim import CategoryFiringCondition, EnsembleRunner, SimulationOptions
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# argument parsing helpers
+# ---------------------------------------------------------------------------
+
+
+def _parse_mapping(text: str, value_type=float) -> dict:
+    """Parse ``"a=0.3,b=0.7"`` into ``{"a": 0.3, "b": 0.7}``."""
+    result = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise argparse.ArgumentTypeError(
+                f"expected key=value pairs separated by commas, got {chunk!r}"
+            )
+        key, value = chunk.split("=", 1)
+        result[key.strip()] = value_type(value.strip())
+    if not result:
+        raise argparse.ArgumentTypeError("expected at least one key=value pair")
+    return result
+
+
+def _parse_float_list(text: str) -> list[float]:
+    return [float(chunk) for chunk in text.split(",") if chunk.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesizing Stochasticity in Biochemical Systems (DAC 2007) — "
+        "reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synth = subparsers.add_parser(
+        "synthesize", help="synthesize a CRN realizing a probability distribution"
+    )
+    synth.add_argument("--probabilities", required=True,
+                       help='target distribution, e.g. "a=0.3,b=0.7"')
+    synth.add_argument("--gamma", type=float, default=1e3,
+                       help="rate separation factor (default 1e3)")
+    synth.add_argument("--scale", type=int, default=100,
+                       help="total input-molecule budget (default 100)")
+    synth.add_argument("-o", "--output", help="write the design to this JSON file")
+    synth.add_argument("--pretty", action="store_true",
+                       help="print the full reaction listing")
+
+    sim = subparsers.add_parser("simulate", help="Monte-Carlo simulate a saved design")
+    sim.add_argument("network", help="JSON file produced by 'repro synthesize'")
+    sim.add_argument("--trials", type=int, default=500)
+    sim.add_argument("--seed", type=int, default=2007)
+    sim.add_argument("--working-firings", type=int, default=10,
+                     help="working firings that declare an outcome (default 10)")
+    sim.add_argument("--engine", default="direct",
+                     choices=["direct", "first-reaction", "next-reaction", "tau-leaping"])
+
+    settle = subparsers.add_parser(
+        "settle", help="run a deterministic functional module to completion"
+    )
+    settle.add_argument("--module", required=True,
+                        choices=["linear", "exponentiation", "logarithm", "power",
+                                 "isolation", "polynomial"])
+    settle.add_argument("--inputs", default="",
+                        help='input quantities by role, e.g. "x=8" or "x=3,p=2"')
+    settle.add_argument("--alpha", type=int, default=1, help="linear module alpha")
+    settle.add_argument("--beta", type=int, default=1, help="linear module beta")
+    settle.add_argument("--coefficients", default="0,1",
+                        help="polynomial coefficients, constant first (default 0,1)")
+    settle.add_argument("--seed", type=int, default=1)
+
+    fig3 = subparsers.add_parser("figure3", help="reproduce Figure 3 (error vs gamma)")
+    fig3.add_argument("--gammas", default="1,10,100,1000")
+    fig3.add_argument("--trials", type=int, default=500)
+    fig3.add_argument("--seed", type=int, default=1977)
+
+    fig5 = subparsers.add_parser("figure5", help="reproduce Figure 5 (lambda response)")
+    fig5.add_argument("--moi", default="1,2,4,6,8,10")
+    fig5.add_argument("--trials", type=int, default=100)
+    fig5.add_argument("--seed", type=int, default=2007)
+    fig5.add_argument("--skip-natural", action="store_true")
+    fig5.add_argument("--skip-synthetic", action="store_true")
+
+    ex1 = subparsers.add_parser("example1", help="run the paper's Example 1 end to end")
+    ex1.add_argument("--trials", type=int, default=500)
+    ex1.add_argument("--seed", type=int, default=2007)
+
+    ex2 = subparsers.add_parser("example2", help="run the paper's Example 2 end to end")
+    ex2.add_argument("--trials", type=int, default=300)
+    ex2.add_argument("--x1", type=int, default=5)
+    ex2.add_argument("--x2", type=int, default=4)
+    ex2.add_argument("--seed", type=int, default=2007)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_synthesize(args) -> int:
+    probabilities = _parse_mapping(args.probabilities)
+    system = synthesize_distribution(probabilities, gamma=args.gamma, scale=args.scale)
+    print(system.describe())
+    if args.pretty:
+        print()
+        print(system.network.pretty())
+    if args.output:
+        path = save_network(system.network, args.output)
+        print(f"\ndesign written to {path}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    network = load_network(args.network)
+    stopping = CategoryFiringCondition("working", args.working_firings)
+    runner = EnsembleRunner(
+        network,
+        engine=args.engine,
+        stopping=stopping,
+        options=SimulationOptions(record_firings=False),
+    )
+    result = runner.run(args.trials, seed=args.seed)
+    print(result.summary())
+    distribution = result.outcome_distribution()
+    if distribution:
+        rows = [{"outcome": k, "frequency": v} for k, v in distribution.items()]
+        print()
+        print(format_table(rows, floatfmt="{:.4f}"))
+    return 0
+
+
+def _cmd_settle(args) -> int:
+    inputs = _parse_mapping(args.inputs, value_type=int) if args.inputs else {}
+    if args.module == "linear":
+        module = linear_module(alpha=args.alpha, beta=args.beta)
+    elif args.module == "exponentiation":
+        module = exponentiation_module()
+    elif args.module == "logarithm":
+        module = logarithm_module()
+    elif args.module == "power":
+        module = power_module()
+    elif args.module == "isolation":
+        module = isolation_module()
+    else:
+        coefficients = [int(c) for c in args.coefficients.split(",")]
+        module = polynomial_module(coefficients)
+    result = settle_module(module, inputs, seed=args.seed)
+    print(f"module      : {module.name}   ({module.description})")
+    print(f"inputs      : {inputs}")
+    print(f"outputs     : {result.outputs}")
+    if module.expected is not None:
+        print(f"ideal       : {module.expected_outputs(inputs)}")
+    print(f"firings     : {result.n_firings}   stop: {result.stop_reason}")
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    gammas = _parse_float_list(args.gammas)
+    points = gamma_sweep(gammas, n_trials=args.trials, seed=args.seed)
+    rows = [
+        {
+            "gamma": point.gamma,
+            "trials": point.estimate.n_trials,
+            "errors": point.estimate.n_errors,
+            "error %": point.estimate.error_percent,
+        }
+        for point in points
+    ]
+    print(format_table(rows, floatfmt="{:.3g}",
+                       title="Figure 3: stochastic-module error vs rate separation"))
+    return 0
+
+
+def _cmd_figure5(args) -> int:
+    from repro.lambda_phage import run_figure5_experiment
+
+    moi_values = [int(m) for m in _parse_float_list(args.moi)]
+    result = run_figure5_experiment(
+        moi_values=moi_values,
+        n_trials=args.trials,
+        seed=args.seed,
+        include_natural=not args.skip_natural,
+        include_synthetic=not args.skip_synthetic,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_example1(args) -> int:
+    system = synthesize_distribution({"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3, scale=100)
+    print(system.describe())
+    sampled = system.sample_distribution(n_trials=args.trials, seed=args.seed)
+    print()
+    print(sampled.summary())
+    return 0
+
+
+def _cmd_example2(args) -> int:
+    spec = AffineResponseSpec(
+        base={"1": 0.3, "2": 0.4, "3": 0.3},
+        slopes={"1": {"x1": 0.02, "x2": -0.03}, "2": {"x2": 0.03}, "3": {"x1": -0.02}},
+    )
+    system = synthesize_affine_response(spec, gamma=1e3, scale=100)
+    print(system.describe())
+    sampled = system.sample_distribution(
+        n_trials=args.trials, seed=args.seed, inputs={"x1": args.x1, "x2": args.x2}
+    )
+    print()
+    print(f"inputs: X1={args.x1}, X2={args.x2}")
+    print(sampled.summary())
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "simulate": _cmd_simulate,
+    "settle": _cmd_settle,
+    "figure3": _cmd_figure3,
+    "figure5": _cmd_figure5,
+    "example1": _cmd_example1,
+    "example2": _cmd_example2,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (argparse.ArgumentTypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Error analysis of the stochastic module (Section 2.1.3, Figure 3).
+
+The paper defines an *error* as "the case where the first initializing
+reaction to fire does not determine the final outcome; instead, a different
+catalyst type wins out", and characterizes the error probability as a function
+of the rate-separation factor γ by Monte-Carlo simulation:
+
+* three outcomes, every initializing rate ``k_i = 1``;
+* the other categories' rates set from γ via Equation 1;
+* every input quantity ``E_i = 100``;
+* an outcome is declared once a working reaction has fired 10 times;
+* 100,000 trials per γ, γ swept from 1 to 10⁵ (Figure 3).
+
+This module reproduces that experiment.  The trial count is configurable
+because 100,000 Python-level SSA trials per γ point is slow; the *shape*
+(error falling roughly as a power of γ) is already clear at a few thousand
+trials for the smaller γ values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.spec import DistributionSpec, OutcomeSpec
+from repro.core.stochastic_module import build_stochastic_module
+from repro.crn.network import ReactionNetwork
+from repro.errors import SynthesisError
+from repro.sim.base import SimulationOptions
+from repro.sim.ensemble import make_simulator
+from repro.sim.events import CategoryFiringCondition
+from repro.sim.rng import spawn_children
+from repro.sim.trajectory import Trajectory
+
+__all__ = [
+    "ErrorEstimate",
+    "GammaSweepPoint",
+    "build_error_experiment_network",
+    "classify_trial",
+    "estimate_error_rate",
+    "gamma_sweep",
+    "PAPER_GAMMA_VALUES",
+]
+
+
+#: The γ grid of Figure 3 (1 to 10⁵, one point per decade).
+PAPER_GAMMA_VALUES = (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """Monte-Carlo estimate of the stochastic-module error at one γ.
+
+    Attributes
+    ----------
+    gamma:
+        Rate-separation factor.
+    n_trials / n_errors / n_undecided:
+        Trial counts; undecided trials (no outcome declared before the step
+        limit) are excluded from the error rate.
+    error_rate:
+        Fraction of decided trials in error.
+    """
+
+    gamma: float
+    n_trials: int
+    n_errors: int
+    n_undecided: int
+
+    @property
+    def error_rate(self) -> float:
+        decided = self.n_trials - self.n_undecided
+        if decided <= 0:
+            return 0.0
+        return self.n_errors / decided
+
+    @property
+    def error_percent(self) -> float:
+        """Error rate as a percentage (the unit of Figure 3's y-axis)."""
+        return 100.0 * self.error_rate
+
+
+@dataclass(frozen=True)
+class GammaSweepPoint:
+    """One point of the Figure-3 sweep."""
+
+    gamma: float
+    estimate: ErrorEstimate
+
+
+def build_error_experiment_network(
+    gamma: float,
+    n_outcomes: int = 3,
+    input_quantity: int = 100,
+    base_rate: float = 1.0,
+) -> ReactionNetwork:
+    """The network of the Figure-3 experiment.
+
+    ``n_outcomes`` outcomes with equal probabilities, each input type starting
+    at ``input_quantity`` molecules (the paper: 3 outcomes, 100 each), rates
+    derived from γ via Equation 1.
+    """
+    if n_outcomes < 2:
+        raise SynthesisError("the error experiment needs at least two outcomes")
+    labels = [str(i + 1) for i in range(n_outcomes)]
+    outcomes = [OutcomeSpec(label, target_output=input_quantity) for label in labels]
+    spec = DistributionSpec(outcomes, [1.0 / n_outcomes] * n_outcomes)
+    return build_stochastic_module(
+        spec,
+        gamma=gamma,
+        scale=n_outcomes * input_quantity,
+        base_rate=base_rate,
+        name=f"error-experiment[gamma={gamma:g}]",
+    )
+
+
+def classify_trial(trajectory: Trajectory, network: ReactionNetwork) -> "tuple[str, str] | None":
+    """Return ``(intended, actual)`` outcome labels for one trial.
+
+    * *intended* — the outcome of the first initializing reaction that fired;
+    * *actual* — the outcome whose working reaction reached the declaration
+      count (taken from the trajectory's stop detail).
+
+    Returns ``None`` when the trial is undecided (no initializing firing or no
+    declared outcome).
+    """
+    initializing = network.reactions_in_category("initializing")
+    index_to_label = {}
+    for index, reaction in initializing:
+        # names are "initializing[<label>]"
+        label = reaction.name.split("[", 1)[1].rstrip("]")
+        index_to_label[index] = label
+    first = trajectory.first_firing(list(index_to_label))
+    if first is None:
+        return None
+    intended = index_to_label[first]
+
+    detail = trajectory.stop_detail
+    if not detail.startswith("working["):
+        return None
+    actual = detail.split("[", 1)[1].rstrip("]")
+    return intended, actual
+
+
+def estimate_error_rate(
+    gamma: float,
+    n_trials: int = 2000,
+    seed: "int | None" = None,
+    n_outcomes: int = 3,
+    input_quantity: int = 100,
+    declare_after: int = 10,
+    engine: str = "direct",
+    max_steps: int = 200_000,
+) -> ErrorEstimate:
+    """Estimate the stochastic-module error probability at one γ.
+
+    Follows the paper's protocol: equal initializing rates, equal input
+    quantities, outcome declared after ``declare_after`` working firings,
+    error when the first initializing firing and the declared outcome differ.
+    """
+    if n_trials <= 0:
+        raise SynthesisError(f"n_trials must be positive, got {n_trials}")
+    network = build_error_experiment_network(
+        gamma, n_outcomes=n_outcomes, input_quantity=input_quantity
+    )
+    simulator = make_simulator(network, engine=engine)
+    stopping = CategoryFiringCondition("working", declare_after)
+    options = SimulationOptions(record_firings=True, max_steps=max_steps)
+
+    n_errors = 0
+    n_undecided = 0
+    for rng in spawn_children(seed, n_trials):
+        trajectory = simulator.run(stopping=stopping, options=options, seed=rng)
+        classified = classify_trial(trajectory, network)
+        if classified is None:
+            n_undecided += 1
+            continue
+        intended, actual = classified
+        if intended != actual:
+            n_errors += 1
+    return ErrorEstimate(
+        gamma=gamma, n_trials=n_trials, n_errors=n_errors, n_undecided=n_undecided
+    )
+
+
+def gamma_sweep(
+    gammas: Sequence[float] = PAPER_GAMMA_VALUES,
+    n_trials: int = 2000,
+    seed: "int | None" = None,
+    **kwargs,
+) -> list[GammaSweepPoint]:
+    """Sweep γ and estimate the error at each value (the Figure-3 series)."""
+    points = []
+    for offset, gamma in enumerate(gammas):
+        estimate = estimate_error_rate(
+            gamma,
+            n_trials=n_trials,
+            seed=None if seed is None else seed + offset,
+            **kwargs,
+        )
+        points.append(GammaSweepPoint(gamma=gamma, estimate=estimate))
+    return points

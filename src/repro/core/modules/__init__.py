@@ -1,0 +1,43 @@
+"""Deterministic functional modules (Section 2.2 of the paper).
+
+Each factory returns a :class:`~repro.core.modules.base.FunctionalModule`:
+
+* :func:`linear_module` — ``α·Y∞ = β·X0``;
+* :func:`exponentiation_module` — ``Y∞ = 2^X0``;
+* :func:`logarithm_module` — ``Y∞ = log2(X0)``;
+* :func:`power_module` — ``Y∞ = X0^P0``;
+* :func:`isolation_module` — ``Y∞ = 1``;
+* :func:`fanout_module` / :func:`assimilation_module` — the glue reactions
+  used by the lambda-phage model;
+* :func:`compile_affine_response` — Example 2's pre-processing reactions.
+"""
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.modules.exponentiation import exponentiation_module
+from repro.core.modules.glue import assimilation_module, fanout_module
+from repro.core.modules.isolation import isolation_module
+from repro.core.modules.linear import linear_module
+from repro.core.modules.logarithm import logarithm_module
+from repro.core.modules.polynomial import polynomial_module
+from repro.core.modules.power import power_module
+from repro.core.modules.preprocessing import (
+    PreprocessingPlan,
+    compile_affine_response,
+    preprocessing_reactions,
+)
+
+__all__ = [
+    "FunctionalModule",
+    "DEFAULT_TIERS",
+    "linear_module",
+    "exponentiation_module",
+    "logarithm_module",
+    "power_module",
+    "polynomial_module",
+    "isolation_module",
+    "fanout_module",
+    "assimilation_module",
+    "PreprocessingPlan",
+    "compile_affine_response",
+    "preprocessing_reactions",
+]

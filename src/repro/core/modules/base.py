@@ -1,0 +1,172 @@
+"""Base abstractions for the deterministic functional modules (Section 2.2).
+
+A *functional module* is a small reaction network that computes a function of
+molecular quantities: given initial quantities of its input types, the
+quantities of its output types settle (as the module's reactions run to
+completion) to a deterministic function of the inputs — ``Y∞ = f(X0)`` in the
+paper's notation.
+
+Each module factory in this package returns a :class:`FunctionalModule`, which
+bundles the reaction network with the names of its input/output ports and a
+record of the function it implements.  Ports are what the composer wires
+between modules; all other species are internal and get namespaced away when
+modules are combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.rates import TierScheme
+from repro.crn.namespacing import namespace_network
+from repro.crn.network import ReactionNetwork
+from repro.errors import ModuleCompositionError
+
+__all__ = ["FunctionalModule", "DEFAULT_TIERS"]
+
+
+#: Default tier scheme used by the module factories (10³ between adjacent tiers).
+DEFAULT_TIERS = TierScheme(separation=1e3, base_rate=1.0)
+
+
+@dataclass
+class FunctionalModule:
+    """A deterministic functional module and its interface.
+
+    Attributes
+    ----------
+    name:
+        Module kind (``"linear"``, ``"logarithm"``, ...).
+    network:
+        The module's reactions and initial quantities.
+    inputs:
+        Port map from role name to species name, e.g. ``{"x": "x"}``.  The
+        *caller* supplies the initial quantity of input species (or wires an
+        upstream module's output to them).
+    outputs:
+        Port map from role name to species name, e.g. ``{"y": "y"}``.
+    expected:
+        A Python function computing the ideal output quantities from input
+        quantities, used for verification and tests:
+        ``expected({"x": 8}) == {"y": 3}`` for the logarithm module.
+    description:
+        One-line statement of the implemented function (``"Y∞ = log2(X0)"``).
+    """
+
+    name: str
+    network: ReactionNetwork
+    inputs: Mapping[str, str]
+    outputs: Mapping[str, str]
+    expected: "Callable[[Mapping[str, int]], dict[str, float]] | None" = None
+    description: str = ""
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        known = {s.name for s in self.network.species}
+        for role, species in {**dict(self.inputs), **dict(self.outputs)}.items():
+            if species not in known:
+                raise ModuleCompositionError(
+                    f"module {self.name!r} declares port {role!r} -> {species!r} "
+                    "but that species does not appear in its network"
+                )
+
+    # -- port helpers -------------------------------------------------------------
+
+    @property
+    def port_species(self) -> set[str]:
+        """All species names exposed as ports."""
+        return set(self.inputs.values()) | set(self.outputs.values())
+
+    def input_species(self, role: str = "x") -> str:
+        """Species name of an input port."""
+        try:
+            return self.inputs[role]
+        except KeyError as exc:
+            raise ModuleCompositionError(
+                f"module {self.name!r} has no input port {role!r}; "
+                f"available: {sorted(self.inputs)}"
+            ) from exc
+
+    def output_species(self, role: str = "y") -> str:
+        """Species name of an output port."""
+        try:
+            return self.outputs[role]
+        except KeyError as exc:
+            raise ModuleCompositionError(
+                f"module {self.name!r} has no output port {role!r}; "
+                f"available: {sorted(self.outputs)}"
+            ) from exc
+
+    # -- transformation ------------------------------------------------------------
+
+    def namespaced(self, instance_name: str) -> "FunctionalModule":
+        """Return a copy whose internal species are prefixed with ``instance_name``.
+
+        Port species keep their names (they are the connection points); every
+        other species becomes ``<instance_name>.<species>`` so that two
+        instances of the same module kind never share internal types
+        (Section 2.2.2).
+        """
+        if not instance_name:
+            return self
+        network = namespace_network(self.network, instance_name, keep=self.port_species)
+        return FunctionalModule(
+            name=self.name,
+            network=network,
+            inputs=dict(self.inputs),
+            outputs=dict(self.outputs),
+            expected=self.expected,
+            description=self.description,
+            notes=dict(self.notes),
+        )
+
+    def renamed_ports(self, mapping: Mapping[str, str]) -> "FunctionalModule":
+        """Return a copy with port species renamed according to ``mapping``.
+
+        ``mapping`` keys are current species names (not roles).  Use this to
+        wire a module's output species onto another module's input species.
+        """
+        network = self.network.renamed(mapping)
+        rename = dict(mapping)
+        return FunctionalModule(
+            name=self.name,
+            network=network,
+            inputs={role: rename.get(sp, sp) for role, sp in self.inputs.items()},
+            outputs={role: rename.get(sp, sp) for role, sp in self.outputs.items()},
+            expected=self.expected,
+            description=self.description,
+            notes=dict(self.notes),
+        )
+
+    def with_input_quantities(self, quantities: Mapping[str, int]) -> "FunctionalModule":
+        """Return a copy whose network has the given input-port quantities set.
+
+        Keys are port *roles* (``"x"``, ``"p"``) — not species names.
+        """
+        network = self.network.copy()
+        for role, quantity in quantities.items():
+            network.set_initial(self.input_species(role), int(quantity))
+        return FunctionalModule(
+            name=self.name,
+            network=network,
+            inputs=dict(self.inputs),
+            outputs=dict(self.outputs),
+            expected=self.expected,
+            description=self.description,
+            notes=dict(self.notes),
+        )
+
+    def expected_outputs(self, inputs: Mapping[str, int]) -> dict[str, float]:
+        """Ideal output quantities for the given input quantities (if known)."""
+        if self.expected is None:
+            raise ModuleCompositionError(
+                f"module {self.name!r} does not declare an expected-output function"
+            )
+        return self.expected(inputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"FunctionalModule({self.name!r}, reactions={self.network.size}, "
+            f"inputs={dict(self.inputs)}, outputs={dict(self.outputs)})"
+        )

@@ -1,0 +1,82 @@
+"""Exponentiation module: ``Y∞ = 2^X0`` (Section 2.2.1, "Exponentiation").
+
+The module consumes input molecules one at a time, doubling the output for
+each (the paper's pseudocode ``ForEach x { Y = 2*Y }``).  The reactions are::
+
+    x            --slow-->    a            (start one doubling round)
+    a + y        --faster-->  a + 2 y'     (a catalyzes doubling of y into y')
+    a            --fast-->    ∅            (round ends when a degrades)
+    y'           --medium-->  y            (converted back for the next round)
+
+``Y`` starts at one molecule; the rate separation guarantees that, with high
+probability, each round's doubling completes before the next round starts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.rates import TierScheme
+from repro.crn.builder import NetworkBuilder
+from repro.errors import SpecificationError
+
+__all__ = ["exponentiation_module"]
+
+
+def exponentiation_module(
+    input_name: str = "x",
+    output_name: str = "y",
+    tiers: "TierScheme | None" = None,
+    initial_output: int = 1,
+    name: str = "exponentiation",
+) -> FunctionalModule:
+    """Build the exponentiation module ``Y∞ = 2^X0 · Y0`` (with ``Y0 = 1`` by default).
+
+    Parameters
+    ----------
+    input_name, output_name:
+        Port species names (the loop species ``a`` and staging species ``y'``
+        are internal and get namespaced on composition).
+    tiers:
+        Rate scheme supplying the slow/medium/fast/faster tiers.
+    initial_output:
+        Initial quantity of the output type; the paper uses 1 (use the
+        isolation module upstream to establish it chemically).
+    """
+    if input_name == output_name:
+        raise SpecificationError("exponentiation input and output species must differ")
+    if initial_output < 1:
+        raise SpecificationError(
+            f"initial_output must be at least 1 (got {initial_output}); "
+            "with zero output molecules the doubling loop has nothing to double"
+        )
+    scheme = tiers or DEFAULT_TIERS
+    loop = "a"
+    staged = "y_staged"
+    builder = NetworkBuilder(name)
+    builder.reaction({input_name: 1}, {loop: 1}, rate=scheme.rate("slow"),
+                     category="exponentiation", name="exp[start-round]")
+    builder.reaction({loop: 1, output_name: 1}, {loop: 1, staged: 2},
+                     rate=scheme.rate("faster"),
+                     category="exponentiation", name="exp[double]")
+    builder.reaction({loop: 1}, {}, rate=scheme.rate("fast"),
+                     category="exponentiation", name="exp[end-round]")
+    builder.reaction({staged: 1}, {output_name: 1}, rate=scheme.rate("medium"),
+                     category="exponentiation", name="exp[restage]")
+    builder.initial(output_name, initial_output)
+    builder.declare(input_name)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        x0 = int(inputs.get("x", 0))
+        return {"y": initial_output * (2 ** x0)}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"x": input_name},
+        outputs={"y": output_name},
+        expected=expected,
+        description="Y∞ = 2^X0",
+        notes={"initial_output": initial_output},
+    )

@@ -1,0 +1,119 @@
+"""Glue modules: fan-out and assimilation (Section 3.2 of the paper).
+
+The synthetic lambda-phage model uses two kinds of "simple additional
+reactions ... used to glue the modules together":
+
+* **fan-out** — copy an input quantity into several downstream types in one
+  shot: ``x → x1 + x2 + ...`` at a very fast rate, so every consumer module
+  sees the full input quantity;
+* **assimilation** — move probability mass between the stochastic module's
+  input types under control of a computed quantity:
+  ``e_from + y → e_to`` converts one molecule of ``e_from`` into ``e_to`` per
+  molecule of ``y``, so the programmed probability shifts by ``Y/scale``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.rates import TierScheme
+from repro.crn.builder import NetworkBuilder
+from repro.errors import SpecificationError
+
+__all__ = ["fanout_module", "assimilation_module"]
+
+
+def fanout_module(
+    input_name: str,
+    output_names: Sequence[str],
+    tiers: "TierScheme | None" = None,
+    tier: str = "fastest",
+    name: str = "fanout",
+) -> FunctionalModule:
+    """Build a fan-out module ``x → x1 + x2 + ...``.
+
+    Every output type ends up with the full initial quantity of the input
+    type (the input is consumed).  The reaction runs at the fastest tier so
+    downstream modules see their inputs ready "immediately".
+    """
+    outputs = [str(o) for o in output_names]
+    if len(outputs) < 2:
+        raise SpecificationError("fan-out needs at least two output types")
+    if len(set(outputs)) != len(outputs):
+        raise SpecificationError(f"fan-out output names must be distinct: {outputs}")
+    if input_name in outputs:
+        raise SpecificationError("fan-out input must differ from its outputs")
+    scheme = tiers or DEFAULT_TIERS
+    builder = NetworkBuilder(name)
+    builder.reaction(
+        {input_name: 1},
+        {output: 1 for output in outputs},
+        rate=scheme.rate(tier),
+        category="fanout",
+        name=f"fanout[{input_name}->{'+'.join(outputs)}]",
+    )
+    builder.declare(input_name, *outputs)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        x0 = int(inputs.get("x", 0))
+        return {output: x0 for output in outputs}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"x": input_name},
+        outputs={output: output for output in outputs},
+        expected=expected,
+        description=f"copy X0 into {len(outputs)} types",
+        notes={"outputs": outputs, "tier": tier},
+    )
+
+
+def assimilation_module(
+    source_input: str,
+    target_input: str,
+    control_name: str,
+    tiers: "TierScheme | None" = None,
+    tier: str = "fastest",
+    name: str = "assimilation",
+) -> FunctionalModule:
+    """Build an assimilation module ``e_source + y → e_target``.
+
+    For every molecule of the control type ``y`` (a computed quantity from an
+    upstream deterministic module), one molecule of the stochastic module's
+    input type ``e_source`` is converted into ``e_target``: the programmed
+    probability of the target outcome rises by ``Y/scale`` and the source
+    outcome falls by the same amount.  The reaction consumes the control
+    molecule, so the shift is applied exactly once.
+    """
+    if source_input == target_input:
+        raise SpecificationError("assimilation source and target inputs must differ")
+    if control_name in (source_input, target_input):
+        raise SpecificationError("assimilation control type must differ from the inputs")
+    scheme = tiers or DEFAULT_TIERS
+    builder = NetworkBuilder(name)
+    builder.reaction(
+        {source_input: 1, control_name: 1},
+        {target_input: 1},
+        rate=scheme.rate(tier),
+        category="assimilation",
+        name=f"assimilation[{source_input}->{target_input} per {control_name}]",
+    )
+    builder.declare(source_input, target_input, control_name)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        source = int(inputs.get("source", 0))
+        control = int(inputs.get("control", 0))
+        moved = min(source, control)
+        return {"source": source - moved, "target": int(inputs.get("target", 0)) + moved}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"source": source_input, "target": target_input, "control": control_name},
+        outputs={"source": source_input, "target": target_input},
+        expected=expected,
+        description=f"move min(E_source, Y) molecules from {source_input} to {target_input}",
+        notes={"tier": tier},
+    )

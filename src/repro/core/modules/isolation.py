@@ -1,0 +1,76 @@
+"""Isolation module: ``Y∞ = 1`` (Section 2.2.1, "Isolation").
+
+Exponentiation and raising-to-a-power both need exactly one molecule of their
+output type at the outset.  The isolation module establishes that state
+chemically from any non-zero starting quantity::
+
+    (12) c + 2 y   --fast-->  c + y     (collapse y down towards one molecule)
+    (13) c         --slow-->  ∅         (the catalyst then disappears)
+
+Both ``y`` and ``c`` must be non-zero initially; when the module finishes
+there is exactly one molecule of ``y`` and none of ``c`` (provided the slow
+degradation of ``c`` completes after the collapse, which the tier separation
+arranges).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.rates import TierScheme
+from repro.crn.builder import NetworkBuilder
+from repro.errors import SpecificationError
+
+__all__ = ["isolation_module"]
+
+
+def isolation_module(
+    output_name: str = "y",
+    catalyst_name: str = "c",
+    tiers: "TierScheme | None" = None,
+    initial_output: int = 10,
+    initial_catalyst: int = 10,
+    name: str = "isolation",
+) -> FunctionalModule:
+    """Build the isolation module, which leaves exactly one molecule of ``y``.
+
+    Parameters
+    ----------
+    output_name, catalyst_name:
+        Port species names; ``y`` is both an input (any non-zero quantity)
+        and the output (exactly one molecule).
+    tiers:
+        Rate scheme supplying the fast/slow tiers.
+    initial_output, initial_catalyst:
+        Starting quantities; both must be non-zero.
+    """
+    if output_name == catalyst_name:
+        raise SpecificationError("isolation output and catalyst species must differ")
+    if initial_output < 1 or initial_catalyst < 1:
+        raise SpecificationError(
+            "isolation module requires non-zero initial quantities of y and c "
+            f"(got Y={initial_output}, C={initial_catalyst})"
+        )
+    scheme = tiers or DEFAULT_TIERS
+    builder = NetworkBuilder(name)
+    builder.reaction({catalyst_name: 1, output_name: 2}, {catalyst_name: 1, output_name: 1},
+                     rate=scheme.rate("fast"),
+                     category="isolation", name="iso[collapse]")         # (12)
+    builder.reaction({catalyst_name: 1}, {}, rate=scheme.rate("slow"),
+                     category="isolation", name="iso[degrade]")          # (13)
+    builder.initial(output_name, initial_output)
+    builder.initial(catalyst_name, initial_catalyst)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        return {"y": 1}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"y": output_name, "c": catalyst_name},
+        outputs={"y": output_name},
+        expected=expected,
+        description="Y∞ = 1",
+        notes={"initial_output": initial_output, "initial_catalyst": initial_catalyst},
+    )

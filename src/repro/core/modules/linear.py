@@ -1,0 +1,72 @@
+"""Linear module: ``α·Y∞ = β·X0`` (Section 2.2.1, "Linear").
+
+A single reaction ``α·x → β·y`` converts the input into the output with a
+rational gain ``β/α``: for every α molecules of ``x`` consumed, β molecules of
+``y`` are produced, so ``Y∞ = (β/α)·X0`` (rounded down to the achievable
+multiple of β when X0 is not a multiple of α).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.rates import TierScheme
+from repro.crn.builder import NetworkBuilder
+from repro.errors import SpecificationError
+
+__all__ = ["linear_module"]
+
+
+def linear_module(
+    alpha: int = 1,
+    beta: int = 1,
+    input_name: str = "x",
+    output_name: str = "y",
+    tiers: "TierScheme | None" = None,
+    tier: str = "fast",
+    name: str = "linear",
+) -> FunctionalModule:
+    """Build the linear module ``α·x → β·y``.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Positive integer coefficients; the implemented gain is ``β/α``.
+    input_name, output_name:
+        Port species names.
+    tiers, tier:
+        Rate scheme and the tier this reaction should run at.  The linear
+        module has a single reaction, so its tier only matters relative to
+        neighbouring modules when composed.
+    """
+    if alpha <= 0 or beta <= 0:
+        raise SpecificationError(
+            f"linear module coefficients must be positive integers, got α={alpha}, β={beta}"
+        )
+    if input_name == output_name:
+        raise SpecificationError("linear module input and output species must differ")
+    scheme = tiers or DEFAULT_TIERS
+    builder = NetworkBuilder(name)
+    builder.reaction(
+        {input_name: alpha},
+        {output_name: beta},
+        rate=scheme.rate(tier),
+        category="linear",
+        name=f"linear[{alpha}{input_name}->{beta}{output_name}]",
+    )
+    builder.declare(input_name, output_name)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        x0 = int(inputs.get("x", 0))
+        return {"y": (x0 // alpha) * beta}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"x": input_name},
+        outputs={"y": output_name},
+        expected=expected,
+        description=f"{alpha}·Y∞ = {beta}·X0 (gain {beta}/{alpha})",
+        notes={"alpha": alpha, "beta": beta, "tier": tier},
+    )

@@ -1,0 +1,97 @@
+"""Logarithm module: ``Y∞ = log2(X0)`` (Section 2.2.1, "Logarithm").
+
+Instead of doubling the output (as the exponentiation module does), the input
+is forced to halve itself and the output is incremented once per halving (the
+paper's pseudocode ``While Not(X==1) { X = X/2; Y = Y+1 }``).  The reactions::
+
+    b            --slow-->    a + b        (b is a persistent trigger; one a per round)
+    a + 2 x      --faster-->  c + x' + a   (halve x; one c per consumed pair)
+    2 c          --faster-->  c            (collapse the c's of the round down to one)
+    a            --fast-->    ∅            (round ends)
+    x'           --medium-->  x            (restage the halved input)
+    c            --medium-->  y            (increment the output by one)
+
+``B`` starts at a small non-zero quantity (1 by default) and is never
+consumed, so the module keeps idling after the input reaches one molecule;
+runs therefore stop on a time horizon or output quiescence rather than on
+exhaustion.  For ``X0`` a power of two the settled output is exactly
+``log2(X0)``; otherwise it approximates ``floor(log2(X0))`` with small
+stochastic variation (characterized by the module-accuracy benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.rates import TierScheme
+from repro.crn.builder import NetworkBuilder
+from repro.errors import SpecificationError
+
+__all__ = ["logarithm_module"]
+
+
+def logarithm_module(
+    input_name: str = "x",
+    output_name: str = "y",
+    tiers: "TierScheme | None" = None,
+    trigger_quantity: int = 1,
+    name: str = "logarithm",
+) -> FunctionalModule:
+    """Build the logarithm module ``Y∞ = log2(X0)``.
+
+    Parameters
+    ----------
+    input_name, output_name:
+        Port species names.
+    tiers:
+        Rate scheme supplying the slow/medium/fast/faster tiers.
+    trigger_quantity:
+        Initial quantity of the trigger species ``b`` ("a small but non-zero
+        quantity"); larger values start rounds more often, which speeds the
+        module up but erodes the separation between rounds.
+    """
+    if input_name == output_name:
+        raise SpecificationError("logarithm input and output species must differ")
+    if trigger_quantity < 1:
+        raise SpecificationError(
+            f"trigger_quantity must be at least 1, got {trigger_quantity}"
+        )
+    scheme = tiers or DEFAULT_TIERS
+    trigger = "b"
+    loop = "a"
+    carry = "c"
+    staged = "x_staged"
+    builder = NetworkBuilder(name)
+    builder.reaction({trigger: 1}, {loop: 1, trigger: 1}, rate=scheme.rate("slow"),
+                     category="logarithm", name="log[start-round]")
+    builder.reaction({loop: 1, input_name: 2}, {carry: 1, staged: 1, loop: 1},
+                     rate=scheme.rate("faster"),
+                     category="logarithm", name="log[halve]")
+    builder.reaction({carry: 2}, {carry: 1}, rate=scheme.rate("faster"),
+                     category="logarithm", name="log[collapse-carry]")
+    builder.reaction({loop: 1}, {}, rate=scheme.rate("fast"),
+                     category="logarithm", name="log[end-round]")
+    builder.reaction({staged: 1}, {input_name: 1}, rate=scheme.rate("medium"),
+                     category="logarithm", name="log[restage]")
+    builder.reaction({carry: 1}, {output_name: 1}, rate=scheme.rate("medium"),
+                     category="logarithm", name="log[increment]")
+    builder.initial(trigger, trigger_quantity)
+    builder.declare(input_name, output_name)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        x0 = int(inputs.get("x", 0))
+        if x0 <= 1:
+            return {"y": 0}
+        return {"y": math.log2(x0)}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"x": input_name},
+        outputs={"y": output_name},
+        expected=expected,
+        description="Y∞ = log2(X0)",
+        notes={"trigger_quantity": trigger_quantity},
+    )

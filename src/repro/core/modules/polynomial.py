@@ -1,0 +1,155 @@
+"""Polynomial responses from linear and power modules (Section 2.2.2).
+
+The paper notes that "with the linear and raising-to-a-power modules, our
+scheme can be used to implement arbitrary polynomial functions; hence, in
+principle, it could be used to approximate complex functions through Taylor
+series expansions."  This module provides that composition as a single
+builder: given non-negative integer coefficients ``c_k``, it assembles
+
+    Y∞ = c_0 + c_1·X + c_2·X² + ... + c_n·Xⁿ
+
+from one fan-out stage (to give every term its own copy of the input), one
+power module per term of degree ≥ 2, one linear module per term (the gain
+``c_k``), and a shared accumulator species that simply receives every term's
+output.  Negative coefficients cannot be represented as molecule counts; for
+responses that *shift probability down*, use the assimilation/pre-processing
+mechanisms instead (they move molecules between outcome inputs rather than
+creating or destroying them).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.modules.base import FunctionalModule
+from repro.core.modules.glue import fanout_module
+from repro.core.modules.linear import linear_module
+from repro.core.modules.power import power_module
+from repro.core.rates import TierScheme
+from repro.crn.network import ReactionNetwork
+from repro.errors import SpecificationError
+
+__all__ = ["polynomial_module"]
+
+
+def polynomial_module(
+    coefficients: Sequence[int],
+    input_name: str = "x",
+    output_name: str = "y",
+    tiers: "TierScheme | None" = None,
+    name: str = "polynomial",
+) -> FunctionalModule:
+    """Build a module computing ``Y∞ = Σ_k coefficients[k] · X^k``.
+
+    Parameters
+    ----------
+    coefficients:
+        Non-negative integer coefficients, constant term first
+        (``[1, 0, 2]`` builds ``1 + 2·X²``).  At least one coefficient must be
+        positive.
+    input_name, output_name:
+        Port species names.
+    tiers:
+        Rate scheme shared by the constituent modules.
+
+    Notes
+    -----
+    Terms of degree ≥ 2 use the raising-to-a-power module, which needs its
+    exponent supplied as molecules; the builder initializes each power
+    instance's exponent species to the term's degree.  The constant term is
+    realized as an initial quantity of the output species.
+    """
+    coefficient_list = [int(c) for c in coefficients]
+    if not coefficient_list:
+        raise SpecificationError("polynomial needs at least one coefficient")
+    if any(c < 0 for c in coefficient_list):
+        raise SpecificationError(
+            "polynomial coefficients must be non-negative integers (molecule counts); "
+            "use assimilation/pre-processing for negative dependencies"
+        )
+    if all(c == 0 for c in coefficient_list[1:]):
+        raise SpecificationError(
+            "the polynomial needs at least one positive coefficient of degree >= 1 "
+            "(a constant response is just an initial quantity, no reactions required)"
+        )
+    if input_name == output_name:
+        raise SpecificationError("polynomial input and output species must differ")
+
+    # Imported here rather than at module level: the composer itself depends on
+    # the module base class, and this is the one module built *from* other
+    # modules rather than from raw reactions.
+    from repro.core.composer import SystemComposer
+
+    scheme = tiers or TierScheme()
+    # Drain stage (power output -> accumulated polynomial output) must run well
+    # after the power modules have converged: shift it two tiers below the
+    # power modules' slowest tier (Section 2.2.2's rate-separation caveat).
+    drain_scheme = TierScheme(
+        separation=scheme.separation,
+        base_rate=scheme.base_rate / (scheme.separation ** 2),
+    )
+    composer = SystemComposer(name)
+    degrees = [k for k, c in enumerate(coefficient_list) if c > 0 and k >= 1]
+
+    # One private copy of the input per active term of degree >= 1.
+    term_inputs = {k: f"{input_name}_pow{k}" for k in degrees}
+    if len(degrees) >= 2:
+        composer.add_module(
+            "fanout", fanout_module(input_name, [term_inputs[k] for k in degrees],
+                                    tiers=scheme)
+        )
+    elif len(degrees) == 1:
+        only = degrees[0]
+        composer.add_module(
+            "copy",
+            linear_module(alpha=1, beta=1, input_name=input_name,
+                          output_name=term_inputs[only], tiers=scheme, tier="fastest"),
+        )
+
+    initial: dict[str, int] = {}
+    for k in degrees:
+        gain = coefficient_list[k]
+        if k == 1:
+            composer.add_module(
+                f"term{k}",
+                linear_module(alpha=1, beta=gain, input_name=term_inputs[k],
+                              output_name=output_name, tiers=scheme),
+            )
+            continue
+        raw_power = f"{input_name}_to_{k}"
+        power = power_module(
+            input_name=term_inputs[k],
+            exponent_name=f"p{k}",
+            output_name=raw_power,
+            tiers=scheme,
+        )
+        composer.add_module(f"pow{k}", power)
+        initial[f"p{k}"] = k
+        composer.add_module(
+            f"term{k}",
+            linear_module(alpha=1, beta=gain, input_name=raw_power,
+                          output_name=output_name, tiers=drain_scheme, tier="slowest"),
+        )
+
+    constant = coefficient_list[0]
+    network: ReactionNetwork = composer.build(initial=initial)
+    if constant:
+        network.set_initial(output_name, network.initial_count(output_name) + constant)
+    network.declare_species(input_name, output_name)
+    network.name = name
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        x0 = int(inputs.get("x", 0))
+        return {"y": float(sum(c * (x0 ** k) for k, c in enumerate(coefficient_list)))}
+
+    return FunctionalModule(
+        name=name,
+        network=network,
+        inputs={"x": input_name},
+        outputs={"y": output_name},
+        expected=expected,
+        description=" + ".join(
+            f"{c}·X^{k}" for k, c in enumerate(coefficient_list) if c
+        ),
+        notes={"coefficients": coefficient_list},
+    )

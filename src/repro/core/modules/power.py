@@ -1,0 +1,121 @@
+"""Raising-to-a-power module: ``Y∞ = X0^P0`` (Section 2.2.1, "Raising to a Power").
+
+The construction realizes ``X^P`` as a double loop of repeated additions
+(``X^P = Π_P X`` and ``α·X = Σ_X α``, the paper's pseudocode)::
+
+    ForEach p {            # outer loop: one multiplication per molecule of p
+        ForEach x {        # inner loop: add Y to the accumulator D, X times
+            D = D + Y
+        }
+        Y = D; D = 0
+    }
+
+The ten reactions, with the paper's numbering and tier annotations::
+
+    (2)  p        --slowest-->  a               outer-loop trigger
+    (3)  a + x    --medium-->   b + a + x'      inner-loop trigger per x
+    (4)  b + y    --fastest-->  y' + d + b      D += Y (one d per y, y parked as y')
+    (5)  b        --faster-->   ∅
+    (6)  y'       --fast-->     y               restore y for the next inner step
+    (7)  a        --slow-->     e               outer loop body done; start cleanup
+    (8)  e + y    --faster-->   e               Y := 0
+    (9)  e + x'   --faster-->   e + x           restore x for the next outer iteration
+    (10) e        --fast-->     ∅
+    (11) d        --slower-->   y               Y := D
+
+``Y`` starts at one.  The module uses all seven named tiers, which is the
+deepest rate ladder in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.modules.base import DEFAULT_TIERS, FunctionalModule
+from repro.core.rates import TierScheme
+from repro.crn.builder import NetworkBuilder
+from repro.errors import SpecificationError
+
+__all__ = ["power_module"]
+
+
+def power_module(
+    input_name: str = "x",
+    exponent_name: str = "p",
+    output_name: str = "y",
+    tiers: "TierScheme | None" = None,
+    initial_output: int = 1,
+    name: str = "power",
+) -> FunctionalModule:
+    """Build the raising-to-a-power module ``Y∞ = X0^P0``.
+
+    Parameters
+    ----------
+    input_name, exponent_name, output_name:
+        Port species names for the base ``x``, the exponent ``p`` and the
+        result ``y``.
+    tiers:
+        Rate scheme supplying all seven tiers.
+    initial_output:
+        Initial quantity of the output type (1, per the paper; establish it
+        with the isolation module when composing).
+    """
+    distinct = {input_name, exponent_name, output_name}
+    if len(distinct) != 3:
+        raise SpecificationError(
+            "power module requires distinct input, exponent and output species, got "
+            f"{input_name!r}, {exponent_name!r}, {output_name!r}"
+        )
+    if initial_output < 1:
+        raise SpecificationError(
+            f"initial_output must be at least 1, got {initial_output}"
+        )
+    scheme = tiers or DEFAULT_TIERS
+    outer = "a"
+    inner = "b"
+    accumulator = "d_acc"
+    cleanup = "e_clean"
+    parked_y = "y_parked"
+    parked_x = "x_parked"
+
+    builder = NetworkBuilder(name)
+    builder.reaction({exponent_name: 1}, {outer: 1}, rate=scheme.rate("slowest"),
+                     category="power", name="pow[outer-start]")          # (2)
+    builder.reaction({outer: 1, input_name: 1}, {inner: 1, outer: 1, parked_x: 1},
+                     rate=scheme.rate("medium"),
+                     category="power", name="pow[inner-start]")          # (3)
+    builder.reaction({inner: 1, output_name: 1}, {parked_y: 1, accumulator: 1, inner: 1},
+                     rate=scheme.rate("fastest"),
+                     category="power", name="pow[accumulate]")           # (4)
+    builder.reaction({inner: 1}, {}, rate=scheme.rate("faster"),
+                     category="power", name="pow[inner-end]")            # (5)
+    builder.reaction({parked_y: 1}, {output_name: 1}, rate=scheme.rate("fast"),
+                     category="power", name="pow[restore-y]")            # (6)
+    builder.reaction({outer: 1}, {cleanup: 1}, rate=scheme.rate("slow"),
+                     category="power", name="pow[outer-end]")            # (7)
+    builder.reaction({cleanup: 1, output_name: 1}, {cleanup: 1}, rate=scheme.rate("faster"),
+                     category="power", name="pow[clear-y]")              # (8)
+    builder.reaction({cleanup: 1, parked_x: 1}, {cleanup: 1, input_name: 1},
+                     rate=scheme.rate("faster"),
+                     category="power", name="pow[restore-x]")            # (9)
+    builder.reaction({cleanup: 1}, {}, rate=scheme.rate("fast"),
+                     category="power", name="pow[cleanup-end]")          # (10)
+    builder.reaction({accumulator: 1}, {output_name: 1}, rate=scheme.rate("slower"),
+                     category="power", name="pow[commit]")               # (11)
+    builder.initial(output_name, initial_output)
+    builder.declare(input_name, exponent_name)
+
+    def expected(inputs: Mapping[str, int]) -> dict[str, float]:
+        x0 = int(inputs.get("x", 0))
+        p0 = int(inputs.get("p", 0))
+        return {"y": float(initial_output * (x0 ** p0))}
+
+    return FunctionalModule(
+        name=name,
+        network=builder.build(),
+        inputs={"x": input_name, "p": exponent_name},
+        outputs={"y": output_name},
+        expected=expected,
+        description="Y∞ = X0^P0",
+        notes={"initial_output": initial_output},
+    )

@@ -1,0 +1,172 @@
+"""Pre-processing reactions: affine programmability (Section 2.2, Example 2).
+
+Example 2 makes the outcome probabilities depend affinely on input quantities
+``X1, X2``::
+
+    p1 = 0.3 + 0.02·X1 − 0.03·X2
+    p2 = 0.4 + 0.03·X2
+    p3 = 0.3 − 0.02·X1
+
+by adding reactions that convert molecules of one stochastic-module input type
+into another, one batch per molecule of the controlling input::
+
+    2 e3 + x1  →  2 e1        (each x1 moves 2 molecules from e3 to e1)
+    3 e1 + x2  →  3 e2        (each x2 moves 3 molecules from e1 to e2)
+
+With a total input budget (``scale``) of 100 molecules, moving ``n`` molecules
+changes the corresponding probability by ``n/100``.  :func:`compile_affine_response`
+turns an :class:`~repro.core.spec.AffineResponseSpec` into the base quantities
+plus these pre-processing reactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.rates import TierScheme
+from repro.core.spec import AffineResponseSpec, DistributionSpec
+from repro.crn.builder import NetworkBuilder
+from repro.crn.network import ReactionNetwork
+from repro.errors import SpecificationError, SynthesisError
+
+__all__ = ["PreprocessingPlan", "compile_affine_response", "preprocessing_reactions"]
+
+
+@dataclass(frozen=True)
+class PreprocessingPlan:
+    """The compiled pre-processing layer for an affine response.
+
+    Attributes
+    ----------
+    network:
+        The pre-processing reactions (to be merged ahead of the stochastic
+        module) — no initial quantities of the ``e`` types are included here,
+        those come from the base distribution.
+    base_quantities:
+        Initial quantities of the stochastic-module input types realizing the
+        base probabilities.
+    transfers:
+        Human-readable description of each compiled transfer
+        ``(input, molecules per input molecule, from outcome, to outcome)``.
+    scale:
+        The total input-type budget the plan was compiled against.
+    """
+
+    network: ReactionNetwork
+    base_quantities: dict[str, int]
+    transfers: tuple[tuple[str, int, str, str], ...]
+    scale: int
+
+
+def _integer_slope(spec: AffineResponseSpec, label: str, input_name: str, scale: int) -> int:
+    """The slope expressed in molecules per input molecule; must be an integer."""
+    fraction = spec.slope_as_fraction(label, input_name, scale)
+    if fraction.denominator != 1:
+        raise SpecificationError(
+            f"slope {float(fraction) / scale:+g} for outcome {label!r} on input "
+            f"{input_name!r} is not a multiple of 1/{scale}; increase the scale or "
+            "adjust the slope"
+        )
+    return int(fraction)
+
+
+def preprocessing_reactions(
+    spec: AffineResponseSpec,
+    input_species: Mapping[str, str],
+    scale: int = 100,
+    tiers: "TierScheme | None" = None,
+    tier: str = "fast",
+    name: str = "preprocessing",
+) -> tuple[ReactionNetwork, tuple[tuple[str, int, str, str], ...]]:
+    """Build the pre-processing reactions for ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        The affine response specification.
+    input_species:
+        Mapping from outcome label to the stochastic-module input species name
+        (``{"1": "e_1", ...}``).
+    scale:
+        Total budget of input-type molecules (probability granularity 1/scale).
+    tiers, tier:
+        Rate scheme and tier; pre-processing must be much faster than the
+        initializing reactions so the conversion completes before the
+        stochastic choice starts (Example 2 uses rate 10³ against
+        initializing rate 1).
+    """
+    scheme = tiers or TierScheme()
+    builder = NetworkBuilder(name)
+    transfers: list[tuple[str, int, str, str]] = []
+
+    for input_name in spec.input_names:
+        # Collect the per-outcome integer transfer amounts for this input.
+        amounts = {
+            label: _integer_slope(spec, label, input_name, scale) for label in spec.labels
+        }
+        donors = {label: -amount for label, amount in amounts.items() if amount < 0}
+        receivers = {label: amount for label, amount in amounts.items() if amount > 0}
+        if sum(donors.values()) != sum(receivers.values()):
+            raise SynthesisError(
+                f"transfer amounts for input {input_name!r} do not balance: "
+                f"donors {donors}, receivers {receivers}"
+            )
+        # Pair donors with receivers greedily; each pairing becomes one reaction
+        #   n·e_donor + x  ->  n·e_receiver
+        donor_items = sorted(donors.items())
+        receiver_items = sorted(receivers.items())
+        d_index, r_index = 0, 0
+        d_left = donor_items[d_index][1] if donor_items else 0
+        r_left = receiver_items[r_index][1] if receiver_items else 0
+        while donor_items and receiver_items and d_index < len(donor_items) and r_index < len(receiver_items):
+            donor_label = donor_items[d_index][0]
+            receiver_label = receiver_items[r_index][0]
+            moved = min(d_left, r_left)
+            if moved > 0:
+                builder.reaction(
+                    {input_species[donor_label]: moved, input_name: 1},
+                    {input_species[receiver_label]: moved},
+                    rate=scheme.rate(tier),
+                    category="preprocessing",
+                    name=f"preprocess[{input_name}:{donor_label}->{receiver_label}x{moved}]",
+                )
+                transfers.append((input_name, moved, donor_label, receiver_label))
+            d_left -= moved
+            r_left -= moved
+            if d_left == 0:
+                d_index += 1
+                if d_index < len(donor_items):
+                    d_left = donor_items[d_index][1]
+            if r_left == 0:
+                r_index += 1
+                if r_index < len(receiver_items):
+                    r_left = receiver_items[r_index][1]
+        builder.declare(input_name)
+
+    return builder.build(), tuple(transfers)
+
+
+def compile_affine_response(
+    spec: AffineResponseSpec,
+    input_species: Mapping[str, str],
+    scale: int = 100,
+    tiers: "TierScheme | None" = None,
+    tier: str = "fast",
+) -> PreprocessingPlan:
+    """Compile an affine response into base quantities plus pre-processing reactions."""
+    base_spec = DistributionSpec(list(spec.labels), [spec.base[label] for label in spec.labels])
+    base_quantities = {
+        input_species[label]: count
+        for label, count in base_spec.initial_quantities(scale).items()
+    }
+    network, transfers = preprocessing_reactions(
+        spec, input_species, scale=scale, tiers=tiers, tier=tier
+    )
+    return PreprocessingPlan(
+        network=network,
+        base_quantities=base_quantities,
+        transfers=transfers,
+        scale=scale,
+    )

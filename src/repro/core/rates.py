@@ -1,0 +1,165 @@
+"""Rate-separation ladders (Section 2.1.3, Equation 1 of the paper).
+
+The correctness of the stochastic module rests on a *separation of time
+scales* between its five reaction categories::
+
+    k_i ≈ k''''_i  <<  k'_i ≈ k''_ij  <<  k'''_ij
+
+i.e. initializing and working reactions are the slowest, reinforcing and
+stabilizing reactions are faster by a factor γ, and purifying reactions are
+faster by another factor γ (Equation 1)::
+
+    γ·k_i = k'_i = k''_ij = k'''_ij / γ = γ·k''''_i
+
+:class:`RateLadder` encodes that scheme; :class:`TierScheme` generalizes it to
+the named tiers used by the deterministic modules ("slowest" … "fastest"),
+where only the *relative* ordering matters and a configurable multiplicative
+separation is applied between adjacent tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RateLadderError
+
+__all__ = ["RateLadder", "TierScheme", "STOCHASTIC_CATEGORIES"]
+
+
+#: The five reaction categories of the stochastic module, slowest to fastest tier.
+STOCHASTIC_CATEGORIES = (
+    "initializing",
+    "working",
+    "reinforcing",
+    "stabilizing",
+    "purifying",
+)
+
+
+@dataclass(frozen=True)
+class RateLadder:
+    """Concrete rates for the five stochastic-module categories.
+
+    Parameters
+    ----------
+    gamma:
+        The separation factor γ of Equation 1.  Must be ≥ 1; the paper's
+        Figure 3 sweeps γ from 1 to 10⁵ and the error of the module falls
+        roughly as a power of γ.
+    base_rate:
+        The rate ``k`` of the initializing reactions (the paper uses 1).
+
+    Derived attributes follow Equation 1: reinforcing and stabilizing rates
+    are ``γ·k``; purifying rates are ``γ²·k``; working rates equal ``k``.
+    """
+
+    gamma: float
+    base_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 1.0:
+            raise RateLadderError(f"gamma must be >= 1, got {self.gamma}")
+        if self.base_rate <= 0.0:
+            raise RateLadderError(f"base_rate must be positive, got {self.base_rate}")
+
+    @property
+    def initializing(self) -> float:
+        """Rate of initializing reactions (``k_i``)."""
+        return self.base_rate
+
+    @property
+    def working(self) -> float:
+        """Rate of working reactions (``k''''_i`` ≈ ``k_i``)."""
+        return self.base_rate
+
+    @property
+    def reinforcing(self) -> float:
+        """Rate of reinforcing reactions (``k'_i = γ·k_i``)."""
+        return self.gamma * self.base_rate
+
+    @property
+    def stabilizing(self) -> float:
+        """Rate of stabilizing reactions (``k''_ij = γ·k_i``)."""
+        return self.gamma * self.base_rate
+
+    @property
+    def purifying(self) -> float:
+        """Rate of purifying reactions (``k'''_ij = γ²·k_i``)."""
+        return self.gamma * self.gamma * self.base_rate
+
+    def rate_for(self, category: str) -> float:
+        """Rate for a category name from :data:`STOCHASTIC_CATEGORIES`."""
+        try:
+            return getattr(self, category)
+        except AttributeError as exc:
+            raise RateLadderError(
+                f"unknown stochastic-module category {category!r}; "
+                f"expected one of {STOCHASTIC_CATEGORIES}"
+            ) from exc
+
+    def as_dict(self) -> dict[str, float]:
+        """All category rates as a dictionary (for metadata / reports)."""
+        return {category: self.rate_for(category) for category in STOCHASTIC_CATEGORIES}
+
+    @classmethod
+    def paper_example(cls) -> "RateLadder":
+        """The ladder of Example 1: rates 1 / 10³ / 10⁶, i.e. γ = 10³."""
+        return cls(gamma=1e3, base_rate=1.0)
+
+
+@dataclass(frozen=True)
+class TierScheme:
+    """Named relative-speed tiers for the deterministic functional modules.
+
+    The paper annotates deterministic-module reactions with relative speeds
+    ("slow", "faster", "fast", "medium", ...).  A :class:`TierScheme` maps the
+    ordered tier names to concrete rates: tier ``i`` gets
+    ``base_rate · separation**i``.
+
+    Parameters
+    ----------
+    separation:
+        Multiplicative factor between adjacent tiers (default 10³, the same
+        order the paper uses between stochastic-module categories).
+    base_rate:
+        Rate of the slowest tier.
+    """
+
+    separation: float = 1e3
+    base_rate: float = 1.0
+
+    #: canonical tier ordering, slowest first
+    TIERS = ("slowest", "slower", "slow", "medium", "fast", "faster", "fastest")
+
+    def __post_init__(self) -> None:
+        if self.separation <= 1.0:
+            raise RateLadderError(f"separation must be > 1, got {self.separation}")
+        if self.base_rate <= 0.0:
+            raise RateLadderError(f"base_rate must be positive, got {self.base_rate}")
+
+    def rate(self, tier: str) -> float:
+        """Concrete rate for a named tier."""
+        try:
+            level = self.TIERS.index(tier)
+        except ValueError as exc:
+            raise RateLadderError(
+                f"unknown tier {tier!r}; expected one of {self.TIERS}"
+            ) from exc
+        return self.base_rate * (self.separation ** level)
+
+    def as_dict(self) -> dict[str, float]:
+        """All tier rates as a dictionary."""
+        return {tier: self.rate(tier) for tier in self.TIERS}
+
+    def shifted(self, levels: int) -> "TierScheme":
+        """A scheme whose slowest tier is ``levels`` tiers above (or below) this one.
+
+        Used when combining modules: "in some cases, the slowest reaction in
+        one module might be faster than the fastest reaction in the next"
+        (Section 2.2.2), which is arranged by shifting the downstream module's
+        scheme.
+        """
+        return TierScheme(
+            separation=self.separation,
+            base_rate=self.base_rate * (self.separation ** levels),
+        )

@@ -1,0 +1,153 @@
+"""Running deterministic modules to completion ("settling").
+
+The deterministic modules of Section 2.2 compute ``Y∞ = f(X0)`` — the output
+quantity *after the module has finished*.  Some modules genuinely exhaust
+(linear, isolation); others keep idling forever because a trigger species is
+catalytic (the logarithm module's ``b → a + b``).  :func:`settle_module`
+simulates a module until it exhausts or until a time horizon generous enough
+for all its rounds to finish, and returns the settled quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.modules.base import FunctionalModule
+from repro.errors import SimulationError
+from repro.sim.base import SimulationOptions
+from repro.sim.ensemble import make_simulator
+from repro.sim.propensity import CompiledNetwork
+from repro.sim.rng import spawn_children
+
+__all__ = ["SettleResult", "settle_module", "settle_statistics", "default_horizon"]
+
+
+@dataclass(frozen=True)
+class SettleResult:
+    """Result of settling a module once.
+
+    Attributes
+    ----------
+    outputs:
+        Final quantities of the module's output ports, keyed by *role*.
+    final_state:
+        Full final state keyed by species name.
+    final_time / n_firings / stop_reason:
+        Simulation diagnostics.
+    """
+
+    outputs: dict[str, int]
+    final_state: dict[str, int]
+    final_time: float
+    n_firings: int
+    stop_reason: str
+
+    def output(self, role: str = "y") -> int:
+        """Settled quantity of one output port."""
+        return self.outputs[role]
+
+
+def default_horizon(module: FunctionalModule, rounds: int = 200) -> float:
+    """A simulated-time horizon long enough for ``rounds`` slow-tier rounds.
+
+    The slowest reaction in the module sets the pace of its outermost loop;
+    allowing ``rounds`` expected firings of that reaction (at unit reactant
+    count) is a generous envelope for every module in the paper, whose loop
+    counts are bounded by the input quantities (at most a few tens here).
+    """
+    slowest = min(reaction.rate for reaction in module.network.reactions)
+    if slowest <= 0:
+        raise SimulationError("module contains a non-positive reaction rate")
+    return rounds / slowest
+
+
+def settle_module(
+    module: FunctionalModule,
+    inputs: "Mapping[str, int] | None" = None,
+    seed: "int | None" = None,
+    engine: str = "direct",
+    horizon: "float | None" = None,
+    max_steps: int = 2_000_000,
+) -> SettleResult:
+    """Run a module once and return its settled output quantities.
+
+    Parameters
+    ----------
+    module:
+        The functional module to run.
+    inputs:
+        Initial quantities of the module's input ports, keyed by role
+        (``{"x": 8}``, ``{"x": 3, "p": 2}``).
+    seed / engine:
+        Random seed and simulation engine.
+    horizon:
+        Simulated-time limit; defaults to :func:`default_horizon`.
+    max_steps:
+        Safety bound on the number of firings.
+    """
+    prepared = module.with_input_quantities(dict(inputs or {}))
+    simulator = make_simulator(prepared.network, engine=engine, seed=seed)
+    options = SimulationOptions(
+        max_time=horizon if horizon is not None else default_horizon(module),
+        max_steps=max_steps,
+        record_firings=False,
+    )
+    trajectory = simulator.run(options=options)
+    final = trajectory.final_state.to_dict()
+    outputs = {
+        role: int(final.get(species, 0)) for role, species in module.outputs.items()
+    }
+    return SettleResult(
+        outputs=outputs,
+        final_state={k: int(v) for k, v in final.items()},
+        final_time=trajectory.final_time,
+        n_firings=int(trajectory.firing_counts.sum()),
+        stop_reason=trajectory.stop_reason,
+    )
+
+
+def settle_statistics(
+    module: FunctionalModule,
+    inputs: "Mapping[str, int] | None" = None,
+    n_trials: int = 20,
+    seed: "int | None" = None,
+    engine: str = "direct",
+    horizon: "float | None" = None,
+    output_role: str = "y",
+) -> dict[str, float]:
+    """Settle a module ``n_trials`` times and summarize one output port.
+
+    Returns a dictionary with the mean, standard deviation, min and max of
+    the settled output, plus the ideal value from the module's
+    ``expected`` function when available.  Used by the module-accuracy tests
+    and the A1 ablation benchmark.
+    """
+    if n_trials <= 0:
+        raise SimulationError(f"n_trials must be positive, got {n_trials}")
+    values = []
+    for rng in spawn_children(seed, n_trials):
+        result = settle_module(
+            module, inputs=inputs, engine=engine, horizon=horizon, seed=_seed_from(rng)
+        )
+        values.append(result.output(output_role))
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / max(len(values) - 1, 1)
+    summary = {
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "n_trials": float(n_trials),
+    }
+    if module.expected is not None:
+        expected = module.expected_outputs(dict(inputs or {}))
+        if output_role in expected:
+            summary["expected"] = float(expected[output_role])
+    return summary
+
+
+def _seed_from(rng) -> int:
+    """Derive a plain integer seed from a generator (for child-run reproducibility)."""
+    return int(rng.integers(0, 2**31 - 1))

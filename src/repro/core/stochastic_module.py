@@ -1,0 +1,232 @@
+"""The stochastic module (Section 2.1 of the paper).
+
+Given a set of outcomes and a target probability distribution, the stochastic
+module is a set of reactions in five categories that makes the system commit
+to exactly one outcome, with the outcome chosen according to the ratio of the
+initial quantities of the *input types* ``e_i``:
+
+* **initializing** ``e_i → d_i`` — the slowest reactions; whichever fires
+  first (probability ∝ ``E_i·k_i``) effectively decides the outcome;
+* **reinforcing** ``d_i + e_i → 2·d_i`` — amplify the chosen catalyst;
+* **stabilizing** ``d_i + e_j → d_i`` (j ≠ i) — consume competing inputs;
+* **purifying** ``d_i + d_j → ∅`` (j ≠ i) — the fastest reactions; wipe out
+  minority catalysts;
+* **working** ``d_i + f_i → d_i + o_i`` — turn the decision into output
+  molecules, bounded by the food supply.
+
+:func:`build_stochastic_module` constructs the network;
+:func:`stochastic_module_quantities` computes the programmed initial
+quantities from a :class:`~repro.core.spec.DistributionSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.rates import STOCHASTIC_CATEGORIES, RateLadder
+from repro.core.spec import DistributionSpec, OutcomeSpec
+from repro.crn.builder import NetworkBuilder
+from repro.crn.network import ReactionNetwork
+from repro.errors import SpecificationError, SynthesisError
+
+__all__ = [
+    "StochasticModuleLayout",
+    "build_stochastic_module",
+    "stochastic_module_quantities",
+    "expected_first_firing_distribution",
+]
+
+
+@dataclass(frozen=True)
+class StochasticModuleLayout:
+    """Naming conventions tying outcomes to their species.
+
+    For the outcome with label ``L`` the default species names are ``e_L``
+    (input), ``d_L`` (catalyst), ``f_L`` (food) and ``o_L`` (output); the
+    working reaction produces the outputs declared in the outcome spec.
+    A custom prefix map can be supplied for paper-faithful names
+    (``e1``/``d1``/... in the examples).
+    """
+
+    input_prefix: str = "e_"
+    catalyst_prefix: str = "d_"
+
+    def input_species(self, label: str) -> str:
+        """Name of the input type ``e`` for outcome ``label``."""
+        return f"{self.input_prefix}{label}"
+
+    def catalyst_species(self, label: str) -> str:
+        """Name of the catalyst type ``d`` for outcome ``label``."""
+        return f"{self.catalyst_prefix}{label}"
+
+
+def stochastic_module_quantities(
+    spec: DistributionSpec,
+    scale: int = 100,
+    rates: "Mapping[str, float] | None" = None,
+) -> dict[str, int]:
+    """Initial quantities ``E_i`` that program the distribution (Section 2.1.2).
+
+    With per-outcome initializing rates ``k_i`` (default: all equal), the
+    probability of outcome ``i`` is ``E_i k_i / Σ_j E_j k_j``, so
+    ``E_i ∝ p_i / k_i``.  The result is quantized to integers on a total
+    budget of ``scale`` molecules.
+    """
+    if rates:
+        weights = {}
+        for label, probability in spec.as_dict().items():
+            rate = float(rates.get(label, 1.0))
+            if rate <= 0:
+                raise SpecificationError(
+                    f"initializing rate for outcome {label!r} must be positive"
+                )
+            weights[label] = probability / rate
+        adjusted = DistributionSpec.from_weights(weights)
+        return {
+            label: count
+            for label, count in zip(spec.labels, _reorder(adjusted, spec).initial_quantities(scale).values())
+        }
+    return spec.initial_quantities(scale)
+
+
+def _reorder(adjusted: DistributionSpec, reference: DistributionSpec) -> DistributionSpec:
+    """Re-order ``adjusted`` outcomes to match ``reference`` label order."""
+    mapping = adjusted.as_dict()
+    return DistributionSpec(list(reference.labels), [mapping[l] for l in reference.labels])
+
+
+def build_stochastic_module(
+    spec: DistributionSpec,
+    gamma: float = 1e3,
+    scale: int = 100,
+    base_rate: float = 1.0,
+    layout: "StochasticModuleLayout | None" = None,
+    initializing_rates: "Mapping[str, float] | None" = None,
+    name: str = "stochastic-module",
+) -> ReactionNetwork:
+    """Construct the five-category stochastic module for ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        Target distribution (labels, probabilities, per-outcome output/food
+        configuration).
+    gamma:
+        Rate-separation factor γ (Equation 1).  Larger γ → smaller error
+        (Figure 3).
+    scale:
+        Total budget of input molecules distributed among the ``e_i``
+        according to the target probabilities.
+    base_rate:
+        Rate of the initializing/working tier (``k``).
+    layout:
+        Species naming convention (defaults to ``e_<label>`` / ``d_<label>``).
+    initializing_rates:
+        Optional per-outcome overrides of the initializing rate ``k_i``; the
+        initial quantities are then compensated so the programmed distribution
+        is unchanged (Section 2.1.2's formula holds for unequal ``k_i``).
+    name:
+        Network name.
+
+    Returns
+    -------
+    ReactionNetwork
+        Network with reactions in the five categories, the programmed initial
+        quantities, and metadata recording the spec, γ and the outcome map.
+    """
+    if spec.tolerance and not spec.outcomes:
+        raise SynthesisError("distribution spec has no outcomes")
+    layout = layout or StochasticModuleLayout()
+    ladder = RateLadder(gamma=gamma, base_rate=base_rate)
+    builder = NetworkBuilder(name)
+    labels = spec.labels
+
+    quantities = stochastic_module_quantities(spec, scale=scale, rates=initializing_rates)
+
+    outcome_map: dict[str, dict[str, object]] = {}
+    for outcome in spec.outcomes:
+        label = outcome.label
+        e = layout.input_species(label)
+        d = layout.catalyst_species(label)
+        f = outcome.food_species
+        k_init = (
+            float(initializing_rates.get(label, ladder.initializing))
+            if initializing_rates
+            else ladder.initializing
+        )
+
+        # Initializing: e_i -> d_i  (slowest tier)
+        builder.reaction({e: 1}, {d: 1}, rate=k_init, category="initializing",
+                         name=f"initializing[{label}]")
+        # Reinforcing: d_i + e_i -> 2 d_i
+        builder.reaction({d: 1, e: 1}, {d: 2}, rate=ladder.reinforcing,
+                         category="reinforcing", name=f"reinforcing[{label}]")
+        # Working: d_i + f_i -> d_i + outputs  (one food molecule per firing)
+        products = {d: 1}
+        for output_species, count in outcome.output_species.items():
+            products[output_species] = products.get(output_species, 0) + count
+        builder.reaction({d: 1, f: 1}, products, rate=ladder.working,
+                         category="working", name=f"working[{label}]")
+
+        builder.initial(e, quantities[label])
+        builder.initial(f, outcome.target_output)
+        outcome_map[label] = {
+            "input": e,
+            "catalyst": d,
+            "food": f,
+            "outputs": outcome.output_species,
+            "probability": spec.probability_of(label),
+            "initial_input": quantities[label],
+        }
+
+    # Cross-outcome categories: stabilizing and purifying.
+    for i, label_i in enumerate(labels):
+        d_i = layout.catalyst_species(label_i)
+        for j, label_j in enumerate(labels):
+            if i == j:
+                continue
+            e_j = layout.input_species(label_j)
+            # Stabilizing: d_i + e_j -> d_i
+            builder.reaction({d_i: 1, e_j: 1}, {d_i: 1}, rate=ladder.stabilizing,
+                             category="stabilizing",
+                             name=f"stabilizing[{label_i}|{label_j}]")
+        for label_j in labels[i + 1:]:
+            d_j = layout.catalyst_species(label_j)
+            # Purifying: d_i + d_j -> ∅ (fastest tier); one reaction per unordered pair.
+            builder.reaction({d_i: 1, d_j: 1}, {}, rate=ladder.purifying,
+                             category="purifying",
+                             name=f"purifying[{label_i}|{label_j}]")
+
+    builder.annotate(
+        kind="stochastic-module",
+        gamma=gamma,
+        scale=scale,
+        base_rate=base_rate,
+        target_distribution=spec.as_dict(),
+        outcomes=outcome_map,
+        categories=list(STOCHASTIC_CATEGORIES),
+    )
+    return builder.build()
+
+
+def expected_first_firing_distribution(
+    quantities: Mapping[str, int],
+    rates: "Mapping[str, float] | None" = None,
+) -> dict[str, float]:
+    """The distribution programmed by initial quantities (Section 2.1.2 formula).
+
+    ``p_i = E_i·k_i / Σ_j E_j·k_j`` — the probability that the i-th
+    initializing reaction fires first, which (up to the vanishing error of
+    Figure 3) is the outcome distribution of the module.
+    """
+    weighted = {}
+    for label, quantity in quantities.items():
+        rate = float(rates.get(label, 1.0)) if rates else 1.0
+        if quantity < 0 or rate < 0:
+            raise SpecificationError("quantities and rates must be non-negative")
+        weighted[label] = quantity * rate
+    total = sum(weighted.values())
+    if total <= 0:
+        raise SpecificationError("at least one outcome must have positive E_i * k_i")
+    return {label: value / total for label, value in weighted.items()}

@@ -1,0 +1,74 @@
+"""Chemical reaction network (CRN) data model.
+
+This subpackage is the substrate everything else builds on:
+
+* :class:`~repro.crn.species.Species` and :class:`~repro.crn.reaction.Reaction`
+  — immutable value objects;
+* :class:`~repro.crn.state.State` — non-negative integer molecular counts;
+* :class:`~repro.crn.network.ReactionNetwork` — an ordered reaction collection
+  with an initial state;
+* :class:`~repro.crn.builder.NetworkBuilder` — fluent construction;
+* a text DSL (:func:`~repro.crn.parser.parse_network`), JSON serialization,
+  stoichiometric analysis and structural validation.
+"""
+
+from repro.crn.builder import NetworkBuilder
+from repro.crn.graph import GraphSummary, bipartite_graph, graph_summary, to_dot
+from repro.crn.namespacing import build_namespace_map, namespace_network, wire
+from repro.crn.network import ReactionNetwork
+from repro.crn.parser import format_network, format_reaction, parse_network, parse_reaction
+from repro.crn.reaction import Reaction
+from repro.crn.serialize import (
+    load_network,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+    save_network,
+)
+from repro.crn.species import Species, SpeciesRole, as_species, species_list
+from repro.crn.state import State
+from repro.crn.stoichiometry import (
+    StoichiometryMatrix,
+    conservation_laws,
+    product_matrix,
+    reactant_matrix,
+    stoichiometry_matrix,
+)
+from repro.crn.validate import ValidationReport, check_network, validate_network
+
+__all__ = [
+    "Species",
+    "SpeciesRole",
+    "as_species",
+    "species_list",
+    "Reaction",
+    "State",
+    "ReactionNetwork",
+    "NetworkBuilder",
+    "parse_reaction",
+    "parse_network",
+    "format_reaction",
+    "format_network",
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+    "save_network",
+    "load_network",
+    "StoichiometryMatrix",
+    "stoichiometry_matrix",
+    "reactant_matrix",
+    "product_matrix",
+    "conservation_laws",
+    "GraphSummary",
+    "bipartite_graph",
+    "graph_summary",
+    "to_dot",
+    "ValidationReport",
+    "validate_network",
+    "check_network",
+    "namespace_network",
+    "build_namespace_map",
+    "wire",
+]

@@ -1,0 +1,108 @@
+"""Graph views of reaction networks (species–reaction bipartite graph).
+
+Synthesized networks quickly grow past what is comfortable to read as a flat
+listing; a graph view makes the module structure visible (the stochastic
+module's star of stabilizing/purifying edges, the chains of deterministic
+modules).  This module builds the standard species–reaction bipartite digraph
+as a :mod:`networkx` graph and exports Graphviz DOT text for rendering outside
+this environment (no graphical dependencies are required here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.crn.network import ReactionNetwork
+
+__all__ = ["bipartite_graph", "to_dot", "GraphSummary", "graph_summary"]
+
+
+def bipartite_graph(network: ReactionNetwork) -> nx.DiGraph:
+    """Build the species–reaction bipartite digraph of ``network``.
+
+    Nodes are either species (``kind="species"``, named by the species name)
+    or reactions (``kind="reaction"``, named ``"R<index>"``).  An edge
+    ``species → reaction`` carries the reactant coefficient; an edge
+    ``reaction → species`` carries the product coefficient.
+    """
+    graph = nx.DiGraph()
+    for species in sorted(network.species, key=lambda s: s.name):
+        graph.add_node(species.name, kind="species", role=species.role.value)
+    for index, reaction in enumerate(network.reactions):
+        node = f"R{index}"
+        graph.add_node(
+            node,
+            kind="reaction",
+            name=reaction.name,
+            category=reaction.category,
+            rate=reaction.rate,
+        )
+        for species, coefficient in reaction.reactants.items():
+            graph.add_edge(species.name, node, coefficient=coefficient)
+        for species, coefficient in reaction.products.items():
+            graph.add_edge(node, species.name, coefficient=coefficient)
+    return graph
+
+
+def to_dot(network: ReactionNetwork, title: str = "") -> str:
+    """Render the network as Graphviz DOT text.
+
+    Species are ellipses, reactions are boxes labelled with their name (or
+    index) and rate; edge labels show non-unit stoichiometric coefficients.
+    """
+    lines = [f'digraph "{title or network.name or "crn"}" {{', "  rankdir=LR;"]
+    for species in sorted(network.species, key=lambda s: s.name):
+        lines.append(f'  "{species.name}" [shape=ellipse];')
+    for index, reaction in enumerate(network.reactions):
+        label = reaction.name or f"R{index}"
+        lines.append(
+            f'  "R{index}" [shape=box, label="{label}\\nrate={reaction.rate:g}"];'
+        )
+        for species, coefficient in reaction.reactants.items():
+            attributes = f' [label="{coefficient}"]' if coefficient != 1 else ""
+            lines.append(f'  "{species.name}" -> "R{index}"{attributes};')
+        for species, coefficient in reaction.products.items():
+            attributes = f' [label="{coefficient}"]' if coefficient != 1 else ""
+            lines.append(f'  "R{index}" -> "{species.name}"{attributes};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural statistics of a network's bipartite graph.
+
+    Attributes
+    ----------
+    n_species / n_reactions / n_edges:
+        Node and edge counts.
+    weakly_connected_components:
+        Number of weakly connected components (a freshly composed design
+        should usually have exactly one — more indicates unwired modules).
+    max_species_degree:
+        The busiest species (e.g. the catalysts of the stochastic module).
+    """
+
+    n_species: int
+    n_reactions: int
+    n_edges: int
+    weakly_connected_components: int
+    max_species_degree: int
+
+
+def graph_summary(network: ReactionNetwork) -> GraphSummary:
+    """Compute :class:`GraphSummary` for ``network``."""
+    graph = bipartite_graph(network)
+    species_nodes = [n for n, d in graph.nodes(data=True) if d.get("kind") == "species"]
+    degrees = [graph.degree(n) for n in species_nodes]
+    return GraphSummary(
+        n_species=len(species_nodes),
+        n_reactions=graph.number_of_nodes() - len(species_nodes),
+        n_edges=graph.number_of_edges(),
+        weakly_connected_components=nx.number_weakly_connected_components(graph)
+        if graph.number_of_nodes()
+        else 0,
+        max_species_degree=max(degrees) if degrees else 0,
+    )

@@ -1,0 +1,75 @@
+"""Species namespacing utilities for module composition.
+
+Section 2.2.2 of the paper notes that "the molecular types are specific to
+each module (e.g., each ``x`` appearing in a different module should be
+considered a distinct type when combining these)".  When the composer stitches
+modules together it therefore prefixes every *internal* species of a module
+with the module's instance name, while leaving the module's declared input and
+output ports unprefixed so they can be wired to neighbouring modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species, as_species
+
+__all__ = ["namespace_network", "build_namespace_map", "wire"]
+
+
+def build_namespace_map(
+    species: Iterable[Species],
+    prefix: str,
+    keep: Iterable["Species | str"] = (),
+    separator: str = ".",
+) -> dict[Species, Species]:
+    """Map every species to its prefixed version, except those listed in ``keep``.
+
+    Parameters
+    ----------
+    species:
+        The species to consider (typically ``network.species``).
+    prefix:
+        Namespace prefix (usually the module instance name).  An empty prefix
+        produces an identity mapping.
+    keep:
+        Species to leave untouched — the module's public ports.
+    separator:
+        Placed between prefix and name; defaults to ``"."``.
+    """
+    kept = {as_species(s) for s in keep}
+    mapping: dict[Species, Species] = {}
+    for raw in species:
+        sp = as_species(raw)
+        if not prefix or sp in kept:
+            mapping[sp] = sp
+        else:
+            mapping[sp] = sp.with_prefix(prefix, separator)
+    return mapping
+
+
+def namespace_network(
+    network: ReactionNetwork,
+    prefix: str,
+    keep: Iterable["Species | str"] = (),
+    separator: str = ".",
+) -> ReactionNetwork:
+    """Return a copy of ``network`` with internal species prefixed by ``prefix``.
+
+    Ports listed in ``keep`` keep their names so they can be wired to other
+    modules.
+    """
+    mapping = build_namespace_map(network.species, prefix, keep=keep, separator=separator)
+    return network.renamed(mapping, name=network.name)
+
+
+def wire(
+    network: ReactionNetwork, connections: Mapping["Species | str", "Species | str"]
+) -> ReactionNetwork:
+    """Rename port species to connect modules, e.g. ``{"log.y": "stoch.e1"}``.
+
+    This is a thin, intention-revealing wrapper over
+    :meth:`ReactionNetwork.renamed`.
+    """
+    return network.renamed(dict(connections))

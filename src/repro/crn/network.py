@@ -1,0 +1,275 @@
+"""Reaction networks: an ordered collection of reactions plus initial counts.
+
+A :class:`ReactionNetwork` is the central artifact of this library: the
+synthesis method of the paper *produces* networks, and the simulation engines
+*consume* them.  A network records:
+
+* the reactions, in a stable order (indices are used by the simulators);
+* the set of species (the union of species mentioned by reactions, initial
+  counts, and explicitly declared species);
+* the initial state (molecular counts at time zero);
+* optional metadata (a name, free-form annotations from the synthesizer).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species, as_species
+from repro.crn.state import State
+from repro.errors import CRNError, SpeciesError
+
+__all__ = ["ReactionNetwork"]
+
+
+class ReactionNetwork:
+    """An ordered set of reactions with an initial state.
+
+    Parameters
+    ----------
+    reactions:
+        The reactions, in order.  Order is preserved and meaningful: reaction
+        indices are stable identifiers used by simulators and trajectory
+        records.
+    initial_state:
+        Initial molecular counts.  Species mentioned here but not in any
+        reaction are retained (they may feed later module compositions).
+    name:
+        Optional human-readable name.
+    metadata:
+        Free-form dictionary.  The synthesizer stores, e.g., the rate ladder
+        and the outcome map here.
+
+    Examples
+    --------
+    >>> net = ReactionNetwork(
+    ...     [Reaction({"e1": 1}, {"d1": 1}, rate=1.0, name="init[1]")],
+    ...     initial_state={"e1": 30},
+    ... )
+    >>> net.size, sorted(s.name for s in net.species)
+    (1, ['d1', 'e1'])
+    """
+
+    def __init__(
+        self,
+        reactions: Iterable[Reaction] = (),
+        initial_state: Mapping["Species | str", int] | State | None = None,
+        name: str = "",
+        metadata: Mapping[str, object] | None = None,
+        species: Iterable["Species | str"] = (),
+    ) -> None:
+        self._reactions: list[Reaction] = []
+        self._declared_species: set[Species] = {as_species(s) for s in species}
+        self.name = str(name)
+        self.metadata: dict[str, object] = dict(metadata or {})
+        if isinstance(initial_state, State):
+            self._initial = initial_state.copy()
+        else:
+            self._initial = State(initial_state or {})
+        for reaction in reactions:
+            self.add_reaction(reaction)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_reaction(self, reaction: Reaction) -> int:
+        """Append ``reaction`` and return its index."""
+        if not isinstance(reaction, Reaction):
+            raise CRNError(f"expected a Reaction, got {reaction!r}")
+        self._reactions.append(reaction)
+        return len(self._reactions) - 1
+
+    def add_reactions(self, reactions: Iterable[Reaction]) -> list[int]:
+        """Append several reactions, returning their indices."""
+        return [self.add_reaction(r) for r in reactions]
+
+    def declare_species(self, *species: "Species | str") -> None:
+        """Record species that belong to the network even if unused by reactions."""
+        for s in species:
+            self._declared_species.add(as_species(s))
+
+    def set_initial(self, species: "Species | str", count: int) -> None:
+        """Set the initial count of one species."""
+        self._initial[as_species(species)] = count
+
+    def update_initial(self, counts: Mapping["Species | str", int]) -> None:
+        """Set the initial counts of several species at once."""
+        for species, count in counts.items():
+            self.set_initial(species, count)
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def reactions(self) -> Sequence[Reaction]:
+        """The reactions, in index order (read-only view)."""
+        return tuple(self._reactions)
+
+    @property
+    def size(self) -> int:
+        """Number of reactions."""
+        return len(self._reactions)
+
+    @property
+    def species(self) -> set[Species]:
+        """All species known to the network."""
+        everything = set(self._declared_species)
+        everything.update(self._initial.species())
+        for reaction in self._reactions:
+            everything.update(reaction.species)
+        return everything
+
+    @property
+    def species_order(self) -> list[Species]:
+        """Deterministic species ordering (sorted by name) used for vectors."""
+        return sorted(self.species, key=lambda s: s.name)
+
+    @property
+    def initial_state(self) -> State:
+        """A copy of the initial state."""
+        return self._initial.copy()
+
+    def initial_count(self, species: "Species | str") -> int:
+        """Initial count of one species."""
+        return self._initial[as_species(species)]
+
+    def reaction(self, index: int) -> Reaction:
+        """The reaction at ``index``."""
+        return self._reactions[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of the (first) reaction whose name is ``name``.
+
+        Raises
+        ------
+        CRNError
+            If no reaction has that name.
+        """
+        for index, reaction in enumerate(self._reactions):
+            if reaction.name == name:
+                return index
+        raise CRNError(f"no reaction named {name!r} in network {self.name!r}")
+
+    def reactions_in_category(self, category: str) -> list[tuple[int, Reaction]]:
+        """All ``(index, reaction)`` pairs whose category equals ``category``."""
+        return [
+            (index, reaction)
+            for index, reaction in enumerate(self._reactions)
+            if reaction.category == category
+        ]
+
+    def categories(self) -> set[str]:
+        """The set of non-empty reaction categories present in the network."""
+        return {r.category for r in self._reactions if r.category}
+
+    def has_species(self, species: "Species | str") -> bool:
+        """True if the species is known to the network."""
+        return as_species(species) in self.species
+
+    def require_species(self, *species: "Species | str") -> None:
+        """Raise :class:`SpeciesError` unless every given species is known."""
+        known = self.species
+        missing = [as_species(s) for s in species if as_species(s) not in known]
+        if missing:
+            names = ", ".join(s.name for s in missing)
+            raise SpeciesError(f"species not present in network {self.name!r}: {names}")
+
+    # -- transformation -----------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "ReactionNetwork":
+        """Deep-enough copy (reactions are immutable, so they are shared)."""
+        return ReactionNetwork(
+            self._reactions,
+            initial_state=self._initial,
+            name=self.name if name is None else name,
+            metadata=dict(self.metadata),
+            species=self._declared_species,
+        )
+
+    def renamed(
+        self, mapping: Mapping["Species | str", "Species | str"], name: str | None = None
+    ) -> "ReactionNetwork":
+        """Return a copy with species renamed everywhere (reactions + initial state)."""
+        normalized = {as_species(k): as_species(v) for k, v in mapping.items()}
+        new_initial: dict[Species, int] = {}
+        for species, count in self._initial.items():
+            target = normalized.get(species, species)
+            new_initial[target] = new_initial.get(target, 0) + count
+        return ReactionNetwork(
+            [r.rename_species(normalized) for r in self._reactions],
+            initial_state=new_initial,
+            name=self.name if name is None else name,
+            metadata=dict(self.metadata),
+            species={normalized.get(s, s) for s in self._declared_species},
+        )
+
+    def merged(self, other: "ReactionNetwork", name: str = "") -> "ReactionNetwork":
+        """Union of two networks: reactions concatenated, initial counts summed."""
+        merged_initial: dict[Species, int] = {s: c for s, c in self._initial.items()}
+        for species, count in other._initial.items():
+            merged_initial[species] = merged_initial.get(species, 0) + count
+        merged = ReactionNetwork(
+            list(self._reactions) + list(other._reactions),
+            initial_state=merged_initial,
+            name=name or f"{self.name}+{other.name}",
+            metadata={**self.metadata, **other.metadata},
+            species=self._declared_species | other._declared_species,
+        )
+        return merged
+
+    def scaled_rates(self, factor: float, name: str | None = None) -> "ReactionNetwork":
+        """Return a copy with every rate multiplied by ``factor``."""
+        return ReactionNetwork(
+            [r.scaled(factor) for r in self._reactions],
+            initial_state=self._initial,
+            name=self.name if name is None else name,
+            metadata=dict(self.metadata),
+            species=self._declared_species,
+        )
+
+    # -- iteration / rendering ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Reaction]:
+        return iter(self._reactions)
+
+    def __len__(self) -> int:
+        return len(self._reactions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReactionNetwork):
+            return NotImplemented
+        return (
+            list(self._reactions) == list(other._reactions)
+            and self._initial == other._initial
+        )
+
+    def summary(self) -> str:
+        """A short multi-line description (name, counts of reactions/species)."""
+        lines = [
+            f"ReactionNetwork {self.name!r}",
+            f"  species   : {len(self.species)}",
+            f"  reactions : {self.size}",
+        ]
+        categories = self.categories()
+        if categories:
+            for category in sorted(categories):
+                count = len(self.reactions_in_category(category))
+                lines.append(f"    {category:<14s}: {count}")
+        return "\n".join(lines)
+
+    def pretty(self) -> str:
+        """Full listing in the paper's style: one reaction per line with rates."""
+        lines = [self.summary(), "  initial state:"]
+        for species, count in sorted(self._initial.items(), key=lambda kv: kv[0].name):
+            lines.append(f"    {species.name:<12s} = {count}")
+        lines.append("  reactions:")
+        for index, reaction in enumerate(self._reactions):
+            label = f"[{index}]"
+            tag = f" ({reaction.category})" if reaction.category else ""
+            lines.append(f"    {label:<5s} {reaction}{tag}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReactionNetwork(name={self.name!r}, reactions={self.size}, "
+            f"species={len(self.species)})"
+        )

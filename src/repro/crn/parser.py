@@ -1,0 +1,146 @@
+"""A small text DSL for writing reactions the way the paper does.
+
+The paper writes reactions as ``a + b --10--> 2c`` and uses ``∅`` for "no
+products we care about".  The DSL accepted here is:
+
+.. code-block:: text
+
+    a + b ->{10} 2 c
+    e1 ->{1} d1                  # comment
+    d1 + d2 ->{1e6} 0            ; '0', '∅', or 'empty' mean the empty side
+    2 e3 + x1 ->{1e3} 2 e1
+
+Grammar (informal)::
+
+    reaction  := side "->" "{" rate "}" side
+    side      := "0" | "∅" | "empty" | term ("+" term)*
+    term      := [coefficient] species
+    rate      := a Python float literal (1e3, 0.5, 10, ...)
+
+Whole networks can be written one reaction per line with ``parse_network``;
+blank lines and ``#``/``;`` comments are ignored, and an optional
+``init: name = count`` line sets initial quantities.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.reaction import Reaction
+from repro.errors import ParseError
+
+__all__ = ["parse_reaction", "parse_network", "format_reaction", "format_network"]
+
+
+_EMPTY_TOKENS = {"0", "∅", "empty", "nothing"}
+_TERM_RE = re.compile(r"^\s*(\d+)?\s*([A-Za-z_][A-Za-z0-9_.']*)\s*$")
+_ARROW_RE = re.compile(r"->\s*\{\s*([^{}]+?)\s*\}")
+_INIT_RE = re.compile(
+    r"^\s*init\s*:\s*([A-Za-z_][A-Za-z0-9_.']*)\s*=\s*(\d+)\s*$", re.IGNORECASE
+)
+
+
+def _parse_side(text: str, context: str) -> dict[str, int]:
+    text = text.strip()
+    if not text:
+        raise ParseError(f"empty reaction side in {context!r}")
+    if text in _EMPTY_TOKENS:
+        return {}
+    terms: dict[str, int] = {}
+    for chunk in text.split("+"):
+        match = _TERM_RE.match(chunk)
+        if not match:
+            raise ParseError(f"cannot parse term {chunk.strip()!r} in {context!r}")
+        coefficient = int(match.group(1)) if match.group(1) else 1
+        if coefficient <= 0:
+            raise ParseError(
+                f"stoichiometric coefficient must be positive in {context!r}: {chunk.strip()!r}"
+            )
+        name = match.group(2)
+        terms[name] = terms.get(name, 0) + coefficient
+    return terms
+
+
+def parse_reaction(text: str, name: str = "", category: str = "") -> Reaction:
+    """Parse a single reaction string like ``"a + b ->{10} 2 c"``.
+
+    Parameters
+    ----------
+    text:
+        The reaction text.  A trailing ``#`` or ``;`` comment is permitted.
+    name, category:
+        Passed through to the :class:`~repro.crn.reaction.Reaction`.
+    """
+    original = text
+    text = re.split(r"[#;]", text, maxsplit=1)[0].strip()
+    if not text:
+        raise ParseError(f"blank reaction text: {original!r}")
+    match = _ARROW_RE.search(text)
+    if not match:
+        raise ParseError(
+            f"missing '->{{rate}}' arrow in {original!r}; expected e.g. 'a + b ->{{10}} c'"
+        )
+    rate_text = match.group(1)
+    try:
+        rate = float(rate_text)
+    except ValueError as exc:
+        raise ParseError(f"cannot parse rate {rate_text!r} in {original!r}") from exc
+    left = text[: match.start()]
+    right = text[match.end():]
+    reactants = _parse_side(left, original)
+    products = _parse_side(right, original)
+    try:
+        return Reaction(reactants, products, rate=rate, name=name, category=category)
+    except Exception as exc:  # surface rate/coefficient problems as parse errors
+        raise ParseError(f"invalid reaction {original!r}: {exc}") from exc
+
+
+def parse_network(
+    text: str | Iterable[str],
+    name: str = "",
+    initial_state: Mapping[str, int] | None = None,
+) -> ReactionNetwork:
+    """Parse a multi-line reaction listing into a :class:`ReactionNetwork`.
+
+    Each non-blank, non-comment line is either a reaction or an initial-count
+    declaration ``init: species = count``.  Initial counts supplied via the
+    ``initial_state`` argument override counts declared in the text.
+    """
+    lines = text.splitlines() if isinstance(text, str) else list(text)
+    network = ReactionNetwork(name=name)
+    declared: dict[str, int] = {}
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = re.split(r"[#]", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        init_match = _INIT_RE.match(line)
+        if init_match:
+            declared[init_match.group(1)] = int(init_match.group(2))
+            continue
+        try:
+            reaction = parse_reaction(line)
+        except ParseError as exc:
+            raise ParseError(f"line {line_number}: {exc}") from exc
+        network.add_reaction(reaction)
+    network.update_initial(declared)
+    if initial_state:
+        network.update_initial(initial_state)
+    return network
+
+
+def format_reaction(reaction: Reaction) -> str:
+    """Render a reaction back into DSL text (inverse of :func:`parse_reaction`)."""
+    return str(reaction).replace("∅", "0")
+
+
+def format_network(network: ReactionNetwork) -> str:
+    """Render a network as DSL text that :func:`parse_network` can re-read."""
+    lines = []
+    for species, count in sorted(network.initial_state.items(), key=lambda kv: kv[0].name):
+        lines.append(f"init: {species.name} = {count}")
+    for reaction in network.reactions:
+        suffix = f"  # {reaction.name}" if reaction.name else ""
+        lines.append(format_reaction(reaction) + suffix)
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Reactions: stoichiometric transformations with an associated rate constant.
+
+A reaction in the paper's notation, e.g. ``a + b --10--> 2c``, consumes its
+reactants and produces its products when it fires.  The propensity (the
+probability per unit time that it fires) follows stochastic mass-action
+kinetics: proportional to the rate constant and to the number of distinct
+combinations of reactant molecules present (Gillespie 1977).
+
+This module holds the pure data model; propensity evaluation lives in
+:mod:`repro.sim.propensity`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.crn.species import Species, as_species
+from repro.errors import ReactionError
+
+__all__ = ["Reaction", "format_side", "combine_counts"]
+
+
+def combine_counts(
+    terms: Iterable[tuple["Species | str", int]] | Mapping["Species | str", int],
+) -> dict[Species, int]:
+    """Normalize reactant/product terms into ``{Species: coefficient}``.
+
+    Accepts either a mapping or an iterable of ``(species, coefficient)``
+    pairs; repeated species are accumulated, zero coefficients are dropped.
+    """
+    items = terms.items() if isinstance(terms, Mapping) else terms
+    combined: dict[Species, int] = {}
+    for raw_species, coefficient in items:
+        species = as_species(raw_species)
+        if not isinstance(coefficient, int) or isinstance(coefficient, bool):
+            raise ReactionError(
+                f"stoichiometric coefficient for {species} must be an int, "
+                f"got {coefficient!r}"
+            )
+        if coefficient < 0:
+            raise ReactionError(
+                f"stoichiometric coefficient for {species} must be non-negative, "
+                f"got {coefficient}"
+            )
+        if coefficient == 0:
+            continue
+        combined[species] = combined.get(species, 0) + coefficient
+    return combined
+
+
+def format_side(side: Mapping[Species, int]) -> str:
+    """Render one side of a reaction, e.g. ``{a:1, c:2}`` → ``"a + 2 c"``.
+
+    The empty side renders as ``"∅"`` (the paper's notation for "no products
+    we care about").
+    """
+    if not side:
+        return "∅"
+    parts = []
+    for species in sorted(side, key=lambda s: s.name):
+        coefficient = side[species]
+        parts.append(species.name if coefficient == 1 else f"{coefficient} {species.name}")
+    return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """A single mass-action reaction.
+
+    Parameters
+    ----------
+    reactants:
+        Mapping (or iterable of pairs) from species to stoichiometric
+        coefficient on the left-hand side.  May be empty (a source reaction
+        such as ``∅ → x`` used to model constant inflow).
+    products:
+        Mapping from species to coefficient on the right-hand side.  May be
+        empty (the paper's purifying reactions ``d1 + d2 → ∅``).
+    rate:
+        The stochastic rate constant (written above the arrow in the paper).
+        Must be positive and finite.
+    name:
+        Optional label, e.g. ``"initializing[1]"``.  Used in reports and in
+        outcome/error classification for the stochastic module.
+    category:
+        Optional free-form tag grouping reactions into the paper's categories
+        (``"initializing"``, ``"reinforcing"``, ``"stabilizing"``,
+        ``"purifying"``, ``"working"``, or a deterministic-module name).
+
+    Examples
+    --------
+    >>> r = Reaction({"a": 1, "b": 1}, {"c": 2}, rate=10.0)
+    >>> str(r)
+    'a + b ->{10} 2 c'
+    """
+
+    reactants: Mapping[Species, int]
+    products: Mapping[Species, int]
+    rate: float
+    name: str = ""
+    category: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        reactants: Iterable[tuple["Species | str", int]] | Mapping["Species | str", int],
+        products: Iterable[tuple["Species | str", int]] | Mapping["Species | str", int],
+        rate: float,
+        name: str = "",
+        category: str = "",
+    ) -> None:
+        reactant_map = combine_counts(reactants)
+        product_map = combine_counts(products)
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            raise ReactionError(f"reaction rate must be a number, got {rate!r}")
+        rate = float(rate)
+        if not math.isfinite(rate) or rate <= 0.0:
+            raise ReactionError(f"reaction rate must be positive and finite, got {rate}")
+        object.__setattr__(self, "reactants", dict(reactant_map))
+        object.__setattr__(self, "products", dict(product_map))
+        object.__setattr__(self, "rate", rate)
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "category", str(category))
+
+    # -- basic structural queries ------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Total molecularity of the reaction (sum of reactant coefficients)."""
+        return sum(self.reactants.values())
+
+    @property
+    def species(self) -> set[Species]:
+        """All species mentioned on either side."""
+        return set(self.reactants) | set(self.products)
+
+    def net_change(self) -> dict[Species, int]:
+        """Net stoichiometric change applied to the state when the reaction fires."""
+        change: dict[Species, int] = {}
+        for species, coefficient in self.products.items():
+            change[species] = change.get(species, 0) + coefficient
+        for species, coefficient in self.reactants.items():
+            change[species] = change.get(species, 0) - coefficient
+        return {s: delta for s, delta in change.items() if delta != 0}
+
+    def is_catalytic_in(self, species: "Species | str") -> bool:
+        """True if ``species`` appears with equal coefficients on both sides."""
+        sp = as_species(species)
+        return (
+            sp in self.reactants
+            and self.reactants.get(sp, 0) == self.products.get(sp, 0)
+        )
+
+    def reactant_coefficient(self, species: "Species | str") -> int:
+        """Stoichiometric coefficient of ``species`` among the reactants (0 if absent)."""
+        return self.reactants.get(as_species(species), 0)
+
+    def product_coefficient(self, species: "Species | str") -> int:
+        """Stoichiometric coefficient of ``species`` among the products (0 if absent)."""
+        return self.products.get(as_species(species), 0)
+
+    # -- transformation ----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "Reaction":
+        """Return a copy with the rate multiplied by ``factor``."""
+        return Reaction(
+            self.reactants,
+            self.products,
+            rate=self.rate * factor,
+            name=self.name,
+            category=self.category,
+        )
+
+    def with_rate(self, rate: float) -> "Reaction":
+        """Return a copy with the rate replaced by ``rate``."""
+        return Reaction(
+            self.reactants, self.products, rate=rate, name=self.name, category=self.category
+        )
+
+    def with_name(self, name: str, category: str | None = None) -> "Reaction":
+        """Return a copy with a new name (and optionally a new category)."""
+        return Reaction(
+            self.reactants,
+            self.products,
+            rate=self.rate,
+            name=name,
+            category=self.category if category is None else category,
+        )
+
+    def rename_species(self, mapping: Mapping["Species | str", "Species | str"]) -> "Reaction":
+        """Return a copy with species renamed according to ``mapping``.
+
+        Species not present in ``mapping`` are kept.  Used by the module
+        composer to namespace or to wire one module's output type to another
+        module's input type.
+        """
+        normalized = {as_species(k): as_species(v) for k, v in mapping.items()}
+
+        def rename_side(side: Mapping[Species, int]) -> dict[Species, int]:
+            out: dict[Species, int] = {}
+            for species, coefficient in side.items():
+                new = normalized.get(species, species)
+                out[new] = out.get(new, 0) + coefficient
+            return out
+
+        return Reaction(
+            rename_side(self.reactants),
+            rename_side(self.products),
+            rate=self.rate,
+            name=self.name,
+            category=self.category,
+        )
+
+    # -- equality / hashing / rendering -------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            tuple(sorted((s.name, c) for s, c in self.reactants.items())),
+            tuple(sorted((s.name, c) for s, c in self.products.items())),
+            self.rate,
+            self.name,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Reaction):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        rate_text = f"{self.rate:g}"
+        return f"{format_side(self.reactants)} ->{{{rate_text}}} {format_side(self.products)}"
+
+    def __repr__(self) -> str:
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Reaction({str(self)!r}{label})"

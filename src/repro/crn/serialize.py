@@ -1,0 +1,134 @@
+"""JSON (de)serialization of reaction networks.
+
+Networks round-trip through plain dictionaries so they can be written to JSON
+files, embedded in benchmark reports, or diffed in tests.  The schema is
+intentionally simple and stable:
+
+.. code-block:: json
+
+    {
+      "name": "example1",
+      "metadata": {"gamma": 1000.0},
+      "initial_state": {"e1": 30, "e2": 40},
+      "reactions": [
+        {
+          "reactants": {"e1": 1},
+          "products": {"d1": 1},
+          "rate": 1.0,
+          "name": "initializing[1]",
+          "category": "initializing"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.reaction import Reaction
+from repro.errors import SerializationError
+
+__all__ = [
+    "reaction_to_dict",
+    "reaction_from_dict",
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+    "save_network",
+    "load_network",
+]
+
+
+def reaction_to_dict(reaction: Reaction) -> dict[str, Any]:
+    """Convert a reaction into a JSON-compatible dictionary."""
+    return {
+        "reactants": {s.name: c for s, c in reaction.reactants.items()},
+        "products": {s.name: c for s, c in reaction.products.items()},
+        "rate": reaction.rate,
+        "name": reaction.name,
+        "category": reaction.category,
+    }
+
+
+def reaction_from_dict(data: Mapping[str, Any]) -> Reaction:
+    """Rebuild a reaction from :func:`reaction_to_dict` output."""
+    try:
+        return Reaction(
+            {str(k): int(v) for k, v in dict(data.get("reactants", {})).items()},
+            {str(k): int(v) for k, v in dict(data.get("products", {})).items()},
+            rate=float(data["rate"]),
+            name=str(data.get("name", "")),
+            category=str(data.get("category", "")),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"reaction dict missing required key: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed reaction dict {dict(data)!r}: {exc}") from exc
+
+
+def network_to_dict(network: ReactionNetwork) -> dict[str, Any]:
+    """Convert a network into a JSON-compatible dictionary."""
+    return {
+        "name": network.name,
+        "metadata": _jsonable(network.metadata),
+        "initial_state": network.initial_state.to_dict(),
+        "species": sorted(s.name for s in network.species),
+        "reactions": [reaction_to_dict(r) for r in network.reactions],
+    }
+
+
+def network_from_dict(data: Mapping[str, Any]) -> ReactionNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    if "reactions" not in data:
+        raise SerializationError("network dict is missing the 'reactions' key")
+    reactions = [reaction_from_dict(r) for r in data["reactions"]]
+    initial = {str(k): int(v) for k, v in dict(data.get("initial_state", {})).items()}
+    return ReactionNetwork(
+        reactions,
+        initial_state=initial,
+        name=str(data.get("name", "")),
+        metadata=dict(data.get("metadata", {})),
+        species=[str(s) for s in data.get("species", [])],
+    )
+
+
+def network_to_json(network: ReactionNetwork, indent: int = 2) -> str:
+    """Serialize a network to a JSON string."""
+    return json.dumps(network_to_dict(network), indent=indent, sort_keys=True)
+
+
+def network_from_json(text: str) -> ReactionNetwork:
+    """Deserialize a network from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return network_from_dict(data)
+
+
+def save_network(network: ReactionNetwork, path: "str | Path") -> Path:
+    """Write a network to a JSON file and return the path."""
+    target = Path(path)
+    target.write_text(network_to_json(network), encoding="utf-8")
+    return target
+
+
+def load_network(path: "str | Path") -> ReactionNetwork:
+    """Read a network from a JSON file."""
+    return network_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of metadata values into JSON-compatible objects."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,116 @@
+"""Species: the molecular types that make up a chemical reaction network.
+
+The paper works with abstract molecular types (``a``, ``b``, ``e1``, ``d1``,
+``moi``, ``cro2`` ...).  A :class:`Species` is an immutable, hashable value
+object identified by its name.  Optional metadata records the *role* a species
+plays in the paper's synthesis scheme (input, catalyst, food, output, ...)
+which downstream tooling (reports, validation) uses for nicer diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import SpeciesError
+
+__all__ = ["Species", "SpeciesRole", "as_species", "species_list"]
+
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.']*$")
+
+
+class SpeciesRole(str, Enum):
+    """The role a species plays in the synthesis scheme of the paper.
+
+    These mirror the vocabulary of Section 2.1.1:
+
+    * ``INPUT`` — the types ``e_i`` whose initial quantities program the
+      distribution (and the types ``x_i`` feeding deterministic modules).
+    * ``CATALYST`` — the types ``d_i`` produced by initializing reactions.
+    * ``FOOD`` — the types ``f_i`` consumed by working reactions.
+    * ``OUTPUT`` — the types ``o_i`` (or ``y`` in deterministic modules).
+    * ``INTERMEDIATE`` — loop/helper types internal to a module.
+    * ``GENERIC`` — no specific role recorded.
+    """
+
+    INPUT = "input"
+    CATALYST = "catalyst"
+    FOOD = "food"
+    OUTPUT = "output"
+    INTERMEDIATE = "intermediate"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True, order=True)
+class Species:
+    """An immutable molecular type.
+
+    Parameters
+    ----------
+    name:
+        Identifier for the type.  Must start with a letter or underscore and
+        contain only letters, digits, underscores, dots and primes (``'``).
+        Dots are used by the module composer to namespace species
+        (``log.x``), and primes appear in the paper's notation (``x'``).
+    role:
+        Optional :class:`SpeciesRole` describing the species' function in a
+        synthesized network.  The role does not participate in equality or
+        hashing: two species with the same name are the same species.
+
+    Examples
+    --------
+    >>> a = Species("a")
+    >>> b = Species("b", role=SpeciesRole.INPUT)
+    >>> a == Species("a", role=SpeciesRole.OUTPUT)
+    True
+    """
+
+    name: str
+    role: SpeciesRole = field(default=SpeciesRole.GENERIC, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise SpeciesError(
+                f"invalid species name {self.name!r}: names must match "
+                "[A-Za-z_][A-Za-z0-9_.']*"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+    def with_role(self, role: SpeciesRole) -> "Species":
+        """Return a copy of this species carrying ``role``."""
+        return Species(self.name, role=role)
+
+    def with_prefix(self, prefix: str, separator: str = ".") -> "Species":
+        """Return a namespaced copy, e.g. ``x.with_prefix('log')`` → ``log.x``.
+
+        Used by the module composer so that the ``x`` of one deterministic
+        module does not collide with the ``x`` of another (Section 2.2.2 of
+        the paper notes that types are specific to each module).
+        """
+        if not prefix:
+            return self
+        return Species(f"{prefix}{separator}{self.name}", role=self.role)
+
+
+def as_species(value: "Species | str", role: SpeciesRole | None = None) -> Species:
+    """Coerce ``value`` (a :class:`Species` or a name) into a :class:`Species`.
+
+    If ``role`` is given and ``value`` is a string, the new species carries
+    that role; an existing :class:`Species` is returned unchanged (its role is
+    preserved).
+    """
+    if isinstance(value, Species):
+        return value
+    if isinstance(value, str):
+        return Species(value, role=role if role is not None else SpeciesRole.GENERIC)
+    raise SpeciesError(f"cannot interpret {value!r} as a species")
+
+
+def species_list(values: Iterable["Species | str"]) -> list[Species]:
+    """Coerce an iterable of names/species into a list of :class:`Species`."""
+    return [as_species(v) for v in values]

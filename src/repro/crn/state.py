@@ -1,0 +1,169 @@
+"""System state: non-negative integer molecular counts.
+
+The paper models a biochemical system as a Markov chain whose state is the
+vector of molecular quantities measured in whole amounts, e.g.
+``S1 = [15, 25, 0]``.  :class:`State` is a thin, dict-like wrapper over such
+counts that enforces non-negativity and supports applying reaction firings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species, as_species
+from repro.errors import CRNError
+
+__all__ = ["State"]
+
+
+class State:
+    """A multiset of molecules: mapping from :class:`Species` to count.
+
+    The state is mutable (simulators update it in place for speed) but only
+    through methods that preserve the invariant that all counts are
+    non-negative integers.  Species absent from the mapping have count zero.
+
+    Examples
+    --------
+    >>> s = State({"a": 15, "b": 25})
+    >>> s["a"], s["c"]
+    (15, 0)
+    >>> r = Reaction({"a": 1, "b": 1}, {"c": 2}, rate=10.0)
+    >>> s.apply(r)
+    >>> s["a"], s["b"], s["c"]
+    (14, 24, 2)
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping["Species | str", int] | None = None) -> None:
+        self._counts: dict[Species, int] = {}
+        if counts:
+            for raw_species, count in counts.items():
+                self[as_species(raw_species)] = count
+
+    # -- mapping interface ---------------------------------------------------
+
+    def __getitem__(self, species: "Species | str") -> int:
+        return self._counts.get(as_species(species), 0)
+
+    def __setitem__(self, species: "Species | str", count: int) -> None:
+        if isinstance(count, (bool, float)) or not isinstance(count, (int, np.integer)):
+            raise CRNError(f"molecular count must be an integer, got {count!r}")
+        count = int(count)
+        if count < 0:
+            raise CRNError(
+                f"molecular count for {as_species(species)} must be non-negative, got {count}"
+            )
+        key = as_species(species)
+        if count == 0:
+            self._counts.pop(key, None)
+        else:
+            self._counts[key] = count
+
+    def __contains__(self, species: object) -> bool:
+        try:
+            return self[as_species(species)] > 0  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __iter__(self) -> Iterator[Species]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterable[tuple[Species, int]]:
+        """Iterate ``(species, count)`` pairs for species with non-zero count."""
+        return self._counts.items()
+
+    def species(self) -> set[Species]:
+        """The set of species currently present (count > 0)."""
+        return set(self._counts)
+
+    def total(self) -> int:
+        """Total number of molecules across all species."""
+        return sum(self._counts.values())
+
+    # -- reaction application --------------------------------------------------
+
+    def can_fire(self, reaction: Reaction) -> bool:
+        """True if the state holds enough reactant molecules for ``reaction``."""
+        return all(self[species] >= needed for species, needed in reaction.reactants.items())
+
+    def apply(self, reaction: Reaction) -> None:
+        """Fire ``reaction`` once, updating counts in place.
+
+        Raises
+        ------
+        CRNError
+            If the state does not contain enough reactant molecules.
+        """
+        if not self.can_fire(reaction):
+            raise CRNError(f"cannot fire {reaction}: insufficient reactants in {self}")
+        for species, delta in reaction.net_change().items():
+            self[species] = self[species] + delta
+
+    def applied(self, reaction: Reaction) -> "State":
+        """Return a new state with ``reaction`` fired once (self unchanged)."""
+        new = self.copy()
+        new.apply(reaction)
+        return new
+
+    # -- conversion / utilities -------------------------------------------------
+
+    def copy(self) -> "State":
+        """Return an independent copy of this state."""
+        new = State()
+        new._counts = dict(self._counts)
+        return new
+
+    def to_dict(self, names: bool = True) -> dict:
+        """Return a plain dict snapshot, keyed by name (default) or Species."""
+        if names:
+            return {species.name: count for species, count in self._counts.items()}
+        return dict(self._counts)
+
+    def to_vector(self, order: Iterable["Species | str"]) -> np.ndarray:
+        """Return counts as an integer vector in the given species ``order``."""
+        return np.array([self[s] for s in order], dtype=np.int64)
+
+    @classmethod
+    def from_vector(
+        cls, vector: Iterable[int], order: Iterable["Species | str"]
+    ) -> "State":
+        """Build a state from a count vector and a matching species ``order``."""
+        order_list = [as_species(s) for s in order]
+        values = list(vector)
+        if len(values) != len(order_list):
+            raise CRNError(
+                f"vector length {len(values)} does not match species order length "
+                f"{len(order_list)}"
+            )
+        return cls({s: int(v) for s, v in zip(order_list, values)})
+
+    def key(self, order: Iterable["Species | str"] | None = None) -> tuple:
+        """A hashable snapshot, for use as a dict key in exact CTMC analysis."""
+        if order is not None:
+            return tuple(int(self[s]) for s in order)
+        return tuple(sorted((s.name, c) for s, c in self._counts.items()))
+
+    # -- comparison / rendering ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{species.name}: {count}"
+            for species, count in sorted(self._counts.items(), key=lambda kv: kv[0].name)
+        )
+        return f"State({{{inner}}})"

@@ -1,0 +1,153 @@
+"""Stoichiometric matrix analysis for reaction networks.
+
+The stoichiometry matrix ``N`` has one row per species and one column per
+reaction; entry ``N[s, r]`` is the net change in species ``s`` when reaction
+``r`` fires.  From it we derive conservation laws (left null space vectors
+with non-negative integer entries) which are useful both for validating
+synthesized networks (e.g. the isolation module conserves nothing, the
+stochastic module conserves ``e_i + d_i`` pools up to purification) and for
+bounding reachable state spaces in exact CTMC analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species
+
+__all__ = [
+    "StoichiometryMatrix",
+    "stoichiometry_matrix",
+    "reactant_matrix",
+    "product_matrix",
+    "conservation_laws",
+]
+
+
+@dataclass(frozen=True)
+class StoichiometryMatrix:
+    """The stoichiometric structure of a network in matrix form.
+
+    Attributes
+    ----------
+    species:
+        Row labels (sorted by name — matches ``ReactionNetwork.species_order``).
+    net:
+        ``(n_species, n_reactions)`` net-change matrix.
+    reactants:
+        Same shape; entry is the reactant coefficient of the species in the
+        reaction (used for propensity evaluation and reachability).
+    products:
+        Same shape; product coefficients.
+    """
+
+    species: tuple[Species, ...]
+    net: np.ndarray
+    reactants: np.ndarray
+    products: np.ndarray
+
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        return self.net.shape[1]
+
+    def row_index(self) -> dict[Species, int]:
+        """Mapping from species to its row index."""
+        return {s: i for i, s in enumerate(self.species)}
+
+    def rank(self) -> int:
+        """Rank of the net stoichiometry matrix."""
+        if self.net.size == 0:
+            return 0
+        return int(np.linalg.matrix_rank(self.net))
+
+    def conserved_quantities(self, tolerance: float = 1e-9) -> list[dict[Species, float]]:
+        """Left-null-space vectors of the net matrix, as species→weight dicts.
+
+        Each returned vector ``w`` satisfies ``w · N = 0``: the weighted sum of
+        counts is invariant under every reaction.  Vectors are normalized so
+        the entry with largest magnitude is +1, and trivial (all-zero) vectors
+        are dropped.
+        """
+        return conservation_laws(self, tolerance=tolerance)
+
+
+def _side_matrix(network: ReactionNetwork, side: str) -> np.ndarray:
+    order = network.species_order
+    index = {s: i for i, s in enumerate(order)}
+    matrix = np.zeros((len(order), network.size), dtype=np.int64)
+    for r, reaction in enumerate(network.reactions):
+        terms = reaction.reactants if side == "reactants" else reaction.products
+        for species, coefficient in terms.items():
+            matrix[index[species], r] = coefficient
+    return matrix
+
+
+def reactant_matrix(network: ReactionNetwork) -> np.ndarray:
+    """Reactant-coefficient matrix ``(n_species, n_reactions)``."""
+    return _side_matrix(network, "reactants")
+
+
+def product_matrix(network: ReactionNetwork) -> np.ndarray:
+    """Product-coefficient matrix ``(n_species, n_reactions)``."""
+    return _side_matrix(network, "products")
+
+
+def stoichiometry_matrix(network: ReactionNetwork) -> StoichiometryMatrix:
+    """Build the full :class:`StoichiometryMatrix` for ``network``."""
+    reactants = reactant_matrix(network)
+    products = product_matrix(network)
+    return StoichiometryMatrix(
+        species=tuple(network.species_order),
+        net=products - reactants,
+        reactants=reactants,
+        products=products,
+    )
+
+
+def conservation_laws(
+    matrix: StoichiometryMatrix, tolerance: float = 1e-9
+) -> list[dict[Species, float]]:
+    """Compute a basis of conservation laws (left null space of the net matrix).
+
+    Returns a list of dictionaries mapping species to weights; species with a
+    weight below ``tolerance`` in magnitude are omitted.  The basis comes from
+    the SVD of the transposed net matrix, so the vectors are orthonormal up to
+    the normalization applied here (largest-magnitude entry scaled to 1).
+    """
+    net = matrix.net.astype(float)
+    if net.size == 0:
+        return []
+    # Left null space of N == null space of N^T.
+    _, singular_values, v_transpose = np.linalg.svd(net.T)
+    rank = int(np.sum(singular_values > tolerance))
+    null_basis = v_transpose[rank:]
+    laws: list[dict[Species, float]] = []
+    for vector in null_basis:
+        peak = np.max(np.abs(vector))
+        if peak <= tolerance:
+            continue
+        normalized = vector / vector[np.argmax(np.abs(vector))]
+        law = {
+            species: float(weight)
+            for species, weight in zip(matrix.species, normalized)
+            if abs(weight) > tolerance
+        }
+        if law:
+            laws.append(law)
+    return laws
+
+
+def evaluate_conserved(
+    law: dict[Species, float], counts: Sequence[int], species: Sequence[Species]
+) -> float:
+    """Evaluate a conservation law on a count vector given its species order."""
+    index = {s: i for i, s in enumerate(species)}
+    return float(sum(weight * counts[index[s]] for s, weight in law.items() if s in index))

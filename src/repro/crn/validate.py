@@ -1,0 +1,157 @@
+"""Structural validation of reaction networks.
+
+The synthesis method emits networks programmatically, and module composition
+renames/wires species; this module provides sanity checks that catch wiring
+mistakes early and with precise diagnostics rather than as silently wrong
+simulation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species
+from repro.errors import NetworkValidationError
+
+__all__ = ["ValidationReport", "validate_network", "check_network"]
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating a network.
+
+    Attributes
+    ----------
+    errors:
+        Problems that make the network unusable (empty network, reactions with
+        no effect and no purpose, rate ordering violations requested by the
+        caller, ...).  ``check_network`` raises if any are present.
+    warnings:
+        Suspicious but legal findings (species that are consumed but never
+        produced nor initialized, isolated species, reactions that can never
+        fire from the initial state, ...).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings allowed)."""
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`NetworkValidationError` when errors are present."""
+        if self.errors:
+            details = "; ".join(self.errors)
+            raise NetworkValidationError(f"network validation failed: {details}")
+
+    def __str__(self) -> str:
+        lines = []
+        for message in self.errors:
+            lines.append(f"ERROR: {message}")
+        for message in self.warnings:
+            lines.append(f"WARNING: {message}")
+        return "\n".join(lines) if lines else "OK"
+
+
+def _never_producible(network: ReactionNetwork) -> set[Species]:
+    """Species that appear as reactants somewhere but are never produced and start at 0."""
+    produced: set[Species] = set()
+    consumed: set[Species] = set()
+    for reaction in network.reactions:
+        produced.update(reaction.products)
+        consumed.update(reaction.reactants)
+    initial = network.initial_state
+    return {
+        species
+        for species in consumed - produced
+        if initial[species] == 0
+    }
+
+
+def validate_network(
+    network: ReactionNetwork,
+    require_nonempty: bool = True,
+    require_firable: bool = False,
+    expected_categories: Iterable[str] | None = None,
+) -> ValidationReport:
+    """Validate ``network`` and return a :class:`ValidationReport`.
+
+    Parameters
+    ----------
+    require_nonempty:
+        When true (default), an empty network is an error.
+    require_firable:
+        When true, it is an error if *no* reaction can fire from the initial
+        state (the network would be inert).
+    expected_categories:
+        When given, every listed category must be present among the network's
+        reactions; missing categories are errors.  The paper's stochastic
+        module, for example, must contain all five categories.
+    """
+    report = ValidationReport()
+
+    if network.size == 0:
+        message = "network contains no reactions"
+        if require_nonempty:
+            report.errors.append(message)
+        else:
+            report.warnings.append(message)
+        return report
+
+    # Reactions that change nothing and are not pure catalysis sinks are suspicious.
+    for index, reaction in enumerate(network.reactions):
+        if not reaction.net_change() and not reaction.products:
+            report.warnings.append(
+                f"reaction [{index}] {reaction} has no net effect and no products"
+            )
+        if not reaction.reactants and not reaction.products:
+            report.errors.append(f"reaction [{index}] has neither reactants nor products")
+
+    # Species never producible yet consumed: likely a wiring mistake after renaming.
+    for species in sorted(_never_producible(network), key=lambda s: s.name):
+        report.warnings.append(
+            f"species {species.name!r} is consumed by some reaction but is never "
+            "produced and has initial count 0"
+        )
+
+    # Firability from the initial state.
+    initial = network.initial_state
+    firable = [r for r in network.reactions if initial.can_fire(r)]
+    if not firable:
+        message = "no reaction can fire from the initial state"
+        if require_firable:
+            report.errors.append(message)
+        else:
+            report.warnings.append(message)
+
+    # Category completeness.
+    if expected_categories is not None:
+        present = network.categories()
+        for category in expected_categories:
+            if category not in present:
+                report.errors.append(
+                    f"expected reaction category {category!r} is missing from the network"
+                )
+
+    return report
+
+
+def check_network(
+    network: ReactionNetwork,
+    require_nonempty: bool = True,
+    require_firable: bool = False,
+    expected_categories: Iterable[str] | None = None,
+) -> ValidationReport:
+    """Validate and raise on errors; returns the report for warning inspection."""
+    report = validate_network(
+        network,
+        require_nonempty=require_nonempty,
+        require_firable=require_firable,
+        expected_categories=expected_categories,
+    )
+    report.raise_if_failed()
+    return report

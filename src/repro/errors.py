@@ -1,0 +1,122 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch a single base class.  Subclasses are grouped by the layer
+that raises them: the CRN data model, the simulation engines, the synthesis
+method and the analysis toolkit.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CRNError",
+    "SpeciesError",
+    "ReactionError",
+    "NetworkValidationError",
+    "ParseError",
+    "SerializationError",
+    "SimulationError",
+    "PropensityError",
+    "StoppingConditionError",
+    "EnsembleError",
+    "SynthesisError",
+    "SpecificationError",
+    "ModuleCompositionError",
+    "RateLadderError",
+    "AnalysisError",
+    "FitError",
+    "CTMCError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# CRN data-model errors
+# ---------------------------------------------------------------------------
+
+
+class CRNError(ReproError):
+    """Base class for errors raised by the :mod:`repro.crn` data model."""
+
+
+class SpeciesError(CRNError):
+    """An invalid species definition (bad name, duplicate, unknown species)."""
+
+
+class ReactionError(CRNError):
+    """An invalid reaction definition (negative rate, bad stoichiometry, ...)."""
+
+
+class NetworkValidationError(CRNError):
+    """A reaction network failed structural validation."""
+
+
+class ParseError(CRNError):
+    """The reaction text DSL could not be parsed."""
+
+
+class SerializationError(CRNError):
+    """A network could not be serialized or deserialized."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the :mod:`repro.sim` engines."""
+
+
+class PropensityError(SimulationError):
+    """A propensity could not be evaluated (negative counts, unknown kinetics)."""
+
+
+class StoppingConditionError(SimulationError):
+    """A stopping condition was mis-specified."""
+
+
+class EnsembleError(SimulationError):
+    """An ensemble (Monte-Carlo) run was mis-configured."""
+
+
+# ---------------------------------------------------------------------------
+# Synthesis errors
+# ---------------------------------------------------------------------------
+
+
+class SynthesisError(ReproError):
+    """Base class for errors raised by the :mod:`repro.core` synthesis method."""
+
+
+class SpecificationError(SynthesisError):
+    """A target distribution or functional-response specification is invalid."""
+
+
+class ModuleCompositionError(SynthesisError):
+    """Deterministic/stochastic modules could not be composed."""
+
+
+class RateLadderError(SynthesisError):
+    """A rate-separation ladder was mis-specified."""
+
+
+# ---------------------------------------------------------------------------
+# Analysis errors
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for errors raised by the :mod:`repro.analysis` toolkit."""
+
+
+class FitError(AnalysisError):
+    """A curve fit failed or was mis-specified."""
+
+
+class CTMCError(AnalysisError):
+    """Exact CTMC analysis failed (state space too large, no absorbing states, ...)."""

@@ -1,0 +1,49 @@
+"""The Section-3 application: modelling the lambda bacteriophage switch."""
+
+from repro.lambda_phage.experiment import (
+    Figure5Point,
+    Figure5Result,
+    run_figure5_experiment,
+    simulate_synthetic_moi,
+)
+from repro.lambda_phage.fit import (
+    PAPER_EQ14_COEFFICIENTS,
+    PAPER_MOI_VALUES,
+    fit_response_data,
+    paper_equation_14,
+    target_response_curve,
+)
+from repro.lambda_phage.natural import (
+    CI2_THRESHOLD,
+    CRO2_THRESHOLD,
+    LYSIS,
+    LYSOGENY,
+    NaturalLambdaSurrogate,
+)
+from repro.lambda_phage.synthetic import (
+    FIGURE4_TEXT,
+    SyntheticLambdaModel,
+    build_synthetic_model,
+    figure4_network,
+)
+
+__all__ = [
+    "PAPER_MOI_VALUES",
+    "PAPER_EQ14_COEFFICIENTS",
+    "paper_equation_14",
+    "target_response_curve",
+    "fit_response_data",
+    "LYSIS",
+    "LYSOGENY",
+    "CRO2_THRESHOLD",
+    "CI2_THRESHOLD",
+    "NaturalLambdaSurrogate",
+    "FIGURE4_TEXT",
+    "figure4_network",
+    "SyntheticLambdaModel",
+    "build_synthetic_model",
+    "Figure5Point",
+    "Figure5Result",
+    "run_figure5_experiment",
+    "simulate_synthetic_moi",
+]

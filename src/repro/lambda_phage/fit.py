@@ -1,0 +1,61 @@
+"""Equation 14: the fitted MOI response of the lambda switch (Section 3.1).
+
+The paper characterizes the natural model's probabilistic response by Monte
+Carlo, sweeping the input type ``moi`` and fitting::
+
+    P = 15 + 6·log2(MOI) + MOI/6        (in percent)       (Eq. 14)
+
+This module holds the MOI grid used in the paper (1 through 10), the target
+curve, and the fitting pipeline that recovers the coefficients from simulated
+data points (experiment E5 in DESIGN.md).
+
+Note on labels: Equation 14 is printed in the paper as "P(lysis)", while
+Figure 5's y-axis is labelled "cI2 Threshold Reached (%)" (cI2 corresponds to
+*lysogeny*), and in the underlying biology it is the lysogeny probability that
+grows with MOI.  The two statements are inconsistent with each other; we
+follow Figure 5 (and the biology): the quantity that starts near 15% and grows
+with MOI is the probability of reaching the cI2 threshold.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.curvefit import (
+    PAPER_EQ14_COEFFICIENTS,
+    ResponseFit,
+    fit_log_linear,
+    paper_equation_14,
+)
+
+__all__ = [
+    "PAPER_MOI_VALUES",
+    "PAPER_EQ14_COEFFICIENTS",
+    "paper_equation_14",
+    "target_response_curve",
+    "fit_response_data",
+]
+
+
+#: The MOI grid of Figure 5 ("sweeping the quantity of the input type moi from 1 through 10").
+PAPER_MOI_VALUES = tuple(range(1, 11))
+
+
+def target_response_curve(
+    moi_values: Sequence[float] = PAPER_MOI_VALUES,
+) -> dict[float, float]:
+    """Equation 14 evaluated on an MOI grid: ``{moi: percent}``."""
+    return {float(moi): paper_equation_14(float(moi)) for moi in moi_values}
+
+
+def fit_response_data(data: Mapping[float, float]) -> ResponseFit:
+    """Fit ``a + b·log2(MOI) + c·MOI`` to measured ``{moi: percent}`` data.
+
+    This is the step the paper performs on its natural-model Monte-Carlo data
+    to obtain Equation 14; applied to our surrogate's data it should recover
+    coefficients close to ``(15, 6, 1/6)``, and applied to the synthetic
+    model's data it quantifies how closely the synthesized chemistry tracks
+    the target function.
+    """
+    moi_values = sorted(data)
+    return fit_log_linear(moi_values, [data[m] for m in moi_values])

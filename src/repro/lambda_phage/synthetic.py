@@ -1,0 +1,242 @@
+"""The synthetic lambda-phage model (Section 3.2, Figure 4).
+
+Two constructions are provided:
+
+* :func:`figure4_network` — the *literal* 19-reaction / 17-species listing of
+  Figure 4, transcribed verbatim (rates 10⁻⁹ … 10⁹).  Used for the structural
+  census (experiment E4) and available for simulation, but note the paper's
+  listing is internally inconsistent with Equation 14 / Figure 5 about which
+  direction the assimilation reactions shift probability (see EXPERIMENTS.md);
+  simulated as printed, the curve *decreases* with MOI.
+* :func:`build_synthetic_model` — the same design built through this library's
+  synthesis API (fan-out + logarithm + linear modules feeding assimilation
+  reactions into a two-outcome stochastic module), with the assimilation
+  direction chosen so that the response matches Equation 14 / Figure 5: the
+  probability of reaching the cI2 threshold is
+  ``(15 + 6·log2(MOI) + MOI/6)%``.  This is the model the Figure-5 experiment
+  runs.
+
+The design mirrors the paper's decomposition:
+
+* the base distribution 15% / 85% is programmed by the initial quantities of
+  the stochastic module's input types;
+* the ``MOI/6`` term comes from a linear module (``6·x2 → y1``);
+* the ``6·log2(MOI)`` term comes from a logarithm module followed by a gain-6
+  linear module;
+* assimilation reactions convert one molecule of the lysis input type into the
+  lysogeny input type per molecule of ``y1`` or ``y2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.composer import SystemComposer
+from repro.core.modules import (
+    assimilation_module,
+    fanout_module,
+    linear_module,
+    logarithm_module,
+)
+from repro.core.rates import TierScheme
+from repro.core.spec import DistributionSpec, OutcomeSpec
+from repro.core.stochastic_module import StochasticModuleLayout, build_stochastic_module
+from repro.crn.network import ReactionNetwork
+from repro.crn.parser import parse_network
+from repro.errors import SynthesisError
+from repro.lambda_phage.natural import CI2_THRESHOLD, CRO2_THRESHOLD, LYSIS, LYSOGENY
+from repro.sim.events import OutcomeThresholds
+
+__all__ = [
+    "FIGURE4_TEXT",
+    "figure4_network",
+    "SyntheticLambdaModel",
+    "build_synthetic_model",
+]
+
+
+#: Verbatim transcription of Figure 4 (19 reactions, 17 molecular types).
+#: Primes are written as ``x1p`` (the DSL reserves ``'`` for readability only).
+FIGURE4_TEXT = """
+# fan-out
+moi ->{1e9} x1 + x2
+# linear (MOI/6 term)
+6 x2 ->{1e9} y1
+# logarithm
+b ->{1e-3} b + a
+a + 2 x1 ->{1e6} a + x1p + c
+2 c ->{1e6} c
+a ->{1e3} 0
+x1p ->{1} x1
+# linear (gain 6 on the logarithm output)
+c ->{1} 6 y2
+# assimilation
+e1 + y2 ->{1e9} e2
+e2 + y1 ->{1e9} e1
+# initializing
+e1 ->{1e-9} d1
+e2 ->{1e-9} d2
+# reinforcing
+e1 + d1 ->{1} d1 + d1
+e2 + d2 ->{1} d2 + d2
+# stabilizing
+e2 + d1 ->{1} d1
+e1 + d2 ->{1} d2
+# purifying
+d1 + d2 ->{1e9} 0
+# working
+d1 + f1 ->{1e-9} d1 + cro2
+d2 + f2 ->{1e-9} d2 + ci2
+init: e1 = 15
+init: e2 = 85
+init: b = 1
+init: f1 = 75
+init: f2 = 165
+"""
+
+
+def figure4_network(moi: int = 1) -> ReactionNetwork:
+    """The literal Figure-4 model, with the input quantity ``MOI`` applied.
+
+    The initial quantities follow Section 3.2: ``E1 = 15``, ``E2 = 85``,
+    ``B = 1``, food types "sufficiently high" for the output thresholds
+    (55 for cro2, 145 for ci2), everything else zero.
+    """
+    if moi < 1:
+        raise SynthesisError(f"MOI must be at least 1, got {moi}")
+    network = parse_network(FIGURE4_TEXT, name=f"figure4-literal[moi={moi}]")
+    network.set_initial("moi", int(moi))
+    network.metadata.update(
+        {
+            "source": "Figure 4 (verbatim)",
+            "moi": int(moi),
+            "thresholds": {"cro2": CRO2_THRESHOLD, "ci2": CI2_THRESHOLD},
+        }
+    )
+    return network
+
+
+@dataclass
+class SyntheticLambdaModel:
+    """The synthetic lambda-phage model built through the synthesis API.
+
+    Attributes
+    ----------
+    gamma:
+        Rate separation of the stochastic module.
+    scale:
+        Input-type budget of the stochastic module (100 → 1% granularity,
+        matching the paper's 15/85 split).
+    stochastic_base_rate:
+        Rate of the initializing/working tier.  Chosen so the deterministic
+        modules (which run on much faster tiers) settle well before the first
+        initializing reaction fires.
+    """
+
+    gamma: float = 1e3
+    scale: int = 100
+    stochastic_base_rate: float = 1e-1
+
+    #: species names of the programmable input and the two outputs
+    INPUT = "moi"
+    OUTPUTS = ("cro2", "ci2")
+
+    def build(self, moi: int = 1) -> ReactionNetwork:
+        """Build the full network with ``MOI`` molecules of the input type."""
+        if moi < 1:
+            raise SynthesisError(f"MOI must be at least 1, got {moi}")
+
+        # Deterministic stage runs on fast tiers; the stochastic stage is slow.
+        det_tiers = TierScheme(separation=1e3, base_rate=1e-3)
+        layout = StochasticModuleLayout()
+
+        composer = SystemComposer("synthetic-lambda")
+
+        # moi -> x1 + x2 (fan-out, fastest)
+        composer.add_module(
+            "fanout", fanout_module(self.INPUT, ["x1", "x2"], tiers=det_tiers)
+        )
+        # y1 = MOI / 6 (linear, 6 x2 -> y1)
+        composer.add_module(
+            "lin_moi", linear_module(alpha=6, beta=1, input_name="x2", output_name="y1",
+                                     tiers=det_tiers)
+        )
+        # y_log = log2(MOI)
+        composer.add_module(
+            "log", logarithm_module(input_name="x1", output_name="y_log", tiers=det_tiers)
+        )
+        # y2 = 6 * y_log (linear gain 6)
+        composer.add_module(
+            "lin_log", linear_module(alpha=1, beta=6, input_name="y_log", output_name="y2",
+                                     tiers=det_tiers)
+        )
+
+        # Two-outcome stochastic module: lysogeny (ci2) starts at 15%, lysis (cro2) at 85%.
+        spec = DistributionSpec(
+            [
+                OutcomeSpec(LYSOGENY, outputs={"ci2": 1}, target_output=CI2_THRESHOLD + 20),
+                OutcomeSpec(LYSIS, outputs={"cro2": 1}, target_output=CRO2_THRESHOLD + 20),
+            ],
+            [0.15, 0.85],
+        )
+        stochastic = build_stochastic_module(
+            spec,
+            gamma=self.gamma,
+            scale=self.scale,
+            base_rate=self.stochastic_base_rate,
+            layout=layout,
+            name="lambda-stochastic",
+        )
+        composer.add_network(stochastic)
+
+        # Assimilation: every molecule of y1 or y2 converts one molecule of the
+        # lysis input type into the lysogeny input type, so
+        # P(lysogeny) = (15 + Y1 + Y2) / 100 = (15 + MOI/6 + 6·log2 MOI) / 100.
+        e_lysis = layout.input_species(LYSIS)
+        e_lysogeny = layout.input_species(LYSOGENY)
+        composer.add_module(
+            "assim_linear",
+            assimilation_module(e_lysis, e_lysogeny, "y1", tiers=det_tiers),
+        )
+        composer.add_module(
+            "assim_log",
+            assimilation_module(e_lysis, e_lysogeny, "y2", tiers=det_tiers),
+        )
+
+        network = composer.build(
+            initial={self.INPUT: int(moi)},
+            metadata={
+                "kind": "synthetic-lambda",
+                "moi": int(moi),
+                "gamma": self.gamma,
+                "scale": self.scale,
+                "thresholds": {"cro2": CRO2_THRESHOLD, "ci2": CI2_THRESHOLD},
+            },
+        )
+        network.name = f"synthetic-lambda[moi={moi}]"
+        return network
+
+    def threshold_condition(self) -> OutcomeThresholds:
+        """Stop a run once either output crosses its Section-3.1 threshold."""
+        return OutcomeThresholds(
+            {LYSOGENY: ("ci2", CI2_THRESHOLD), LYSIS: ("cro2", CRO2_THRESHOLD)}
+        )
+
+    def expected_lysogeny_percent(self, moi: float) -> float:
+        """The response the design is programmed to produce (Equation 14)."""
+        from repro.analysis.curvefit import paper_equation_14
+
+        return paper_equation_14(moi)
+
+
+def build_synthetic_model(
+    moi: int = 1,
+    gamma: float = 1e3,
+    scale: int = 100,
+    stochastic_base_rate: float = 1e-1,
+) -> ReactionNetwork:
+    """Convenience wrapper: build the API-based synthetic model for one MOI."""
+    model = SyntheticLambdaModel(
+        gamma=gamma, scale=scale, stochastic_base_rate=stochastic_base_rate
+    )
+    return model.build(moi)

@@ -1,0 +1,75 @@
+"""Stochastic simulation substrate.
+
+Exact SSA engines (Gillespie direct, first-reaction, Gibson–Bruck
+next-reaction), approximate tau-leaping, deterministic mean-field ODE
+integration, stopping conditions, trajectory records and a Monte-Carlo
+ensemble runner.
+"""
+
+from repro.sim.base import SimulationOptions, StochasticSimulator
+from repro.sim.dependency import DependencyStats, dependency_graph, dependency_stats
+from repro.sim.direct import DirectMethodSimulator
+from repro.sim.ensemble import (
+    ENGINES,
+    EnsembleResult,
+    EnsembleRunner,
+    make_simulator,
+    run_ensemble,
+)
+from repro.sim.events import (
+    AllCondition,
+    AnyCondition,
+    CategoryFiringCondition,
+    FiringCountCondition,
+    OutcomeThresholds,
+    PredicateCondition,
+    SpeciesThreshold,
+    StoppingCondition,
+)
+from repro.sim.first_reaction import FirstReactionSimulator
+from repro.sim.next_reaction import NextReactionSimulator
+from repro.sim.ode import OdeIntegrator, OdeResult, simulate_ode
+from repro.sim.priority_queue import IndexedPriorityQueue
+from repro.sim.propensity import CompiledNetwork, combinations, reaction_propensity
+from repro.sim.rng import derive_seed, make_rng, spawn_children
+from repro.sim.tau_leaping import TauLeapingSimulator, TauLeapOptions
+from repro.sim.trajectory import FiringRecord, StopReason, Trajectory
+
+__all__ = [
+    "SimulationOptions",
+    "StochasticSimulator",
+    "DirectMethodSimulator",
+    "FirstReactionSimulator",
+    "NextReactionSimulator",
+    "TauLeapingSimulator",
+    "TauLeapOptions",
+    "OdeIntegrator",
+    "OdeResult",
+    "simulate_ode",
+    "CompiledNetwork",
+    "combinations",
+    "reaction_propensity",
+    "IndexedPriorityQueue",
+    "dependency_graph",
+    "dependency_stats",
+    "DependencyStats",
+    "StoppingCondition",
+    "SpeciesThreshold",
+    "OutcomeThresholds",
+    "FiringCountCondition",
+    "CategoryFiringCondition",
+    "PredicateCondition",
+    "AnyCondition",
+    "AllCondition",
+    "Trajectory",
+    "FiringRecord",
+    "StopReason",
+    "ENGINES",
+    "EnsembleResult",
+    "EnsembleRunner",
+    "run_ensemble",
+    "make_simulator",
+    "make_rng",
+    "spawn_children",
+    "derive_seed",
+]

@@ -1,0 +1,263 @@
+"""Shared machinery for the stochastic simulation engines.
+
+Every engine (direct, first-reaction, next-reaction, tau-leaping) follows the
+same template: initialize counts from the network's initial state, repeatedly
+pick the next reaction event, apply it, record it, and check the stopping
+rules.  :class:`StochasticSimulator` implements that template; engines only
+implement event selection (:meth:`_prepare` and :meth:`_next_event`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.state import State
+from repro.errors import SimulationError
+from repro.sim.events import StoppingCondition
+from repro.sim.propensity import CompiledNetwork
+from repro.sim.rng import make_rng
+from repro.sim.trajectory import StopReason, Trajectory
+
+__all__ = ["SimulationOptions", "StochasticSimulator"]
+
+
+@dataclass
+class SimulationOptions:
+    """Options controlling a single run.
+
+    Attributes
+    ----------
+    max_time:
+        Simulated-time limit (default: unbounded).
+    max_steps:
+        Firing-count limit; a guard against runaway simulations (default 10⁶).
+    record_firings:
+        Keep the full (time, reaction) firing log in the trajectory.  Turn off
+        in large ensembles to save memory; per-reaction totals are always kept.
+    record_states:
+        Keep sampled state snapshots.
+    snapshot_stride:
+        Record every ``snapshot_stride``-th state when ``record_states`` is on.
+    """
+
+    max_time: float = math.inf
+    max_steps: int = 1_000_000
+    record_firings: bool = True
+    record_states: bool = False
+    snapshot_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_steps <= 0:
+            raise SimulationError(f"max_steps must be positive, got {self.max_steps}")
+        if self.max_time <= 0:
+            raise SimulationError(f"max_time must be positive, got {self.max_time}")
+        if self.snapshot_stride <= 0:
+            raise SimulationError(
+                f"snapshot_stride must be positive, got {self.snapshot_stride}"
+            )
+
+
+class StochasticSimulator:
+    """Template base class for exact stochastic simulation algorithms.
+
+    Parameters
+    ----------
+    network:
+        Either a :class:`~repro.crn.network.ReactionNetwork` or an already
+        compiled :class:`~repro.sim.propensity.CompiledNetwork` (sharing a
+        compiled network across engines and ensembles avoids recompilation).
+    seed:
+        Default random seed / generator for :meth:`run` calls that do not pass
+        their own.
+    """
+
+    #: human-readable algorithm name, overridden by engines
+    method_name = "base"
+
+    def __init__(
+        self,
+        network: "ReactionNetwork | CompiledNetwork",
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if isinstance(network, CompiledNetwork):
+            self.compiled = network
+        elif isinstance(network, ReactionNetwork):
+            self.compiled = CompiledNetwork.compile(network)
+        else:
+            raise SimulationError(
+                f"expected a ReactionNetwork or CompiledNetwork, got {type(network).__name__}"
+            )
+        self._default_rng = make_rng(seed)
+
+    @property
+    def network(self) -> ReactionNetwork:
+        """The underlying reaction network."""
+        return self.compiled.network
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def _prepare(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        """Called once per run before the first event (engines build caches here)."""
+
+    def _next_event(
+        self, time: float, counts: np.ndarray, rng: np.random.Generator
+    ) -> "tuple[float, int] | None":
+        """Return ``(waiting_time, reaction_index)`` for the next firing, or ``None``.
+
+        ``None`` means no reaction can fire any more (total propensity zero).
+        """
+        raise NotImplementedError
+
+    def _after_fire(
+        self, reaction_index: int, counts: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Called after a firing has been applied (engines update caches here)."""
+
+    # -- template ----------------------------------------------------------------
+
+    def run(
+        self,
+        initial_state: "State | dict | None" = None,
+        stopping: "StoppingCondition | None" = None,
+        options: "SimulationOptions | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+        **option_overrides,
+    ) -> Trajectory:
+        """Simulate one trajectory.
+
+        Parameters
+        ----------
+        initial_state:
+            Overrides the network's initial state for this run (a
+            :class:`State` or a ``{species: count}`` mapping).  Species not
+            mentioned default to zero.
+        stopping:
+            Optional domain stopping condition (see :mod:`repro.sim.events`).
+        options:
+            A :class:`SimulationOptions`; individual fields can also be passed
+            as keyword arguments (``max_time=...``, ``record_states=True``...).
+        seed:
+            Random seed or generator for this run; defaults to the simulator's
+            own stream.
+        """
+        opts = options or SimulationOptions()
+        if option_overrides:
+            opts = SimulationOptions(
+                **{**opts.__dict__, **option_overrides}  # dataclass fields only
+            )
+        rng = self._default_rng if seed is None else make_rng(seed)
+        compiled = self.compiled
+
+        if initial_state is None:
+            counts = compiled.initial_counts().astype(np.int64)
+        else:
+            state = initial_state if isinstance(initial_state, State) else State(initial_state)
+            unknown = state.species() - set(compiled.species)
+            if unknown:
+                names = ", ".join(sorted(s.name for s in unknown))
+                raise SimulationError(
+                    f"initial state mentions species not in the network: {names}"
+                )
+            counts = state.to_vector(compiled.species).astype(np.int64)
+
+        firing_counts = np.zeros(compiled.n_reactions, dtype=np.int64)
+        times: list[float] = []
+        fired: list[int] = []
+        snapshot_times: list[float] = []
+        snapshots: list[np.ndarray] = []
+
+        if stopping is not None:
+            stopping.reset(compiled)
+
+        time = 0.0
+        stop_reason = StopReason.EXHAUSTED
+        stop_detail = ""
+
+        # A stopping condition may already hold at t=0 (e.g. threshold met initially).
+        if stopping is not None:
+            detail = stopping.check(time, counts, compiled, firing_counts)
+            if detail is not None:
+                stop_reason, stop_detail = StopReason.CONDITION, detail
+                return self._finish(
+                    times, fired, counts, time, stop_reason, stop_detail,
+                    firing_counts, snapshot_times, snapshots,
+                )
+
+        self._prepare(counts, rng)
+
+        steps = 0
+        while True:
+            event = self._next_event(time, counts, rng)
+            if event is None:
+                stop_reason = StopReason.EXHAUSTED
+                break
+            waiting_time, reaction_index = event
+            if not math.isfinite(waiting_time) or waiting_time < 0:
+                raise SimulationError(
+                    f"{self.method_name}: invalid waiting time {waiting_time!r}"
+                )
+            if time + waiting_time > opts.max_time:
+                time = opts.max_time
+                stop_reason = StopReason.MAX_TIME
+                break
+
+            time += waiting_time
+            compiled.apply(reaction_index, counts)
+            firing_counts[reaction_index] += 1
+            steps += 1
+            if opts.record_firings:
+                times.append(time)
+                fired.append(reaction_index)
+            if opts.record_states and steps % opts.snapshot_stride == 0:
+                snapshot_times.append(time)
+                snapshots.append(counts.copy())
+
+            self._after_fire(reaction_index, counts, rng)
+
+            if stopping is not None:
+                detail = stopping.check(time, counts, compiled, firing_counts)
+                if detail is not None:
+                    stop_reason, stop_detail = StopReason.CONDITION, detail
+                    break
+            if steps >= opts.max_steps:
+                stop_reason = StopReason.MAX_STEPS
+                break
+
+        return self._finish(
+            times, fired, counts, time, stop_reason, stop_detail,
+            firing_counts, snapshot_times, snapshots,
+        )
+
+    def _finish(
+        self,
+        times: list[float],
+        fired: list[int],
+        counts: np.ndarray,
+        time: float,
+        stop_reason: str,
+        stop_detail: str,
+        firing_counts: np.ndarray,
+        snapshot_times: list[float],
+        snapshots: list[np.ndarray],
+    ) -> Trajectory:
+        compiled = self.compiled
+        return Trajectory(
+            times=np.array(times, dtype=float),
+            reaction_indices=np.array(fired, dtype=np.int64),
+            final_state=compiled.counts_to_state(counts),
+            final_time=float(time),
+            stop_reason=stop_reason,
+            stop_detail=stop_detail,
+            species_order=compiled.species,
+            snapshot_times=np.array(snapshot_times, dtype=float),
+            state_snapshots=(
+                np.array(snapshots, dtype=np.int64)
+                if snapshots
+                else np.empty((0, compiled.n_species), dtype=np.int64)
+            ),
+            firing_counts=firing_counts,
+        )

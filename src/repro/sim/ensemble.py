@@ -1,0 +1,267 @@
+"""Monte-Carlo ensembles: many independent stochastic runs plus statistics.
+
+Every experiment in the paper is an ensemble: run the network many times,
+classify each trajectory into an outcome (which threshold was reached, which
+working reaction won, did an error occur), and report outcome frequencies.
+:class:`EnsembleRunner` packages that loop with per-trial independent random
+streams, outcome classification hooks, and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species, as_species
+from repro.errors import EnsembleError
+from repro.sim.base import SimulationOptions, StochasticSimulator
+from repro.sim.direct import DirectMethodSimulator
+from repro.sim.events import StoppingCondition
+from repro.sim.first_reaction import FirstReactionSimulator
+from repro.sim.next_reaction import NextReactionSimulator
+from repro.sim.propensity import CompiledNetwork
+from repro.sim.rng import spawn_children
+from repro.sim.tau_leaping import TauLeapingSimulator
+from repro.sim.trajectory import Trajectory
+
+__all__ = ["ENGINES", "make_simulator", "EnsembleResult", "EnsembleRunner", "run_ensemble"]
+
+
+#: Registry of available simulation engines, keyed by name.
+ENGINES: dict[str, type[StochasticSimulator]] = {
+    "direct": DirectMethodSimulator,
+    "first-reaction": FirstReactionSimulator,
+    "next-reaction": NextReactionSimulator,
+    "tau-leaping": TauLeapingSimulator,
+}
+
+
+def make_simulator(
+    network: "ReactionNetwork | CompiledNetwork",
+    engine: str = "direct",
+    seed=None,
+) -> StochasticSimulator:
+    """Instantiate a simulation engine by name (see :data:`ENGINES`)."""
+    try:
+        simulator_class = ENGINES[engine]
+    except KeyError as exc:
+        raise EnsembleError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from exc
+    return simulator_class(network, seed=seed)
+
+
+@dataclass
+class EnsembleResult:
+    """Aggregated results of a Monte-Carlo ensemble.
+
+    Attributes
+    ----------
+    n_trials:
+        Number of trajectories simulated.
+    outcome_counts:
+        Mapping from outcome label to the number of trials that produced it.
+        Trials whose classifier returned ``None`` are counted under
+        ``"(undecided)"``.
+    final_counts:
+        Array of final molecular counts, shape ``(n_trials, n_species)``.
+    species:
+        Column labels for ``final_counts``.
+    final_times / n_firings:
+        Per-trial stopping time and number of firings.
+    trajectories:
+        The raw trajectories, only if ``keep_trajectories=True`` was requested.
+    """
+
+    n_trials: int
+    outcome_counts: dict[str, int]
+    final_counts: np.ndarray
+    species: tuple[Species, ...]
+    final_times: np.ndarray
+    n_firings: np.ndarray
+    trajectories: list[Trajectory] = field(default_factory=list)
+
+    UNDECIDED = "(undecided)"
+
+    # -- outcome statistics -------------------------------------------------------
+
+    def outcome_frequency(self, label: str) -> float:
+        """Fraction of trials whose outcome is ``label``."""
+        if self.n_trials == 0:
+            return 0.0
+        return self.outcome_counts.get(label, 0) / self.n_trials
+
+    def outcome_distribution(self, include_undecided: bool = False) -> dict[str, float]:
+        """Outcome frequencies as a dictionary summing to one over counted trials."""
+        counts = dict(self.outcome_counts)
+        if not include_undecided:
+            counts.pop(self.UNDECIDED, None)
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {label: count / total for label, count in sorted(counts.items())}
+
+    def decided_fraction(self) -> float:
+        """Fraction of trials that produced a definite outcome."""
+        if self.n_trials == 0:
+            return 0.0
+        undecided = self.outcome_counts.get(self.UNDECIDED, 0)
+        return (self.n_trials - undecided) / self.n_trials
+
+    # -- species statistics ---------------------------------------------------------
+
+    def _column(self, species: "Species | str") -> int:
+        sp = as_species(species)
+        try:
+            return list(self.species).index(sp)
+        except ValueError as exc:
+            raise EnsembleError(f"species {sp.name!r} not part of the ensemble") from exc
+
+    def mean_final(self, species: "Species | str") -> float:
+        """Mean final count of one species across trials."""
+        return float(self.final_counts[:, self._column(species)].mean())
+
+    def std_final(self, species: "Species | str") -> float:
+        """Standard deviation of the final count of one species."""
+        return float(self.final_counts[:, self._column(species)].std(ddof=1))
+
+    def final_histogram(self, species: "Species | str") -> dict[int, int]:
+        """Histogram of the final counts of one species."""
+        values, counts = np.unique(
+            self.final_counts[:, self._column(species)], return_counts=True
+        )
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def threshold_fraction(self, species: "Species | str", threshold: int) -> float:
+        """Fraction of trials whose final count of ``species`` is ≥ ``threshold``.
+
+        This is the quantity plotted in Figure 5 of the paper ("cI2 threshold
+        reached (%)").
+        """
+        column = self._column(species)
+        return float(np.mean(self.final_counts[:, column] >= threshold))
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"Ensemble of {self.n_trials} trials"]
+        for label, count in sorted(self.outcome_counts.items()):
+            lines.append(f"  {label:<20s}: {count:6d}  ({count / self.n_trials:6.2%})")
+        lines.append(
+            f"  firings: mean {self.n_firings.mean():.1f}  max {int(self.n_firings.max())}"
+        )
+        return "\n".join(lines)
+
+
+class EnsembleRunner:
+    """Run many independent trajectories of one network and aggregate them.
+
+    Parameters
+    ----------
+    network:
+        The network (or compiled network) to simulate.
+    engine:
+        Engine name from :data:`ENGINES` (default ``"direct"``).
+    stopping:
+        Stopping condition applied to every trial.
+    options:
+        Simulation options applied to every trial.  The firing log is disabled
+        by default inside ensembles (per-reaction totals are always recorded),
+        pass ``options=SimulationOptions(record_firings=True)`` to keep it.
+    outcome_classifier:
+        Callable mapping a :class:`Trajectory` to an outcome label (or
+        ``None`` for undecided).  Default: the trajectory's ``stop_detail``
+        when it stopped on a condition.
+    """
+
+    def __init__(
+        self,
+        network: "ReactionNetwork | CompiledNetwork",
+        engine: str = "direct",
+        stopping: "StoppingCondition | None" = None,
+        options: "SimulationOptions | None" = None,
+        outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
+    ) -> None:
+        self.compiled = (
+            network
+            if isinstance(network, CompiledNetwork)
+            else CompiledNetwork.compile(network)
+        )
+        self.engine = engine
+        self.stopping = stopping
+        self.options = options or SimulationOptions(record_firings=False)
+        self.outcome_classifier = outcome_classifier or self._default_classifier
+
+    @staticmethod
+    def _default_classifier(trajectory: Trajectory) -> "str | None":
+        if trajectory.stop_reason == "condition" and trajectory.stop_detail:
+            return trajectory.stop_detail
+        return None
+
+    def run(
+        self,
+        n_trials: int,
+        seed: "int | None" = None,
+        initial_state: "Mapping | None" = None,
+        keep_trajectories: bool = False,
+    ) -> EnsembleResult:
+        """Simulate ``n_trials`` independent trajectories and aggregate them."""
+        if n_trials <= 0:
+            raise EnsembleError(f"n_trials must be positive, got {n_trials}")
+        simulator = make_simulator(self.compiled, engine=self.engine)
+        streams = spawn_children(seed, n_trials)
+
+        outcome_counts: dict[str, int] = {}
+        final_counts = np.zeros((n_trials, self.compiled.n_species), dtype=np.int64)
+        final_times = np.zeros(n_trials)
+        n_firings = np.zeros(n_trials, dtype=np.int64)
+        kept: list[Trajectory] = []
+
+        for trial, rng in enumerate(streams):
+            trajectory = simulator.run(
+                initial_state=dict(initial_state) if initial_state else None,
+                stopping=self.stopping,
+                options=self.options,
+                seed=rng,
+            )
+            label = self.outcome_classifier(trajectory)
+            key = EnsembleResult.UNDECIDED if label is None else str(label)
+            outcome_counts[key] = outcome_counts.get(key, 0) + 1
+            final_counts[trial] = trajectory.final_state.to_vector(self.compiled.species)
+            final_times[trial] = trajectory.final_time
+            n_firings[trial] = int(trajectory.firing_counts.sum())
+            if keep_trajectories:
+                kept.append(trajectory)
+
+        return EnsembleResult(
+            n_trials=n_trials,
+            outcome_counts=outcome_counts,
+            final_counts=final_counts,
+            species=self.compiled.species,
+            final_times=final_times,
+            n_firings=n_firings,
+            trajectories=kept,
+        )
+
+
+def run_ensemble(
+    network: "ReactionNetwork | CompiledNetwork",
+    n_trials: int,
+    stopping: "StoppingCondition | None" = None,
+    engine: str = "direct",
+    seed: "int | None" = None,
+    options: "SimulationOptions | None" = None,
+    outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
+    keep_trajectories: bool = False,
+) -> EnsembleResult:
+    """One-call convenience wrapper around :class:`EnsembleRunner`."""
+    runner = EnsembleRunner(
+        network,
+        engine=engine,
+        stopping=stopping,
+        options=options,
+        outcome_classifier=outcome_classifier,
+    )
+    return runner.run(n_trials, seed=seed, keep_trajectories=keep_trajectories)

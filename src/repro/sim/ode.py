@@ -1,0 +1,135 @@
+"""Deterministic mean-field (reaction-rate equation) integration.
+
+For large molecule counts, the expected behaviour of a mass-action CRN is
+described by the reaction-rate ODEs ``dx/dt = N · v(x)`` where ``N`` is the
+stoichiometry matrix and ``v`` the deterministic mass-action rates.  The
+paper's point is precisely that this description *misses* the stochastic
+choice behaviour at small counts — the mean-field stochastic module settles to
+a blend of outcomes rather than picking one.  The ODE integrator is therefore
+useful both as an analysis baseline (what a deterministic designer would
+predict) and for quickly checking the bulk behaviour of the deterministic
+functional modules.
+
+Integration uses :func:`scipy.integrate.solve_ivp` (LSODA by default, which
+copes with the stiff rate separations the synthesis method relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species, as_species
+from repro.crn.state import State
+from repro.errors import SimulationError
+from repro.sim.propensity import CompiledNetwork
+
+__all__ = ["OdeResult", "OdeIntegrator", "simulate_ode"]
+
+
+@dataclass
+class OdeResult:
+    """Mean-field trajectory.
+
+    Attributes
+    ----------
+    times:
+        Time grid of the solution.
+    concentrations:
+        Array of shape ``(len(times), n_species)``.
+    species:
+        Column labels.
+    """
+
+    times: np.ndarray
+    concentrations: np.ndarray
+    species: tuple[Species, ...]
+
+    def series(self, species: "Species | str") -> np.ndarray:
+        """Concentration time-series for one species."""
+        sp = as_species(species)
+        try:
+            column = list(self.species).index(sp)
+        except ValueError as exc:
+            raise SimulationError(f"species {sp.name!r} not in ODE result") from exc
+        return self.concentrations[:, column]
+
+    def final(self, species: "Species | str") -> float:
+        """Final concentration of one species."""
+        return float(self.series(species)[-1])
+
+    def final_state(self) -> dict[str, float]:
+        """Final concentrations keyed by species name."""
+        return {s.name: float(self.concentrations[-1, i]) for i, s in enumerate(self.species)}
+
+
+class OdeIntegrator:
+    """Mean-field integrator for a reaction network."""
+
+    def __init__(self, network: "ReactionNetwork | CompiledNetwork") -> None:
+        self.compiled = (
+            network
+            if isinstance(network, CompiledNetwork)
+            else CompiledNetwork.compile(network)
+        )
+        # Net stoichiometry matrix (species x reactions) for the RHS.
+        compiled = self.compiled
+        self._net = np.zeros((compiled.n_species, compiled.n_reactions))
+        for j in range(compiled.n_reactions):
+            for s, delta in zip(compiled.change_species[j], compiled.change_deltas[j]):
+                self._net[s, j] = delta
+
+    def right_hand_side(self, _time: float, concentrations: np.ndarray) -> np.ndarray:
+        """dx/dt = N · v(x) under deterministic mass action."""
+        rates = self.compiled.mass_action_rates(concentrations)
+        return self._net @ rates
+
+    def run(
+        self,
+        t_final: float,
+        initial_state: "State | dict | None" = None,
+        n_points: int = 200,
+        method: str = "LSODA",
+        rtol: float = 1e-6,
+        atol: float = 1e-9,
+    ) -> OdeResult:
+        """Integrate from 0 to ``t_final`` and return an :class:`OdeResult`."""
+        if t_final <= 0:
+            raise SimulationError(f"t_final must be positive, got {t_final}")
+        compiled = self.compiled
+        if initial_state is None:
+            x0 = compiled.initial_counts().astype(float)
+        else:
+            state = initial_state if isinstance(initial_state, State) else State(initial_state)
+            x0 = state.to_vector(compiled.species).astype(float)
+        grid = np.linspace(0.0, t_final, max(int(n_points), 2))
+        solution = solve_ivp(
+            self.right_hand_side,
+            (0.0, t_final),
+            x0,
+            t_eval=grid,
+            method=method,
+            rtol=rtol,
+            atol=atol,
+        )
+        if not solution.success:
+            raise SimulationError(f"ODE integration failed: {solution.message}")
+        return OdeResult(
+            times=solution.t,
+            concentrations=solution.y.T,
+            species=compiled.species,
+        )
+
+
+def simulate_ode(
+    network: "ReactionNetwork | CompiledNetwork",
+    t_final: float,
+    initial_state: "State | dict | None" = None,
+    n_points: int = 200,
+) -> OdeResult:
+    """One-call convenience wrapper around :class:`OdeIntegrator`."""
+    return OdeIntegrator(network).run(t_final, initial_state=initial_state, n_points=n_points)

@@ -1,0 +1,215 @@
+"""Propensity evaluation under stochastic mass-action kinetics.
+
+Following Gillespie (1977), the propensity of reaction ``R`` with stochastic
+rate constant ``c`` in state ``X`` is::
+
+    a(X) = c * h(X)
+
+where ``h(X)`` is the number of distinct combinations of reactant molecules:
+for each reactant species ``s`` with stoichiometric coefficient ``n`` it
+contributes ``binomial(X_s, n)`` — e.g. ``X`` for a unimolecular reactant,
+``X (X - 1) / 2`` for ``2 s``, ``X_a X_b`` for ``a + b``.
+
+:class:`CompiledNetwork` pre-compiles a :class:`~repro.crn.network.ReactionNetwork`
+into flat integer arrays so the inner loops of the simulators touch only
+small Python lists and ints — this is the performance-critical path of the
+whole library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species
+from repro.crn.state import State
+from repro.errors import PropensityError
+
+__all__ = ["combinations", "reaction_propensity", "CompiledNetwork"]
+
+
+def combinations(count: int, needed: int) -> int:
+    """Number of distinct ways to choose ``needed`` molecules out of ``count``.
+
+    This is ``binomial(count, needed)`` with the convention that the result is
+    zero when ``count < needed``.  Only small ``needed`` values occur in
+    practice (reaction molecularity is 1–3), so the product form is exact and
+    fast.
+    """
+    if needed < 0:
+        raise PropensityError(f"needed must be non-negative, got {needed}")
+    if count < needed:
+        return 0
+    result = 1
+    for i in range(needed):
+        result = result * (count - i) // (i + 1)
+    return result
+
+
+def reaction_propensity(reaction, state: State) -> float:
+    """Propensity of a single reaction in ``state`` (convenience, non-critical path)."""
+    h = 1
+    for species, coefficient in reaction.reactants.items():
+        h *= combinations(state[species], coefficient)
+        if h == 0:
+            return 0.0
+    return reaction.rate * h
+
+
+@dataclass
+class CompiledNetwork:
+    """A reaction network compiled to flat arrays for fast simulation.
+
+    Attributes
+    ----------
+    species:
+        Species order used for count vectors (matches ``network.species_order``).
+    rates:
+        Per-reaction stochastic rate constants.
+    reactant_species / reactant_coeffs:
+        For each reaction, the indices and coefficients of its reactants.
+    change_species / change_deltas:
+        For each reaction, the indices and net deltas applied when it fires.
+    dependents:
+        ``dependents[r]`` lists the reactions whose propensity may change when
+        reaction ``r`` fires (computed from shared species); used by the
+        incremental-update simulators.
+    """
+
+    network: ReactionNetwork
+    species: tuple[Species, ...]
+    rates: np.ndarray
+    reactant_species: list[tuple[int, ...]]
+    reactant_coeffs: list[tuple[int, ...]]
+    change_species: list[tuple[int, ...]]
+    change_deltas: list[tuple[int, ...]]
+    dependents: list[tuple[int, ...]]
+
+    @classmethod
+    def compile(cls, network: ReactionNetwork) -> "CompiledNetwork":
+        """Compile ``network`` (validates that it has at least one reaction)."""
+        if network.size == 0:
+            raise PropensityError("cannot compile an empty network")
+        order = network.species_order
+        index = {s: i for i, s in enumerate(order)}
+
+        rates = np.array([r.rate for r in network.reactions], dtype=float)
+        reactant_species: list[tuple[int, ...]] = []
+        reactant_coeffs: list[tuple[int, ...]] = []
+        change_species: list[tuple[int, ...]] = []
+        change_deltas: list[tuple[int, ...]] = []
+
+        for reaction in network.reactions:
+            r_idx = []
+            r_coef = []
+            for species, coefficient in sorted(
+                reaction.reactants.items(), key=lambda kv: kv[0].name
+            ):
+                r_idx.append(index[species])
+                r_coef.append(coefficient)
+            reactant_species.append(tuple(r_idx))
+            reactant_coeffs.append(tuple(r_coef))
+
+            c_idx = []
+            c_delta = []
+            for species, delta in sorted(
+                reaction.net_change().items(), key=lambda kv: kv[0].name
+            ):
+                c_idx.append(index[species])
+                c_delta.append(delta)
+            change_species.append(tuple(c_idx))
+            change_deltas.append(tuple(c_delta))
+
+        # Reaction dependency: r -> all reactions that consume a species r changes.
+        consumers_of: dict[int, set[int]] = {}
+        for j, r_idx in enumerate(reactant_species):
+            for s in r_idx:
+                consumers_of.setdefault(s, set()).add(j)
+        dependents: list[tuple[int, ...]] = []
+        for j in range(len(reactant_species)):
+            affected: set[int] = {j}
+            for s in change_species[j]:
+                affected |= consumers_of.get(s, set())
+            dependents.append(tuple(sorted(affected)))
+
+        return cls(
+            network=network,
+            species=tuple(order),
+            rates=rates,
+            reactant_species=reactant_species,
+            reactant_coeffs=reactant_coeffs,
+            change_species=change_species,
+            change_deltas=change_deltas,
+            dependents=dependents,
+        )
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactant_species)
+
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    def species_index(self) -> dict[Species, int]:
+        """Mapping from species to its index in the count vector."""
+        return {s: i for i, s in enumerate(self.species)}
+
+    def initial_counts(self) -> np.ndarray:
+        """The network's initial state as a count vector."""
+        return self.network.initial_state.to_vector(self.species)
+
+    def counts_to_state(self, counts: Sequence[int]) -> State:
+        """Convert a count vector back into a :class:`State`."""
+        return State.from_vector([int(c) for c in counts], self.species)
+
+    # -- propensity evaluation --------------------------------------------------
+
+    def propensity(self, reaction_index: int, counts: Sequence[int]) -> float:
+        """Propensity of one reaction given a count vector."""
+        h = 1
+        for s, n in zip(
+            self.reactant_species[reaction_index], self.reactant_coeffs[reaction_index]
+        ):
+            count = int(counts[s])
+            if count < n:
+                return 0.0
+            if n == 1:
+                h *= count
+            elif n == 2:
+                h *= count * (count - 1) // 2
+            else:
+                h *= combinations(count, n)
+        return float(self.rates[reaction_index]) * h
+
+    def all_propensities(self, counts: Sequence[int]) -> np.ndarray:
+        """Propensities of every reaction given a count vector."""
+        return np.array(
+            [self.propensity(j, counts) for j in range(self.n_reactions)], dtype=float
+        )
+
+    def apply(self, reaction_index: int, counts: np.ndarray) -> None:
+        """Apply the net change of a reaction to ``counts`` in place."""
+        for s, delta in zip(
+            self.change_species[reaction_index], self.change_deltas[reaction_index]
+        ):
+            counts[s] += delta
+
+    def mass_action_rates(self, concentrations: np.ndarray) -> np.ndarray:
+        """Deterministic mass-action rate of each reaction given concentrations.
+
+        Used by the mean-field ODE integrator: rate ``c * prod(x_s ** n_s)``
+        (continuous approximation, no combinatorial correction).
+        """
+        rates = np.array(self.rates, dtype=float)
+        for j in range(self.n_reactions):
+            value = 1.0
+            for s, n in zip(self.reactant_species[j], self.reactant_coeffs[j]):
+                value *= max(concentrations[s], 0.0) ** n
+            rates[j] *= value
+        return rates

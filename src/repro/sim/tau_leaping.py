@@ -1,0 +1,236 @@
+"""Explicit tau-leaping: an approximate accelerated stochastic simulator.
+
+Tau-leaping advances the system by a time step ``tau`` during which every
+reaction is assumed to fire a Poisson-distributed number of times with its
+propensity frozen at the start of the leap.  It trades exactness for speed and
+is included as an optional engine: the winner-take-all stochastic module of
+the paper relies on *individual* firing order at low molecule counts, so
+tau-leaping is a poor fit there (the ablation benchmark demonstrates this),
+but it is useful for the deterministic functional modules, whose outputs are
+governed by bulk stoichiometry rather than by race outcomes.
+
+The step-size selection follows the standard Cao–Gillespie–Petzold (2006)
+bound on the relative change of propensities, with a fallback to exact SSA
+steps when the selected ``tau`` would be smaller than a few exact steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.base import SimulationOptions, StochasticSimulator
+from repro.sim.direct import DirectMethodSimulator
+from repro.sim.events import StoppingCondition
+from repro.sim.propensity import CompiledNetwork
+from repro.sim.rng import make_rng
+from repro.sim.trajectory import StopReason, Trajectory
+from repro.errors import SimulationError
+
+__all__ = ["TauLeapingSimulator", "TauLeapOptions"]
+
+
+@dataclass
+class TauLeapOptions:
+    """Tuning knobs for the tau-leaping engine.
+
+    Attributes
+    ----------
+    epsilon:
+        Error-control parameter bounding the relative change of any propensity
+        over a leap (smaller = more accurate = slower).  0.03 is the customary
+        default.
+    critical_threshold:
+        Reactions within this many firings of exhausting a reactant are
+        "critical" and handled with exact steps to avoid negative counts.
+    exact_step_multiplier:
+        If the selected tau is smaller than this multiple of the expected
+        exact-SSA step, take exact steps instead (avoids degenerate leaps).
+    """
+
+    epsilon: float = 0.03
+    critical_threshold: int = 10
+    exact_step_multiplier: float = 10.0
+
+
+class TauLeapingSimulator(StochasticSimulator):
+    """Approximate accelerated simulation via explicit tau-leaping.
+
+    The public interface matches the exact engines (:meth:`run` with stopping
+    conditions), but note that stopping conditions are only checked at leap
+    boundaries, so threshold crossings are detected with a delay of up to one
+    leap.
+    """
+
+    method_name = "tau-leaping"
+
+    def __init__(self, network, seed=None, leap_options: "TauLeapOptions | None" = None):
+        super().__init__(network, seed=seed)
+        self.leap_options = leap_options or TauLeapOptions()
+
+    # The leaping control flow does not fit the one-firing-at-a-time template,
+    # so this engine overrides run() entirely.
+    def run(
+        self,
+        initial_state=None,
+        stopping: "StoppingCondition | None" = None,
+        options: "SimulationOptions | None" = None,
+        seed=None,
+        **option_overrides,
+    ) -> Trajectory:
+        opts = options or SimulationOptions()
+        if option_overrides:
+            opts = SimulationOptions(**{**opts.__dict__, **option_overrides})
+        rng = self._default_rng if seed is None else make_rng(seed)
+        compiled = self.compiled
+
+        if initial_state is None:
+            counts = compiled.initial_counts().astype(np.int64)
+        else:
+            from repro.crn.state import State
+
+            state = initial_state if isinstance(initial_state, State) else State(initial_state)
+            counts = state.to_vector(compiled.species).astype(np.int64)
+
+        firing_counts = np.zeros(compiled.n_reactions, dtype=np.int64)
+        snapshot_times: list[float] = []
+        snapshots: list[np.ndarray] = []
+        if stopping is not None:
+            stopping.reset(compiled)
+
+        time = 0.0
+        steps = 0
+        stop_reason = StopReason.EXHAUSTED
+        stop_detail = ""
+        exact_helper = DirectMethodSimulator(compiled, seed=rng)
+
+        while True:
+            propensities = compiled.all_propensities(counts)
+            total = float(propensities.sum())
+            if total <= 0.0:
+                stop_reason = StopReason.EXHAUSTED
+                break
+
+            tau = self._select_tau(counts, propensities)
+            expected_exact_step = 1.0 / total
+            if tau < self.leap_options.exact_step_multiplier * expected_exact_step:
+                # Too small to be worth leaping: take a handful of exact steps.
+                time, counts, firing_counts, stopped = self._exact_steps(
+                    exact_helper, time, counts, firing_counts, stopping, opts, rng
+                )
+                if stopped is not None:
+                    stop_reason, stop_detail = stopped
+                    break
+            else:
+                tau = min(tau, opts.max_time - time)
+                if tau <= 0.0:
+                    stop_reason = StopReason.MAX_TIME
+                    break
+                firings = rng.poisson(propensities * tau)
+                new_counts = counts.copy()
+                for j in range(compiled.n_reactions):
+                    if firings[j]:
+                        for s, delta in zip(compiled.change_species[j], compiled.change_deltas[j]):
+                            new_counts[s] += delta * firings[j]
+                if np.any(new_counts < 0):
+                    # Leap overshot a reactant pool: halve tau by retrying with
+                    # exact steps this round (simple and robust).
+                    time, counts, firing_counts, stopped = self._exact_steps(
+                        exact_helper, time, counts, firing_counts, stopping, opts, rng
+                    )
+                    if stopped is not None:
+                        stop_reason, stop_detail = stopped
+                        break
+                else:
+                    counts = new_counts
+                    firing_counts += firings.astype(np.int64)
+                    time += tau
+                    steps += int(firings.sum())
+
+            if opts.record_states:
+                snapshot_times.append(time)
+                snapshots.append(counts.copy())
+            if stopping is not None:
+                detail = stopping.check(time, counts, compiled, firing_counts)
+                if detail is not None:
+                    stop_reason, stop_detail = StopReason.CONDITION, detail
+                    break
+            if time >= opts.max_time:
+                stop_reason = StopReason.MAX_TIME
+                break
+            if steps >= opts.max_steps:
+                stop_reason = StopReason.MAX_STEPS
+                break
+
+        return Trajectory(
+            times=np.empty(0),
+            reaction_indices=np.empty(0, dtype=np.int64),
+            final_state=compiled.counts_to_state(counts),
+            final_time=float(time),
+            stop_reason=stop_reason,
+            stop_detail=stop_detail,
+            species_order=compiled.species,
+            snapshot_times=np.array(snapshot_times, dtype=float),
+            state_snapshots=(
+                np.array(snapshots, dtype=np.int64)
+                if snapshots
+                else np.empty((0, compiled.n_species), dtype=np.int64)
+            ),
+            firing_counts=firing_counts,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _select_tau(self, counts: np.ndarray, propensities: np.ndarray) -> float:
+        """Cao–Gillespie–Petzold step selection (species-based bound)."""
+        compiled = self.compiled
+        epsilon = self.leap_options.epsilon
+        total = float(propensities.sum())
+        if total <= 0.0:
+            return math.inf
+
+        # Mean and variance of the change of each species per unit time.
+        mu = np.zeros(compiled.n_species)
+        sigma2 = np.zeros(compiled.n_species)
+        for j in range(compiled.n_reactions):
+            if propensities[j] <= 0.0:
+                continue
+            for s, delta in zip(compiled.change_species[j], compiled.change_deltas[j]):
+                mu[s] += delta * propensities[j]
+                sigma2[s] += delta * delta * propensities[j]
+
+        tau = math.inf
+        for s in range(compiled.n_species):
+            if mu[s] == 0.0 and sigma2[s] == 0.0:
+                continue
+            bound = max(epsilon * counts[s], 1.0)
+            if mu[s] != 0.0:
+                tau = min(tau, bound / abs(mu[s]))
+            if sigma2[s] > 0.0:
+                tau = min(tau, bound * bound / sigma2[s])
+        return tau
+
+    def _exact_steps(
+        self, helper, time, counts, firing_counts, stopping, opts, rng, n_steps: int = 20
+    ):
+        """Advance with a few exact SSA firings (used when leaping is unsafe)."""
+        compiled = self.compiled
+        helper._prepare(counts, rng)
+        for _ in range(n_steps):
+            event = helper._next_event(time, counts, rng)
+            if event is None:
+                return time, counts, firing_counts, (StopReason.EXHAUSTED, "")
+            waiting_time, j = event
+            if time + waiting_time > opts.max_time:
+                return opts.max_time, counts, firing_counts, (StopReason.MAX_TIME, "")
+            time += waiting_time
+            compiled.apply(j, counts)
+            firing_counts[j] += 1
+            helper._after_fire(j, counts, rng)
+            if stopping is not None:
+                detail = stopping.check(time, counts, compiled, firing_counts)
+                if detail is not None:
+                    return time, counts, firing_counts, (StopReason.CONDITION, detail)
+        return time, counts, firing_counts, None

@@ -1,0 +1,127 @@
+"""Trajectory recording: what happened during one stochastic simulation run.
+
+A :class:`Trajectory` records the firing history of a run (which reaction
+fired at which time), the final state, why the run stopped, and — optionally —
+sampled state snapshots.  Recording every intermediate state is expensive and
+rarely needed, so snapshotting is opt-in via ``record_states`` or a sampling
+interval on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.crn.species import Species, as_species
+from repro.crn.state import State
+
+__all__ = ["StopReason", "FiringRecord", "Trajectory"]
+
+
+class StopReason:
+    """Why a simulation run ended (string constants, not an enum, for easy reporting)."""
+
+    EXHAUSTED = "exhausted"          # total propensity reached zero; nothing can fire
+    MAX_TIME = "max_time"            # simulated time limit reached
+    MAX_STEPS = "max_steps"          # firing-count limit reached
+    CONDITION = "condition"          # a user stopping condition triggered
+    ALL = (EXHAUSTED, MAX_TIME, MAX_STEPS, CONDITION)
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One reaction firing: the time of the event and the reaction index."""
+
+    time: float
+    reaction_index: int
+
+
+@dataclass
+class Trajectory:
+    """The result of a single stochastic simulation run.
+
+    Attributes
+    ----------
+    times / reaction_indices:
+        Parallel arrays of firing times and fired-reaction indices.
+    final_state:
+        Molecular counts when the run stopped.
+    final_time:
+        Simulated time when the run stopped.
+    stop_reason:
+        One of the :class:`StopReason` constants.
+    stop_detail:
+        Free-form text from the stopping condition (e.g. the outcome label).
+    species_order:
+        Species order used for ``state_snapshots`` vectors.
+    snapshot_times / state_snapshots:
+        Optional sampled states (only if the simulator was asked to record them).
+    firing_counts:
+        Per-reaction firing totals (length = number of reactions).
+    """
+
+    times: np.ndarray
+    reaction_indices: np.ndarray
+    final_state: State
+    final_time: float
+    stop_reason: str
+    stop_detail: str = ""
+    species_order: tuple[Species, ...] = ()
+    snapshot_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    state_snapshots: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    firing_counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_firings(self) -> int:
+        """Total number of reaction firings in the run."""
+        return int(len(self.reaction_indices))
+
+    def count_firings(self, reaction_index: int) -> int:
+        """How many times reaction ``reaction_index`` fired."""
+        if self.firing_counts.size > reaction_index:
+            return int(self.firing_counts[reaction_index])
+        return int(np.sum(self.reaction_indices == reaction_index))
+
+    def first_firing(self, reaction_indices: Sequence[int]) -> "int | None":
+        """The first reaction among ``reaction_indices`` to fire, or None.
+
+        Used by the error analysis of Section 2.1.3: "the first initializing
+        reaction to fire" determines the intended outcome.
+        """
+        wanted = set(int(i) for i in reaction_indices)
+        for index in self.reaction_indices:
+            if int(index) in wanted:
+                return int(index)
+        return None
+
+    def final_count(self, species: "Species | str") -> int:
+        """Final count of one species."""
+        return self.final_state[as_species(species)]
+
+    def species_series(self, species: "Species | str") -> np.ndarray:
+        """Snapshot time-series of one species (requires state recording)."""
+        if self.state_snapshots.size == 0:
+            raise ValueError(
+                "this trajectory was recorded without state snapshots; "
+                "run the simulator with record_states=True"
+            )
+        sp = as_species(species)
+        try:
+            column = list(self.species_order).index(sp)
+        except ValueError as exc:
+            raise ValueError(f"species {sp.name!r} not in trajectory order") from exc
+        return self.state_snapshots[:, column]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Trajectory(firings={self.n_firings}, t_final={self.final_time:.4g}, "
+            f"stop={self.stop_reason}{':' + self.stop_detail if self.stop_detail else ''})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

@@ -1,0 +1,166 @@
+"""Tests for exact CTMC outcome-probability analysis (repro.analysis.ctmc)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import outcome_probabilities, expected_outcome_counts
+from repro.analysis.ctmc import UNDECIDED
+from repro.core import DistributionSpec, OutcomeSpec, build_stochastic_module
+from repro.crn import parse_network
+from repro.errors import CTMCError
+
+
+class TestSimpleChains:
+    def test_two_way_race_exact(self):
+        """First-firing race at quantities 30/70 → exactly 0.3 / 0.7."""
+        network = parse_network(
+            """
+            init: ea = 30
+            init: eb = 70
+            ea ->{1} wa
+            eb ->{1} wb
+            """
+        )
+        result = outcome_probabilities(
+            network,
+            classify=lambda s: "A" if s.get("wa", 0) >= 1 else ("B" if s.get("wb", 0) >= 1 else None),
+        )
+        assert result.probability("A") == pytest.approx(0.3, abs=1e-12)
+        assert result.probability("B") == pytest.approx(0.7, abs=1e-12)
+        assert result.n_transient == 1
+
+    def test_rates_weight_the_race(self):
+        network = parse_network(
+            """
+            init: x = 1
+            x ->{3} a
+            x ->{1} b
+            """
+        )
+        result = outcome_probabilities(
+            network,
+            classify=lambda s: "a" if s.get("a", 0) else ("b" if s.get("b", 0) else None),
+        )
+        assert result.probability("a") == pytest.approx(0.75)
+
+    def test_multi_step_race(self):
+        """Two sequential slow steps vs one: P(two-step path wins) computable exactly.
+
+        x -> m -> a (each rate 1) races x2 -> b (rate 1); check against the
+        analytic value 1/4 (the single-step branch must beat two Exp(1) stages
+        ... actually P(b first) = 1/2 + 1/2·1/2 = 3/4).
+        """
+        network = parse_network(
+            """
+            init: x = 1
+            init: x2 = 1
+            x ->{1} m
+            m ->{1} a
+            x2 ->{1} b
+            """
+        )
+        result = outcome_probabilities(
+            network,
+            classify=lambda s: "a" if s.get("a", 0) else ("b" if s.get("b", 0) else None),
+        )
+        assert result.probability("b") == pytest.approx(0.75, abs=1e-9)
+        assert result.probability("a") == pytest.approx(0.25, abs=1e-9)
+
+    def test_undecided_dead_end(self):
+        network = parse_network(
+            """
+            init: x = 1
+            x ->{1} a
+            x ->{1} junk
+            """
+        )
+        result = outcome_probabilities(
+            network, classify=lambda s: "a" if s.get("a", 0) else None
+        )
+        assert result.probability("a") == pytest.approx(0.5)
+        assert result.probability(UNDECIDED) == pytest.approx(0.5)
+        # decided() renormalizes over real outcomes only.
+        assert result.decided()["a"] == pytest.approx(1.0)
+
+    def test_initial_state_already_classified(self):
+        network = parse_network("x ->{1} y\ninit: x = 1")
+        result = outcome_probabilities(network, classify=lambda s: "done")
+        assert result.probabilities == {"done": 1.0}
+
+    def test_state_budget_enforced(self):
+        network = parse_network("src ->{1} src + x\ninit: src = 1")
+        with pytest.raises(CTMCError):
+            outcome_probabilities(network, classify=lambda s: None, max_states=50)
+
+    def test_expected_counts(self):
+        network = parse_network("init: x = 1\nx ->{1} a\nx ->{3} b")
+        result = outcome_probabilities(
+            network,
+            classify=lambda s: "a" if s.get("a", 0) else ("b" if s.get("b", 0) else None),
+        )
+        counts = expected_outcome_counts(result, 400)
+        assert counts["a"] == pytest.approx(100.0)
+        with pytest.raises(CTMCError):
+            expected_outcome_counts(result, 0)
+
+
+class TestStochasticModuleExact:
+    def test_tiny_module_matches_programmed_distribution(self, tiny_two_outcome_network):
+        """Exact absorption probabilities of a small stochastic module.
+
+        With γ=100 the winner-take-all error is small, so the probability that
+        catalyst A is the sole survivor must be close to the programmed 0.25.
+        This is an exact computation — no sampling noise.
+        """
+        network = tiny_two_outcome_network
+
+        def classify(state):
+            # Outcome = which catalyst type survives once every input molecule
+            # has been consumed.
+            if state.get("e_A", 0) == 0 and state.get("e_B", 0) == 0:
+                a, b = state.get("d_A", 0), state.get("d_B", 0)
+                if a > 0 and b == 0:
+                    return "A"
+                if b > 0 and a == 0:
+                    return "B"
+                if a == 0 and b == 0:
+                    return "tie"
+            return None
+
+        result = outcome_probabilities(network, classify=classify, max_states=100_000)
+        decided = result.decided()
+        assert decided.get("A", 0.0) == pytest.approx(0.25, abs=0.06)
+        assert decided.get("B", 0.0) == pytest.approx(0.75, abs=0.06)
+
+    def test_exact_distribution_improves_with_gamma(self):
+        """A symmetric 2-outcome module: exact symmetry, and the probability of
+        a dead-heat ("tie": both catalysts annihilated) shrinks as γ grows."""
+
+        def analyze(gamma: float) -> dict[str, float]:
+            spec = DistributionSpec(
+                [OutcomeSpec("A", target_output=2), OutcomeSpec("B", target_output=2)],
+                [0.5, 0.5],
+            )
+            network = build_stochastic_module(spec, gamma=gamma, scale=4)
+
+            def classify(state):
+                if state.get("e_A", 0) == 0 and state.get("e_B", 0) == 0:
+                    a, b = state.get("d_A", 0), state.get("d_B", 0)
+                    if a > 0 and b == 0:
+                        return "A"
+                    if b > 0 and a == 0:
+                        return "B"
+                    if a == b == 0:
+                        return "tie"
+                return None
+
+            return outcome_probabilities(network, classify=classify).probabilities
+
+        low_gamma = analyze(10.0)
+        high_gamma = analyze(1000.0)
+        # Exact symmetry between the two outcomes at any gamma.
+        assert low_gamma.get("A", 0.0) == pytest.approx(low_gamma.get("B", 0.0), abs=1e-9)
+        assert high_gamma.get("A", 0.0) == pytest.approx(high_gamma.get("B", 0.0), abs=1e-9)
+        # Dead-heat mass shrinks as the purifying tier gets relatively faster.
+        assert high_gamma.get("tie", 0.0) <= low_gamma.get("tie", 0.0) + 1e-12

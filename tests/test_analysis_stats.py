@@ -1,0 +1,145 @@
+"""Tests for empirical statistics and distribution distances (repro.analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    EmpiricalDistribution,
+    hellinger,
+    jensen_shannon,
+    kl_divergence,
+    normalize,
+    total_variation,
+    wilson_interval,
+)
+from repro.errors import AnalysisError
+
+
+class TestWilsonInterval:
+    def test_point_estimate(self):
+        estimate = wilson_interval(30, 100)
+        assert estimate.estimate == pytest.approx(0.3)
+        assert estimate.low < 0.3 < estimate.high
+        assert estimate.percent == pytest.approx(30.0)
+
+    def test_interval_shrinks_with_trials(self):
+        narrow = wilson_interval(300, 1000)
+        wide = wilson_interval(30, 100)
+        assert narrow.half_width < wide.half_width
+
+    def test_zero_successes_has_positive_upper_bound(self):
+        estimate = wilson_interval(0, 50)
+        assert estimate.low == pytest.approx(0.0, abs=1e-9)
+        assert 0 < estimate.high < 0.15
+
+    def test_all_successes(self):
+        estimate = wilson_interval(50, 50)
+        assert estimate.high == 1.0
+        assert estimate.low > 0.9
+
+    def test_confidence_level_widens_interval(self):
+        assert (
+            wilson_interval(30, 100, confidence=0.99).half_width
+            > wilson_interval(30, 100, confidence=0.9).half_width
+        )
+
+    @pytest.mark.parametrize("successes, trials", [(-1, 10), (11, 10), (0, 0)])
+    def test_validation(self, successes, trials):
+        with pytest.raises(AnalysisError):
+            wilson_interval(successes, trials)
+
+    def test_str(self):
+        assert "30/100" in str(wilson_interval(30, 100))
+
+
+class TestEmpiricalDistribution:
+    def test_frequencies(self):
+        distribution = EmpiricalDistribution({"a": 30, "b": 70})
+        assert distribution.frequency("a") == pytest.approx(0.3)
+        assert distribution.frequencies() == {"a": 0.3, "b": 0.7}
+        assert distribution.total == 100
+
+    def test_from_labels(self):
+        distribution = EmpiricalDistribution.from_labels(["x", "y", "x", "x"])
+        assert distribution.count("x") == 3
+        assert distribution.labels == ("x", "y")
+
+    def test_interval(self):
+        distribution = EmpiricalDistribution({"a": 30, "b": 70})
+        assert distribution.interval("a").estimate == pytest.approx(0.3)
+
+    def test_tv_against_target(self):
+        distribution = EmpiricalDistribution({"a": 30, "b": 70})
+        assert distribution.total_variation_distance({"a": 0.3, "b": 0.7}) == pytest.approx(0.0)
+        assert distribution.total_variation_distance({"a": 0.5, "b": 0.5}) == pytest.approx(0.2)
+
+    def test_chi_square_consistent_data(self):
+        distribution = EmpiricalDistribution({"a": 298, "b": 702})
+        statistic, pvalue = distribution.chi_square_test({"a": 0.3, "b": 0.7})
+        assert pvalue > 0.5
+
+    def test_chi_square_inconsistent_data(self):
+        distribution = EmpiricalDistribution({"a": 500, "b": 500})
+        _, pvalue = distribution.chi_square_test({"a": 0.3, "b": 0.7})
+        assert pvalue < 1e-6
+
+    def test_summary_table(self):
+        text = EmpiricalDistribution({"a": 1, "b": 3}).summary(target={"a": 0.25, "b": 0.75})
+        assert "a" in text and "target" in text
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalDistribution({})
+        with pytest.raises(AnalysisError):
+            EmpiricalDistribution({"a": -1})
+
+
+class TestDistances:
+    def test_normalize(self):
+        assert normalize({"a": 2, "b": 2}) == {"a": 0.5, "b": 0.5}
+
+    def test_normalize_validation(self):
+        with pytest.raises(AnalysisError):
+            normalize({})
+        with pytest.raises(AnalysisError):
+            normalize({"a": 0.0})
+        with pytest.raises(AnalysisError):
+            normalize({"a": -1.0, "b": 2.0})
+
+    def test_total_variation_identity(self):
+        p = {"a": 0.3, "b": 0.7}
+        assert total_variation(p, p) == pytest.approx(0.0)
+
+    def test_total_variation_disjoint(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_total_variation_symmetry(self):
+        p, q = {"a": 0.2, "b": 0.8}, {"a": 0.6, "b": 0.4}
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+
+    def test_kl_divergence_zero_on_identical(self):
+        p = {"a": 0.4, "b": 0.6}
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_kl_divergence_infinite_on_missing_support(self):
+        assert math.isinf(kl_divergence({"a": 0.5, "b": 0.5}, {"a": 1.0}))
+
+    def test_kl_known_value(self):
+        value = kl_divergence({"a": 1.0, "b": 0.0}, {"a": 0.5, "b": 0.5})
+        assert value == pytest.approx(math.log(2))
+
+    def test_jensen_shannon_bounded_and_symmetric(self):
+        p, q = {"a": 0.9, "b": 0.1}, {"a": 0.1, "b": 0.9}
+        js = jensen_shannon(p, q)
+        assert 0 <= js <= math.log(2) + 1e-12
+        assert js == pytest.approx(jensen_shannon(q, p))
+
+    def test_hellinger_range(self):
+        assert hellinger({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+        assert hellinger({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == pytest.approx(0.0)
+
+    def test_unnormalized_inputs_accepted(self):
+        assert total_variation({"a": 3, "b": 7}, {"a": 0.3, "b": 0.7}) == pytest.approx(0.0)

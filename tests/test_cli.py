@@ -1,0 +1,118 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_parser_lists_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("synthesize", "simulate", "settle", "figure3", "figure5",
+                        "example1", "example2"):
+            assert command in text
+
+
+class TestSynthesizeAndSimulate:
+    def test_synthesize_prints_design(self, capsys):
+        code = main(["synthesize", "--probabilities", "a=0.3,b=0.7", "--pretty"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outcomes : a, b" in out
+        assert "initializing" in out
+
+    def test_synthesize_writes_json_and_simulate_reads_it(self, tmp_path, capsys):
+        design = tmp_path / "design.json"
+        assert main(["synthesize", "--probabilities", "a=0.25,b=0.75",
+                     "-o", str(design)]) == 0
+        capsys.readouterr()
+        assert design.exists()
+
+        code = main(["simulate", str(design), "--trials", "150", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ensemble of 150 trials" in out
+        assert "working[b]" in out
+
+    def test_bad_probability_string(self, capsys):
+        code = main(["synthesize", "--probabilities", "not-a-mapping"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_distribution_reports_error(self, capsys):
+        code = main(["synthesize", "--probabilities", "a=0.5,b=0.9"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
+class TestSettle:
+    def test_settle_logarithm(self, capsys):
+        code = main(["settle", "--module", "logarithm", "--inputs", "x=16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'y': 4" in out
+
+    def test_settle_linear_with_gain(self, capsys):
+        code = main(["settle", "--module", "linear", "--alpha", "2", "--beta", "3",
+                     "--inputs", "x=10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'y': 15" in out
+
+    def test_settle_polynomial(self, capsys):
+        code = main(["settle", "--module", "polynomial", "--coefficients", "1,0,2",
+                     "--inputs", "x=3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'y': 19" in out
+
+    def test_settle_isolation_no_inputs(self, capsys):
+        code = main(["settle", "--module", "isolation"])
+        assert code == 0
+        assert "'y': 1" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_figure3_small(self, capsys):
+        code = main(["figure3", "--gammas", "1,100", "--trials", "80", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+        assert "error %" in out
+
+    def test_example1(self, capsys):
+        code = main(["example1", "--trials", "120", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TV distance" in out
+
+    def test_example2(self, capsys):
+        code = main(["example2", "--trials", "100", "--x1", "5", "--x2", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "X1=5" in out
+        assert "TV distance" in out
+
+    def test_figure5_minimal(self, capsys):
+        code = main(["figure5", "--moi", "1,4,8", "--trials", "25", "--skip-natural"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 5" in out

@@ -1,0 +1,90 @@
+"""Tests for the Figure-3 error model (repro.core.error_model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PAPER_GAMMA_VALUES,
+    build_error_experiment_network,
+    classify_trial,
+    estimate_error_rate,
+    gamma_sweep,
+)
+from repro.core.error_model import ErrorEstimate
+from repro.errors import SynthesisError
+from repro.sim import CategoryFiringCondition, SimulationOptions, make_simulator
+
+
+class TestExperimentNetwork:
+    def test_paper_configuration(self):
+        """Three outcomes, each input type at 100 molecules, unit initializing rate."""
+        network = build_error_experiment_network(gamma=100.0)
+        for label in ("1", "2", "3"):
+            assert network.initial_count(f"e_{label}") == 100
+        for _, reaction in network.reactions_in_category("initializing"):
+            assert reaction.rate == pytest.approx(1.0)
+        for _, reaction in network.reactions_in_category("purifying"):
+            assert reaction.rate == pytest.approx(100.0**2)
+
+    def test_custom_outcome_count(self):
+        network = build_error_experiment_network(gamma=10.0, n_outcomes=4)
+        assert len(network.reactions_in_category("initializing")) == 4
+        assert len(network.reactions_in_category("purifying")) == 6
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            build_error_experiment_network(gamma=10.0, n_outcomes=1)
+
+
+class TestClassification:
+    def test_intended_and_actual_labels(self):
+        network = build_error_experiment_network(gamma=1000.0)
+        simulator = make_simulator(network, seed=5)
+        trajectory = simulator.run(
+            stopping=CategoryFiringCondition("working", 10),
+            options=SimulationOptions(record_firings=True),
+        )
+        classified = classify_trial(trajectory, network)
+        assert classified is not None
+        intended, actual = classified
+        assert intended in {"1", "2", "3"}
+        assert actual in {"1", "2", "3"}
+
+    def test_undecided_when_nothing_fired(self):
+        network = build_error_experiment_network(gamma=10.0)
+        simulator = make_simulator(network, seed=6)
+        trajectory = simulator.run(options=SimulationOptions(max_steps=1, record_firings=True))
+        # One firing cannot both initialize and reach 10 working firings.
+        assert classify_trial(trajectory, network) is None
+
+
+class TestErrorEstimates:
+    def test_error_estimate_properties(self):
+        estimate = ErrorEstimate(gamma=10.0, n_trials=100, n_errors=5, n_undecided=20)
+        assert estimate.error_rate == pytest.approx(5 / 80)
+        assert estimate.error_percent == pytest.approx(100 * 5 / 80)
+
+    def test_error_rate_zero_when_all_undecided(self):
+        estimate = ErrorEstimate(gamma=10.0, n_trials=10, n_errors=0, n_undecided=10)
+        assert estimate.error_rate == 0.0
+
+    def test_error_decreases_with_gamma(self):
+        """The headline claim of Figure 3: larger γ → smaller error."""
+        low = estimate_error_rate(1.0, n_trials=250, seed=1)
+        high = estimate_error_rate(100.0, n_trials=250, seed=2)
+        assert low.error_rate > high.error_rate
+        assert low.error_rate > 0.1          # γ=1: tens of percent
+        assert high.error_rate < 0.1         # γ=100: around a percent
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            estimate_error_rate(10.0, n_trials=0)
+
+    def test_gamma_sweep_structure(self):
+        points = gamma_sweep([1.0, 10.0], n_trials=60, seed=3)
+        assert [p.gamma for p in points] == [1.0, 10.0]
+        assert all(0.0 <= p.estimate.error_rate <= 1.0 for p in points)
+
+    def test_paper_gamma_grid(self):
+        assert PAPER_GAMMA_VALUES == (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)

@@ -1,0 +1,148 @@
+"""Tests for the lambda bacteriophage application (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.lambda_phage import (
+    CI2_THRESHOLD,
+    CRO2_THRESHOLD,
+    LYSIS,
+    LYSOGENY,
+    NaturalLambdaSurrogate,
+    PAPER_MOI_VALUES,
+    SyntheticLambdaModel,
+    build_synthetic_model,
+    figure4_network,
+    fit_response_data,
+    paper_equation_14,
+    target_response_curve,
+)
+from repro.lambda_phage.experiment import run_figure5_experiment, simulate_synthetic_moi
+
+
+class TestFitModule:
+    def test_paper_moi_grid(self):
+        assert PAPER_MOI_VALUES == tuple(range(1, 11))
+
+    def test_target_curve_values(self):
+        curve = target_response_curve([1, 2, 4, 8])
+        assert curve[1.0] == pytest.approx(15 + 1 / 6)
+        assert curve[8.0] == pytest.approx(15 + 18 + 8 / 6)
+
+    def test_fit_recovers_eq14_from_its_own_curve(self):
+        fit = fit_response_data(target_response_curve())
+        assert fit.intercept == pytest.approx(15.0, abs=1e-6)
+        assert fit.log_coefficient == pytest.approx(6.0, abs=1e-6)
+        assert fit.linear_coefficient == pytest.approx(1 / 6, abs=1e-6)
+
+
+class TestFigure4Literal:
+    def test_census_matches_paper(self):
+        """Section 3.2: 'a model with 19 reactions in 17 types'."""
+        network = figure4_network(moi=1)
+        assert network.size == 19
+        assert len(network.species) == 17
+
+    def test_initial_quantities(self):
+        network = figure4_network(moi=3)
+        assert network.initial_count("e1") == 15
+        assert network.initial_count("e2") == 85
+        assert network.initial_count("b") == 1
+        assert network.initial_count("moi") == 3
+        assert network.initial_count("f1") >= CRO2_THRESHOLD
+        assert network.initial_count("f2") >= CI2_THRESHOLD
+
+    def test_rate_extremes(self):
+        network = figure4_network()
+        rates = [r.rate for r in network.reactions]
+        assert min(rates) == pytest.approx(1e-9)
+        assert max(rates) == pytest.approx(1e9)
+
+    def test_moi_validation(self):
+        with pytest.raises(SynthesisError):
+            figure4_network(moi=0)
+
+
+class TestNaturalSurrogate:
+    def test_probability_follows_eq14(self):
+        surrogate = NaturalLambdaSurrogate()
+        assert surrogate.lysogeny_probability(4) == pytest.approx(
+            paper_equation_14(4) / 100.0
+        )
+
+    def test_network_structure(self):
+        surrogate = NaturalLambdaSurrogate(scale=100)
+        network = surrogate.network_for_moi(5)
+        assert network.metadata["moi"] == 5.0
+        # Two-outcome stochastic module: 9 reactions.
+        assert network.size == 9
+        total_inputs = network.initial_count(f"e_{LYSOGENY}") + network.initial_count(
+            f"e_{LYSIS}"
+        )
+        assert total_inputs == 100
+
+    def test_simulated_point_matches_target(self):
+        surrogate = NaturalLambdaSurrogate()
+        estimate = surrogate.simulate_moi(4, n_trials=150, seed=11)
+        assert estimate.percent == pytest.approx(paper_equation_14(4), abs=9.0)
+
+    def test_response_curve_keys(self):
+        surrogate = NaturalLambdaSurrogate()
+        curve = surrogate.response_curve([1, 2], n_trials=40, seed=3)
+        assert set(curve) == {1.0, 2.0}
+
+
+class TestSyntheticModel:
+    def test_structure_mirrors_paper_decomposition(self):
+        network = build_synthetic_model(moi=2)
+        categories = network.categories()
+        for expected in ("fanout", "logarithm", "linear", "assimilation",
+                         "initializing", "reinforcing", "stabilizing", "purifying", "working"):
+            assert expected in categories, expected
+        assert network.initial_count("moi") == 2
+        # Base quantities 15 / 85 programmed into the stochastic module inputs.
+        assert network.initial_count(f"e_{LYSOGENY}") == 15
+        assert network.initial_count(f"e_{LYSIS}") == 85
+
+    def test_outputs_and_thresholds(self):
+        model = SyntheticLambdaModel()
+        network = model.build(1)
+        assert network.has_species("cro2") and network.has_species("ci2")
+        assert model.expected_lysogeny_percent(8) == pytest.approx(34.333, abs=1e-3)
+
+    def test_moi_validation(self):
+        with pytest.raises(SynthesisError):
+            SyntheticLambdaModel().build(0)
+
+    def test_response_tracks_equation14_at_low_and_high_moi(self):
+        """The synthesized chemistry must reproduce the MOI dependence (Figure 5)."""
+        model = SyntheticLambdaModel()
+        low = simulate_synthetic_moi(model, 1, n_trials=150, seed=21)
+        high = simulate_synthetic_moi(model, 8, n_trials=150, seed=22)
+        assert low.percent == pytest.approx(paper_equation_14(1), abs=9.0)
+        assert high.percent == pytest.approx(paper_equation_14(8), abs=10.0)
+        assert high.percent > low.percent
+
+
+class TestFigure5Experiment:
+    def test_small_sweep_report(self):
+        result = run_figure5_experiment(
+            moi_values=[1, 4, 8], n_trials=60, seed=5
+        )
+        assert len(result.points) == 3
+        assert result.natural_fit is not None and result.synthetic_fit is not None
+        # The fitted curves should rise with MOI like Eq. 14 does.
+        assert result.synthetic_fit.predict(8.0)[0] > result.synthetic_fit.predict(1.0)[0]
+        text = result.summary()
+        assert "Figure 5" in text
+        assert "natural fit" in text and "synthetic fit" in text
+
+    def test_natural_only_sweep(self):
+        result = run_figure5_experiment(
+            moi_values=[2, 6], n_trials=40, seed=6, include_synthetic=False
+        )
+        assert result.synthetic_fit is None
+        assert all(p.synthetic is None for p in result.points)
+        assert "natural" in result.table()

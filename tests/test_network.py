@@ -1,0 +1,133 @@
+"""Tests for repro.crn.network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import NetworkBuilder, Reaction, ReactionNetwork, Species
+from repro.errors import CRNError, SpeciesError
+
+
+@pytest.fixture
+def simple_network() -> ReactionNetwork:
+    return ReactionNetwork(
+        [
+            Reaction({"e1": 1}, {"d1": 1}, rate=1.0, name="init[1]", category="initializing"),
+            Reaction({"e2": 1}, {"d2": 1}, rate=1.0, name="init[2]", category="initializing"),
+            Reaction({"d1": 1, "d2": 1}, {}, rate=1e6, name="purify", category="purifying"),
+        ],
+        initial_state={"e1": 30, "e2": 70},
+        name="simple",
+    )
+
+
+class TestConstruction:
+    def test_size_and_species(self, simple_network):
+        assert simple_network.size == 3
+        assert {s.name for s in simple_network.species} == {"e1", "e2", "d1", "d2"}
+
+    def test_initial_counts(self, simple_network):
+        assert simple_network.initial_count("e1") == 30
+        assert simple_network.initial_count("d1") == 0
+
+    def test_add_reaction_returns_index(self, simple_network):
+        index = simple_network.add_reaction(Reaction({"d1": 1}, {"o": 1}, rate=1.0))
+        assert index == 3
+        assert simple_network.size == 4
+
+    def test_declared_species_kept(self):
+        net = ReactionNetwork(species=["ghost"])
+        assert Species("ghost") in net.species
+
+    def test_initial_state_species_kept(self):
+        net = ReactionNetwork(initial_state={"x": 3})
+        assert Species("x") in net.species
+
+    def test_add_non_reaction_rejected(self, simple_network):
+        with pytest.raises(CRNError):
+            simple_network.add_reaction("a -> b")
+
+    def test_species_order_sorted(self, simple_network):
+        names = [s.name for s in simple_network.species_order]
+        assert names == sorted(names)
+
+
+class TestQueries:
+    def test_index_of(self, simple_network):
+        assert simple_network.index_of("init[2]") == 1
+
+    def test_index_of_missing_raises(self, simple_network):
+        with pytest.raises(CRNError):
+            simple_network.index_of("nope")
+
+    def test_reactions_in_category(self, simple_network):
+        pairs = simple_network.reactions_in_category("initializing")
+        assert [index for index, _ in pairs] == [0, 1]
+
+    def test_categories(self, simple_network):
+        assert simple_network.categories() == {"initializing", "purifying"}
+
+    def test_require_species_passes(self, simple_network):
+        simple_network.require_species("e1", "d2")
+
+    def test_require_species_raises(self, simple_network):
+        with pytest.raises(SpeciesError):
+            simple_network.require_species("e1", "missing")
+
+    def test_initial_state_returns_copy(self, simple_network):
+        state = simple_network.initial_state
+        state["e1"] = 0
+        assert simple_network.initial_count("e1") == 30
+
+
+class TestTransformations:
+    def test_copy_independent(self, simple_network):
+        copy = simple_network.copy()
+        copy.set_initial("e1", 99)
+        assert simple_network.initial_count("e1") == 30
+
+    def test_renamed(self, simple_network):
+        renamed = simple_network.renamed({"e1": "input_a"})
+        assert renamed.initial_count("input_a") == 30
+        assert not renamed.has_species("e1")
+        assert renamed.size == simple_network.size
+
+    def test_renamed_merges_initials(self):
+        net = ReactionNetwork(initial_state={"a": 2, "b": 3})
+        merged = net.renamed({"b": "a"})
+        assert merged.initial_count("a") == 5
+
+    def test_merged(self, simple_network):
+        other = ReactionNetwork(
+            [Reaction({"x": 1}, {"y": 1}, rate=1.0)], initial_state={"x": 5, "e1": 1}
+        )
+        merged = simple_network.merged(other)
+        assert merged.size == 4
+        assert merged.initial_count("e1") == 31
+        assert merged.initial_count("x") == 5
+
+    def test_scaled_rates(self, simple_network):
+        scaled = simple_network.scaled_rates(10.0)
+        assert scaled.reaction(0).rate == pytest.approx(10.0)
+        assert scaled.reaction(2).rate == pytest.approx(1e7)
+
+    def test_equality(self, simple_network):
+        assert simple_network == simple_network.copy()
+        other = simple_network.copy()
+        other.set_initial("e1", 1)
+        assert simple_network != other
+
+
+class TestRendering:
+    def test_summary_mentions_counts(self, simple_network):
+        text = simple_network.summary()
+        assert "species   : 4" in text
+        assert "reactions : 3" in text
+
+    def test_pretty_lists_reactions(self, simple_network):
+        text = simple_network.pretty()
+        assert "e1 ->{1} d1" in text
+        assert "initial state" in text
+
+    def test_iteration_and_len(self, simple_network):
+        assert len(list(simple_network)) == len(simple_network) == 3

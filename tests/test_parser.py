@@ -1,0 +1,111 @@
+"""Tests for the reaction text DSL (repro.crn.parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import (
+    Reaction,
+    Species,
+    format_network,
+    format_reaction,
+    parse_network,
+    parse_reaction,
+)
+from repro.errors import ParseError
+
+
+class TestParseReaction:
+    def test_simple(self):
+        r = parse_reaction("a + b ->{10} 2 c")
+        assert r == Reaction({"a": 1, "b": 1}, {"c": 2}, rate=10.0)
+
+    def test_scientific_rate(self):
+        assert parse_reaction("e1 ->{1e-9} d1").rate == pytest.approx(1e-9)
+
+    def test_coefficient_attached_to_name(self):
+        r = parse_reaction("2e3 ->{1} d")
+        assert r.reactants == {Species("e3"): 2}
+
+    def test_empty_product_zero(self):
+        assert parse_reaction("d1 + d2 ->{1e6} 0").products == {}
+
+    def test_empty_product_symbol(self):
+        assert parse_reaction("d1 ->{1} ∅").products == {}
+
+    def test_empty_reactant_source(self):
+        r = parse_reaction("0 ->{2} x")
+        assert r.reactants == {} and r.products == {Species("x"): 1}
+
+    def test_repeated_species_accumulate(self):
+        r = parse_reaction("x + x ->{1} y")
+        assert r.reactants == {Species("x"): 2}
+
+    def test_comment_stripped(self):
+        assert parse_reaction("a ->{1} b  # a comment").products == {Species("b"): 1}
+
+    def test_name_and_category_attached(self):
+        r = parse_reaction("a ->{1} b", name="n", category="c")
+        assert (r.name, r.category) == ("n", "c")
+
+    def test_primes_supported(self):
+        r = parse_reaction("x' ->{1} x")
+        assert Species("x'") in r.reactants
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a -> b",                 # missing rate braces
+            "a ->{} b",               # empty rate
+            "a ->{fast} b",           # non-numeric rate
+            "->{1} b",                # empty left side
+            "a ->{1}",                # empty right side
+            "a ->{0} b",              # zero rate
+            "a ->{1} -2 b",           # negative coefficient
+            "",                        # blank
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_reaction(bad)
+
+
+class TestParseNetwork:
+    def test_network_with_inits_and_comments(self):
+        net = parse_network(
+            """
+            # paper example
+            init: e1 = 30
+            init: e2 = 40
+            e1 ->{1} d1
+            e2 ->{1} d2   # second
+            """
+        )
+        assert net.size == 2
+        assert net.initial_count("e1") == 30
+        assert net.initial_count("e2") == 40
+
+    def test_initial_state_argument_overrides(self):
+        net = parse_network("init: x = 1\nx ->{1} y", initial_state={"x": 9})
+        assert net.initial_count("x") == 9
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_network("x ->{1} y\n\nbroken line\n")
+
+    def test_accepts_iterable_of_lines(self):
+        net = parse_network(["a ->{1} b", "b ->{2} c"])
+        assert net.size == 2
+
+
+class TestRoundTrip:
+    def test_reaction_roundtrip(self):
+        original = Reaction({"a": 2, "b": 1}, {}, rate=1e3)
+        assert parse_reaction(format_reaction(original)) == original
+
+    def test_network_roundtrip(self, race_network):
+        text = format_network(race_network)
+        reparsed = parse_network(text)
+        assert reparsed.size == race_network.size
+        assert reparsed.initial_state == race_network.initial_state
+        assert list(reparsed.reactions) == list(race_network.reactions)

@@ -1,0 +1,85 @@
+"""Tests (including property-based tests) for the indexed priority queue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import IndexedPriorityQueue
+
+
+class TestBasics:
+    def test_min_of_initial_keys(self):
+        q = IndexedPriorityQueue([3.0, 1.0, 2.0])
+        assert q.min() == (1, 1.0)
+
+    def test_update_raises_key(self):
+        q = IndexedPriorityQueue([3.0, 1.0, 2.0])
+        q.update(1, 5.0)
+        assert q.min() == (2, 2.0)
+
+    def test_update_lowers_key(self):
+        q = IndexedPriorityQueue([3.0, 1.0, 2.0])
+        q.update(0, 0.5)
+        assert q.min() == (0, 0.5)
+
+    def test_key_lookup(self):
+        q = IndexedPriorityQueue([3.0, 1.0])
+        assert q.key(0) == 3.0
+        q.update(0, 9.0)
+        assert q.key(0) == 9.0
+
+    def test_infinite_keys_supported(self):
+        q = IndexedPriorityQueue([math.inf, 2.0, math.inf])
+        assert q.min() == (1, 2.0)
+        assert q.finite_items() == [1]
+
+    def test_empty_queue_min_raises(self):
+        with pytest.raises(IndexError):
+            IndexedPriorityQueue([]).min()
+
+    def test_len_and_as_dict(self):
+        q = IndexedPriorityQueue([1.0, 2.0])
+        assert len(q) == 2
+        assert q.as_dict() == {0: 1.0, 1: 2.0}
+
+    def test_is_valid_after_operations(self):
+        q = IndexedPriorityQueue([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert q.is_valid()
+        q.update(4, 10.0)
+        q.update(0, 0.0)
+        assert q.is_valid()
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=40))
+def test_property_min_matches_python_min(keys):
+    q = IndexedPriorityQueue(keys)
+    item, key = q.min()
+    assert key == min(keys)
+    assert keys[item] == key
+    assert q.is_valid()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    keys=st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=25),
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=24), st.floats(min_value=0, max_value=1e6)),
+        max_size=30,
+    ),
+)
+def test_property_updates_preserve_heap_invariant(keys, updates):
+    q = IndexedPriorityQueue(keys)
+    shadow = list(keys)
+    for item, new_key in updates:
+        item = item % len(shadow)
+        q.update(item, new_key)
+        shadow[item] = new_key
+        assert q.is_valid()
+        min_item, min_key = q.min()
+        assert min_key == min(shadow)
+        assert shadow[min_item] == min_key

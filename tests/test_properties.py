@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import hellinger, jensen_shannon, normalize, total_variation
+from repro.core import DistributionSpec, quantize_distribution
+from repro.core.stochastic_module import build_stochastic_module, expected_first_firing_distribution
+from repro.crn import Reaction, State
+from repro.sim import combinations
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+species_names = st.sampled_from(["a", "b", "c", "d", "e1", "e2", "x", "y"])
+side_strategy = st.dictionaries(species_names, st.integers(min_value=1, max_value=3), max_size=3)
+counts_strategy = st.dictionaries(species_names, st.integers(min_value=0, max_value=50), max_size=6)
+
+probability_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=6
+).filter(lambda values: sum(values) > 1e-6)
+
+
+def normalized(values):
+    total = sum(values)
+    return [v / total for v in values]
+
+
+# ---------------------------------------------------------------------------
+# state / reaction invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(counts=counts_strategy, reactants=side_strategy, products=side_strategy)
+def test_reaction_application_conserves_stoichiometry(counts, reactants, products):
+    assume(reactants or products)
+    reaction = Reaction(reactants, products, rate=1.0)
+    state = State(counts)
+    if not state.can_fire(reaction):
+        with pytest.raises(Exception):
+            state.apply(reaction)
+        return
+    before = state.to_dict()
+    state.apply(reaction)
+    after = state.to_dict()
+    for species, delta in reaction.net_change().items():
+        assert after.get(species.name, 0) - before.get(species.name, 0) == delta
+    untouched = set(before) | set(after)
+    for name in untouched:
+        if all(name != s.name for s in reaction.net_change()):
+            assert before.get(name, 0) == after.get(name, 0)
+    # Counts never go negative by construction.
+    assert all(v >= 0 for v in after.values())
+
+
+@settings(max_examples=150, deadline=None)
+@given(reactants=side_strategy, products=side_strategy, rate=st.floats(min_value=1e-6, max_value=1e6))
+def test_reaction_rename_roundtrip(reactants, products, rate):
+    assume(reactants or products)
+    reaction = Reaction(reactants, products, rate=rate)
+    mapping = {name: f"ns.{name}" for name in {s.name for s in reaction.species}}
+    inverse = {v: k for k, v in mapping.items()}
+    assert reaction.rename_species(mapping).rename_species(inverse) == reaction
+
+
+@settings(max_examples=100, deadline=None)
+@given(count=st.integers(min_value=0, max_value=200), needed=st.integers(min_value=0, max_value=4))
+def test_combinations_matches_binomial(count, needed):
+    assert combinations(count, needed) == math.comb(count, needed)
+
+
+# ---------------------------------------------------------------------------
+# quantization and programmed distributions
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=probability_lists, scale=st.integers(min_value=1, max_value=500))
+def test_quantize_distribution_sums_to_scale(values, scale):
+    probabilities = normalized(values)
+    counts = quantize_distribution(probabilities, scale)
+    assert sum(counts) == scale
+    assert all(c >= 0 for c in counts)
+    # Every count stays within the number of outcomes of the unconstrained
+    # ideal (largest-remainder rounding plus the keep-one-molecule adjustment).
+    for probability, count in zip(probabilities, counts):
+        assert abs(count - probability * scale) <= len(probabilities) + 1e-9
+    # Outcomes with positive probability are never starved when there is room.
+    if scale >= len(probabilities):
+        for probability, count in zip(probabilities, counts):
+            if probability > 1e-3:
+                assert count >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=probability_lists)
+def test_programmed_distribution_matches_quantities(values):
+    probabilities = normalized(values)
+    assume(all(p > 0.01 for p in probabilities))
+    labels = [f"o{i}" for i in range(len(probabilities))]
+    spec = DistributionSpec(labels, probabilities)
+    quantities = spec.initial_quantities(1000)
+    programmed = expected_first_firing_distribution(quantities)
+    for label, probability in zip(labels, probabilities):
+        assert programmed[label] == pytest.approx(probability, abs=2e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=4),
+    gamma=st.floats(min_value=1.0, max_value=1e4),
+)
+def test_stochastic_module_structure_invariants(values, gamma):
+    """For any spec, the generated module has the right census and rate ordering."""
+    probabilities = normalized(values)
+    labels = [f"t{i}" for i in range(len(probabilities))]
+    spec = DistributionSpec(labels, probabilities)
+    network = build_stochastic_module(spec, gamma=gamma, scale=100)
+    n = len(labels)
+    assert len(network.reactions_in_category("initializing")) == n
+    assert len(network.reactions_in_category("reinforcing")) == n
+    assert len(network.reactions_in_category("working")) == n
+    assert len(network.reactions_in_category("stabilizing")) == n * (n - 1)
+    assert len(network.reactions_in_category("purifying")) == n * (n - 1) // 2
+    # Rate ordering: initializing ≈ working ≤ reinforcing = stabilizing ≤ purifying.
+    init_rate = network.reactions_in_category("initializing")[0][1].rate
+    reinforce_rate = network.reactions_in_category("reinforcing")[0][1].rate
+    purify_rate = network.reactions_in_category("purifying")[0][1].rate
+    assert init_rate <= reinforce_rate <= purify_rate
+    # Input quantities realize the target distribution up to 1/scale granularity.
+    total = sum(network.initial_count(f"e_{label}") for label in labels)
+    assert total == 100
+
+
+# ---------------------------------------------------------------------------
+# distribution distances
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def paired_distributions(draw):
+    """Two distributions over the same label set (as dictionaries)."""
+    size = draw(st.integers(min_value=2, max_value=6))
+    positive_list = st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=size,
+        max_size=size,
+    ).filter(lambda values: sum(values) > 1e-6)
+    p = normalized(draw(positive_list))
+    q = normalized(draw(positive_list))
+    labels = [f"l{i}" for i in range(size)]
+    return dict(zip(labels, p)), dict(zip(labels, q))
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair=paired_distributions())
+def test_total_variation_is_a_metric(pair):
+    p_map, q_map = pair
+    tv = total_variation(p_map, q_map)
+    assert 0.0 <= tv <= 1.0 + 1e-12
+    assert tv == pytest.approx(total_variation(q_map, p_map))
+    assert total_variation(p_map, p_map) == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=paired_distributions())
+def test_hellinger_and_js_bounds(pair):
+    p_map, q_map = pair
+    assert 0.0 <= hellinger(p_map, q_map) <= 1.0 + 1e-12
+    assert 0.0 <= jensen_shannon(p_map, q_map) <= math.log(2) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=probability_lists)
+def test_normalize_produces_distribution(values):
+    labels = [f"l{i}" for i in range(len(values))]
+    result = normalize(dict(zip(labels, values)))
+    assert sum(result.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in result.values())

@@ -1,0 +1,210 @@
+"""Tests for rate ladders and synthesis specifications (repro.core.rates / spec)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AffineResponseSpec,
+    DistributionSpec,
+    OutcomeSpec,
+    RateLadder,
+    TierScheme,
+    quantize_distribution,
+)
+from repro.core.rates import STOCHASTIC_CATEGORIES
+from repro.errors import RateLadderError, SpecificationError
+
+
+class TestRateLadder:
+    def test_equation_1_relationships(self):
+        """γ·k = k' = k'' = k'''/γ = γ·k'''' (Equation 1)."""
+        ladder = RateLadder(gamma=50.0, base_rate=2.0)
+        assert ladder.reinforcing == pytest.approx(ladder.gamma * ladder.initializing)
+        assert ladder.stabilizing == pytest.approx(ladder.reinforcing)
+        assert ladder.purifying == pytest.approx(ladder.gamma * ladder.reinforcing)
+        assert ladder.working == pytest.approx(ladder.initializing)
+
+    def test_paper_example_rates(self):
+        """Example 1 uses rates 1 / 10³ / 10⁶."""
+        ladder = RateLadder.paper_example()
+        assert ladder.initializing == pytest.approx(1.0)
+        assert ladder.reinforcing == pytest.approx(1e3)
+        assert ladder.purifying == pytest.approx(1e6)
+
+    def test_rate_for_category(self):
+        ladder = RateLadder(gamma=10.0)
+        for category in STOCHASTIC_CATEGORIES:
+            assert ladder.rate_for(category) > 0
+        assert ladder.as_dict()["purifying"] == pytest.approx(100.0)
+
+    def test_unknown_category(self):
+        with pytest.raises(RateLadderError):
+            RateLadder(gamma=10.0).rate_for("mystery")
+
+    @pytest.mark.parametrize("gamma, base", [(0.5, 1.0), (10.0, 0.0), (10.0, -1.0)])
+    def test_validation(self, gamma, base):
+        with pytest.raises(RateLadderError):
+            RateLadder(gamma=gamma, base_rate=base)
+
+
+class TestTierScheme:
+    def test_ordering_is_monotonic(self):
+        scheme = TierScheme(separation=10.0, base_rate=1.0)
+        rates = [scheme.rate(tier) for tier in TierScheme.TIERS]
+        assert rates == sorted(rates)
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[-1] == pytest.approx(10.0 ** (len(TierScheme.TIERS) - 1))
+
+    def test_shifted(self):
+        scheme = TierScheme(separation=10.0, base_rate=1.0)
+        shifted = scheme.shifted(2)
+        assert shifted.rate("slowest") == pytest.approx(scheme.rate("slow"))
+
+    def test_unknown_tier(self):
+        with pytest.raises(RateLadderError):
+            TierScheme().rate("hyper")
+
+    def test_validation(self):
+        with pytest.raises(RateLadderError):
+            TierScheme(separation=1.0)
+        with pytest.raises(RateLadderError):
+            TierScheme(base_rate=0.0)
+
+    def test_as_dict(self):
+        assert set(TierScheme().as_dict()) == set(TierScheme.TIERS)
+
+
+class TestOutcomeSpec:
+    def test_defaults(self):
+        spec = OutcomeSpec("win")
+        assert spec.output_species == {"o_win": 1}
+        assert spec.food_species == "f_win"
+
+    def test_custom_outputs(self):
+        spec = OutcomeSpec("L", outputs={"cro2": 2}, food="fuel", target_output=500)
+        assert spec.output_species == {"cro2": 2}
+        assert spec.food_species == "fuel"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"label": ""},
+            {"label": "x", "target_output": 0},
+            {"label": "x", "outputs": {"o": 0}},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SpecificationError):
+            OutcomeSpec(**kwargs)
+
+
+class TestDistributionSpec:
+    def test_basic(self, example1_spec):
+        assert example1_spec.labels == ("1", "2", "3")
+        assert example1_spec.probability_of("2") == pytest.approx(0.4)
+        assert example1_spec.as_dict() == {"1": 0.3, "2": 0.4, "3": 0.3}
+
+    def test_from_weights(self):
+        spec = DistributionSpec.from_weights({"a": 3, "b": 1})
+        assert spec.probability_of("a") == pytest.approx(0.75)
+
+    def test_uniform(self):
+        spec = DistributionSpec.uniform(["x", "y", "z", "w"])
+        assert spec.probability_of("w") == pytest.approx(0.25)
+
+    def test_initial_quantities_match_example1(self, example1_spec):
+        """(0.3, 0.4, 0.3) at scale 100 → E = (30, 40, 30) (Example 1)."""
+        assert example1_spec.initial_quantities(100) == {"1": 30, "2": 40, "3": 30}
+
+    def test_initial_quantities_sum_to_scale(self):
+        spec = DistributionSpec(["a", "b", "c"], [1 / 3, 1 / 3, 1 / 3])
+        quantities = spec.initial_quantities(100)
+        assert sum(quantities.values()) == 100
+
+    @pytest.mark.parametrize(
+        "labels, probs",
+        [
+            (["a"], [1.0]),                      # too few outcomes
+            (["a", "b"], [0.5]),                  # length mismatch
+            (["a", "a"], [0.5, 0.5]),             # duplicate labels
+            (["a", "b"], [0.7, 0.7]),             # doesn't sum to 1
+            (["a", "b"], [-0.1, 1.1]),            # negative
+        ],
+    )
+    def test_validation(self, labels, probs):
+        with pytest.raises(SpecificationError):
+            DistributionSpec(labels, probs)
+
+    def test_unknown_label_lookup(self, example1_spec):
+        with pytest.raises(SpecificationError):
+            example1_spec.probability_of("nope")
+
+
+class TestQuantize:
+    def test_rounds_to_scale(self):
+        assert sum(quantize_distribution([0.301, 0.4, 0.299], 100)) == 100
+
+    def test_largest_remainder(self):
+        assert quantize_distribution([0.305, 0.390, 0.305], 100) == [31, 39, 30]
+
+    def test_small_probability_keeps_a_molecule(self):
+        counts = quantize_distribution([0.004, 0.996], 100)
+        assert counts[0] >= 1
+        assert sum(counts) == 100
+
+    def test_zero_probability_gets_zero(self):
+        assert quantize_distribution([0.0, 1.0], 50) == [0, 50]
+
+    def test_invalid_scale(self):
+        with pytest.raises(SpecificationError):
+            quantize_distribution([0.5, 0.5], 0)
+
+
+class TestAffineResponseSpec:
+    def make_example2(self) -> AffineResponseSpec:
+        return AffineResponseSpec(
+            base={"1": 0.3, "2": 0.4, "3": 0.3},
+            slopes={"1": {"x1": 0.02, "x2": -0.03}, "2": {"x2": 0.03}, "3": {"x1": -0.02}},
+        )
+
+    def test_example2_evaluation(self):
+        spec = self.make_example2()
+        result = spec.evaluate({"x1": 5, "x2": 0})
+        assert result["1"] == pytest.approx(0.4)
+        assert result["3"] == pytest.approx(0.2)
+
+    def test_evaluation_with_both_inputs(self):
+        spec = self.make_example2()
+        result = spec.evaluate({"x1": 5, "x2": 4})
+        assert result["1"] == pytest.approx(0.3 + 0.1 - 0.12)
+        assert result["2"] == pytest.approx(0.4 + 0.12)
+        assert result["3"] == pytest.approx(0.3 - 0.1)
+
+    def test_evaluation_clips_and_renormalizes(self):
+        spec = self.make_example2()
+        result = spec.evaluate({"x1": 100, "x2": 0})    # would push p3 below 0
+        assert result["3"] == 0.0
+        assert sum(result.values()) == pytest.approx(1.0)
+
+    def test_input_names(self):
+        assert self.make_example2().input_names == ("x1", "x2")
+
+    def test_slope_as_fraction(self):
+        spec = self.make_example2()
+        assert spec.slope_as_fraction("1", "x1", 100) == 2
+        assert spec.slope_as_fraction("2", "x2", 100) == 3
+
+    def test_base_must_sum_to_one(self):
+        with pytest.raises(SpecificationError):
+            AffineResponseSpec(base={"a": 0.5, "b": 0.6}, slopes={})
+
+    def test_slopes_must_conserve_probability(self):
+        with pytest.raises(SpecificationError):
+            AffineResponseSpec(
+                base={"a": 0.5, "b": 0.5}, slopes={"a": {"x": 0.1}}  # nothing balances +0.1
+            )
+
+    def test_slopes_for_unknown_outcome_rejected(self):
+        with pytest.raises(SpecificationError):
+            AffineResponseSpec(base={"a": 0.5, "b": 0.5}, slopes={"zz": {"x": 0.0}})

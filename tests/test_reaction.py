@@ -1,0 +1,129 @@
+"""Tests for repro.crn.reaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import Reaction, Species
+from repro.errors import ReactionError
+
+
+@pytest.fixture
+def ab_to_2c() -> Reaction:
+    return Reaction({"a": 1, "b": 1}, {"c": 2}, rate=10.0)
+
+
+class TestConstruction:
+    def test_basic(self, ab_to_2c):
+        assert ab_to_2c.rate == 10.0
+        assert ab_to_2c.reactants == {Species("a"): 1, Species("b"): 1}
+        assert ab_to_2c.products == {Species("c"): 2}
+
+    def test_accepts_pairs_iterable(self):
+        r = Reaction([("a", 1), ("a", 1)], [("b", 1)], rate=1.0)
+        assert r.reactants == {Species("a"): 2}
+
+    def test_zero_coefficients_dropped(self):
+        r = Reaction({"a": 1, "b": 0}, {"c": 1}, rate=1.0)
+        assert Species("b") not in r.reactants
+
+    def test_empty_products_allowed(self):
+        r = Reaction({"d1": 1, "d2": 1}, {}, rate=1e6)
+        assert r.products == {}
+
+    def test_empty_reactants_allowed(self):
+        r = Reaction({}, {"x": 1}, rate=1.0)
+        assert r.reactants == {}
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("inf"), float("nan"), "fast", None])
+    def test_invalid_rates_rejected(self, rate):
+        with pytest.raises(ReactionError):
+            Reaction({"a": 1}, {"b": 1}, rate=rate)
+
+    @pytest.mark.parametrize("coefficient", [-1, 1.5, True])
+    def test_invalid_coefficients_rejected(self, coefficient):
+        with pytest.raises(ReactionError):
+            Reaction({"a": coefficient}, {"b": 1}, rate=1.0)
+
+
+class TestStructure:
+    def test_order(self, ab_to_2c):
+        assert ab_to_2c.order == 2
+
+    def test_order_with_coefficient_two(self):
+        assert Reaction({"x": 2}, {"y": 1}, rate=1.0).order == 2
+
+    def test_species_set(self, ab_to_2c):
+        assert ab_to_2c.species == {Species("a"), Species("b"), Species("c")}
+
+    def test_net_change(self, ab_to_2c):
+        assert ab_to_2c.net_change() == {Species("a"): -1, Species("b"): -1, Species("c"): 2}
+
+    def test_net_change_cancels_catalyst(self):
+        r = Reaction({"d": 1, "f": 1}, {"d": 1, "o": 1}, rate=1.0)
+        change = r.net_change()
+        assert Species("d") not in change
+        assert change == {Species("f"): -1, Species("o"): 1}
+
+    def test_is_catalytic_in(self):
+        r = Reaction({"d": 1, "f": 1}, {"d": 1, "o": 1}, rate=1.0)
+        assert r.is_catalytic_in("d")
+        assert not r.is_catalytic_in("f")
+        assert not r.is_catalytic_in("o")
+
+    def test_coefficient_queries(self, ab_to_2c):
+        assert ab_to_2c.reactant_coefficient("a") == 1
+        assert ab_to_2c.reactant_coefficient("c") == 0
+        assert ab_to_2c.product_coefficient("c") == 2
+
+
+class TestTransformations:
+    def test_scaled(self, ab_to_2c):
+        assert ab_to_2c.scaled(100).rate == pytest.approx(1000.0)
+
+    def test_scaled_preserves_structure(self, ab_to_2c):
+        scaled = ab_to_2c.scaled(2)
+        assert scaled.reactants == ab_to_2c.reactants
+        assert scaled.products == ab_to_2c.products
+
+    def test_with_rate(self, ab_to_2c):
+        assert ab_to_2c.with_rate(3.0).rate == 3.0
+
+    def test_with_name_and_category(self, ab_to_2c):
+        renamed = ab_to_2c.with_name("working[1]", category="working")
+        assert renamed.name == "working[1]"
+        assert renamed.category == "working"
+
+    def test_rename_species(self, ab_to_2c):
+        renamed = ab_to_2c.rename_species({"a": "x", "c": "z"})
+        assert Species("x") in renamed.reactants
+        assert Species("z") in renamed.products
+        assert Species("a") not in renamed.reactants
+
+    def test_rename_merges_collisions(self):
+        r = Reaction({"a": 1, "b": 1}, {"c": 1}, rate=1.0)
+        merged = r.rename_species({"b": "a"})
+        assert merged.reactants == {Species("a"): 2}
+
+
+class TestEqualityAndRendering:
+    def test_equality(self):
+        assert Reaction({"a": 1}, {"b": 1}, rate=2.0) == Reaction({"a": 1}, {"b": 1}, rate=2.0)
+
+    def test_inequality_on_rate(self):
+        assert Reaction({"a": 1}, {"b": 1}, rate=2.0) != Reaction({"a": 1}, {"b": 1}, rate=3.0)
+
+    def test_category_not_in_equality(self):
+        assert Reaction({"a": 1}, {"b": 1}, rate=2.0, category="x") == Reaction(
+            {"a": 1}, {"b": 1}, rate=2.0, category="y"
+        )
+
+    def test_hash_consistent_with_equality(self):
+        assert len({Reaction({"a": 1}, {"b": 1}, rate=2.0),
+                    Reaction({"a": 1}, {"b": 1}, rate=2.0)}) == 1
+
+    def test_str_renders_paper_style(self, ab_to_2c):
+        assert str(ab_to_2c) == "a + b ->{10} 2 c"
+
+    def test_str_empty_products(self):
+        assert str(Reaction({"d1": 1}, {}, rate=1.0)) == "d1 ->{1} ∅"

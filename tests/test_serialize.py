@@ -1,0 +1,77 @@
+"""Tests for JSON serialization of networks (repro.crn.serialize)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.crn import (
+    Reaction,
+    ReactionNetwork,
+    load_network,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+    save_network,
+)
+from repro.crn.serialize import reaction_from_dict, reaction_to_dict
+from repro.errors import SerializationError
+
+
+class TestReactionRoundTrip:
+    def test_roundtrip(self):
+        r = Reaction({"a": 1, "b": 2}, {"c": 1}, rate=2.5, name="r", category="cat")
+        assert reaction_from_dict(reaction_to_dict(r)) == r
+
+    def test_missing_rate_raises(self):
+        with pytest.raises(SerializationError):
+            reaction_from_dict({"reactants": {"a": 1}, "products": {}})
+
+    def test_malformed_counts_raise(self):
+        with pytest.raises(SerializationError):
+            reaction_from_dict({"reactants": {"a": "x"}, "products": {}, "rate": 1.0})
+
+
+class TestNetworkRoundTrip:
+    def test_dict_roundtrip(self, example1_network):
+        data = network_to_dict(example1_network)
+        rebuilt = network_from_dict(data)
+        assert rebuilt == example1_network
+        assert rebuilt.name == example1_network.name
+
+    def test_json_roundtrip(self, race_network):
+        rebuilt = network_from_json(network_to_json(race_network))
+        assert rebuilt == race_network
+
+    def test_json_is_valid_and_sorted(self, race_network):
+        payload = json.loads(network_to_json(race_network))
+        assert "reactions" in payload and "initial_state" in payload
+
+    def test_file_roundtrip(self, tmp_path, race_network):
+        path = save_network(race_network, tmp_path / "net.json")
+        assert path.exists()
+        assert load_network(path) == race_network
+
+    def test_missing_reactions_key(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"name": "x"})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SerializationError):
+            network_from_json("{not json")
+
+    def test_metadata_stringified(self):
+        net = ReactionNetwork(
+            [Reaction({"a": 1}, {"b": 1}, rate=1.0)],
+            metadata={"gamma": 1e3, "nested": {"x": (1, 2)}, "obj": object()},
+        )
+        data = network_to_dict(net)
+        # Must be JSON serializable end to end.
+        json.dumps(data)
+
+    def test_declared_species_survive(self):
+        net = ReactionNetwork([Reaction({"a": 1}, {"b": 1}, rate=1.0)], species=["ghost"])
+        rebuilt = network_from_dict(network_to_dict(net))
+        assert rebuilt.has_species("ghost")

@@ -1,0 +1,86 @@
+"""Tests for repro.crn.species."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import Species, SpeciesRole, as_species, species_list
+from repro.errors import SpeciesError
+
+
+class TestSpeciesConstruction:
+    def test_simple_name(self):
+        assert Species("a").name == "a"
+
+    def test_name_with_digits_and_underscore(self):
+        assert Species("e_1").name == "e_1"
+
+    def test_name_with_prime(self):
+        assert Species("x'").name == "x'"
+
+    def test_name_with_namespace_dot(self):
+        assert Species("log.x").name == "log.x"
+
+    @pytest.mark.parametrize("bad", ["", "1x", "a b", "a+b", "a-b", None, 7])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(SpeciesError):
+            Species(bad)
+
+    def test_default_role_is_generic(self):
+        assert Species("a").role is SpeciesRole.GENERIC
+
+    def test_with_role(self):
+        assert Species("a").with_role(SpeciesRole.INPUT).role is SpeciesRole.INPUT
+
+
+class TestSpeciesEquality:
+    def test_equal_by_name(self):
+        assert Species("a") == Species("a")
+
+    def test_role_does_not_affect_equality(self):
+        assert Species("a", role=SpeciesRole.INPUT) == Species("a", role=SpeciesRole.OUTPUT)
+
+    def test_hashable_and_deduplicates(self):
+        assert len({Species("a"), Species("a"), Species("b")}) == 2
+
+    def test_ordering_by_name(self):
+        assert Species("a") < Species("b")
+
+    def test_str_is_name(self):
+        assert str(Species("cro2")) == "cro2"
+
+
+class TestPrefixing:
+    def test_with_prefix(self):
+        assert Species("x").with_prefix("log").name == "log.x"
+
+    def test_with_prefix_custom_separator(self):
+        assert Species("x").with_prefix("m1", separator="_").name == "m1_x"
+
+    def test_empty_prefix_is_identity(self):
+        s = Species("x")
+        assert s.with_prefix("") is s
+
+    def test_prefix_preserves_role(self):
+        s = Species("x", role=SpeciesRole.FOOD).with_prefix("mod")
+        assert s.role is SpeciesRole.FOOD
+
+
+class TestCoercion:
+    def test_as_species_from_string(self):
+        assert as_species("abc") == Species("abc")
+
+    def test_as_species_passthrough(self):
+        s = Species("a")
+        assert as_species(s) is s
+
+    def test_as_species_with_role(self):
+        assert as_species("a", role=SpeciesRole.CATALYST).role is SpeciesRole.CATALYST
+
+    def test_as_species_rejects_other_types(self):
+        with pytest.raises(SpeciesError):
+            as_species(3.5)
+
+    def test_species_list(self):
+        result = species_list(["a", Species("b")])
+        assert result == [Species("a"), Species("b")]

@@ -1,0 +1,106 @@
+"""Tests for repro.crn.state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crn import Reaction, Species, State
+from repro.errors import CRNError
+
+
+class TestBasics:
+    def test_get_default_zero(self):
+        assert State()["a"] == 0
+
+    def test_set_and_get(self):
+        s = State()
+        s["a"] = 5
+        assert s["a"] == 5
+
+    def test_init_from_mapping(self):
+        s = State({"a": 15, "b": 25})
+        assert (s["a"], s["b"], s["c"]) == (15, 25, 0)
+
+    def test_zero_removes_entry(self):
+        s = State({"a": 2})
+        s["a"] = 0
+        assert Species("a") not in s.species()
+        assert len(s) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CRNError):
+            State({"a": -1})
+
+    @pytest.mark.parametrize("value", [1.5, "x", None])
+    def test_non_integer_rejected(self, value):
+        s = State()
+        with pytest.raises(CRNError):
+            s["a"] = value
+
+    def test_numpy_integer_accepted(self):
+        s = State()
+        s["a"] = np.int64(4)
+        assert s["a"] == 4
+
+    def test_contains_only_positive(self):
+        s = State({"a": 1})
+        assert "a" in s
+        assert "b" not in s
+
+    def test_total(self):
+        assert State({"a": 2, "b": 3}).total() == 5
+
+
+class TestReactionApplication:
+    def test_apply_paper_example(self):
+        # S1 = [15, 25, 0]; a + b -> 2c gives S2 = [14, 24, 2]  (Section 1.1)
+        s = State({"a": 15, "b": 25})
+        s.apply(Reaction({"a": 1, "b": 1}, {"c": 2}, rate=10.0))
+        assert s.to_dict() == {"a": 14, "b": 24, "c": 2}
+
+    def test_can_fire(self):
+        s = State({"a": 1})
+        assert s.can_fire(Reaction({"a": 1}, {"b": 1}, rate=1.0))
+        assert not s.can_fire(Reaction({"a": 2}, {"b": 1}, rate=1.0))
+
+    def test_apply_insufficient_raises(self):
+        s = State({"a": 1})
+        with pytest.raises(CRNError):
+            s.apply(Reaction({"a": 2}, {"b": 1}, rate=1.0))
+
+    def test_applied_returns_copy(self):
+        s = State({"a": 1})
+        s2 = s.applied(Reaction({"a": 1}, {"b": 1}, rate=1.0))
+        assert s["a"] == 1 and s["b"] == 0
+        assert s2["a"] == 0 and s2["b"] == 1
+
+
+class TestConversion:
+    def test_copy_is_independent(self):
+        s = State({"a": 1})
+        c = s.copy()
+        c["a"] = 5
+        assert s["a"] == 1
+
+    def test_to_vector_and_back(self):
+        s = State({"a": 1, "c": 3})
+        order = ["a", "b", "c"]
+        vector = s.to_vector(order)
+        assert vector.tolist() == [1, 0, 3]
+        assert State.from_vector(vector, order) == s
+
+    def test_from_vector_length_mismatch(self):
+        with pytest.raises(CRNError):
+            State.from_vector([1, 2], ["a"])
+
+    def test_key_with_order(self):
+        assert State({"a": 1}).key(["a", "b"]) == (1, 0)
+
+    def test_equality_and_hash(self):
+        assert State({"a": 1}) == State({"a": 1})
+        assert hash(State({"a": 1})) == hash(State({"a": 1}))
+        assert State({"a": 1}) != State({"a": 2})
+
+    def test_repr_sorted(self):
+        assert repr(State({"b": 2, "a": 1})) == "State({a: 1, b: 2})"

@@ -1,0 +1,130 @@
+"""Tests for the stochastic module generator (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DistributionSpec,
+    OutcomeSpec,
+    RateLadder,
+    build_stochastic_module,
+    expected_first_firing_distribution,
+    stochastic_module_quantities,
+)
+from repro.core.rates import STOCHASTIC_CATEGORIES
+from repro.core.stochastic_module import StochasticModuleLayout
+from repro.crn import check_network
+from repro.errors import SpecificationError
+
+
+class TestStructure:
+    def test_reaction_census_three_outcomes(self, example1_network):
+        """3 outcomes → 3 init + 3 reinforce + 3 work + 6 stabilize + 3 purify = 18."""
+        categories = {c: len(example1_network.reactions_in_category(c)) for c in
+                      STOCHASTIC_CATEGORIES}
+        assert categories == {
+            "initializing": 3,
+            "reinforcing": 3,
+            "working": 3,
+            "stabilizing": 6,
+            "purifying": 3,
+        }
+        assert example1_network.size == 18
+
+    def test_reaction_census_two_outcomes(self, tiny_two_outcome_network):
+        """2 outcomes → 2 + 2 + 2 + 2 + 1 = 9 reactions."""
+        assert tiny_two_outcome_network.size == 9
+        assert len(tiny_two_outcome_network.reactions_in_category("purifying")) == 1
+
+    def test_all_categories_present(self, example1_network):
+        check_network(example1_network, expected_categories=STOCHASTIC_CATEGORIES)
+
+    def test_initial_quantities_match_example1(self, example1_network):
+        """E1 = 30, E2 = 40, E3 = 30 as in Example 1."""
+        assert example1_network.initial_count("e_1") == 30
+        assert example1_network.initial_count("e_2") == 40
+        assert example1_network.initial_count("e_3") == 30
+
+    def test_rates_follow_equation_1(self, example1_spec):
+        gamma = 250.0
+        net = build_stochastic_module(example1_spec, gamma=gamma, base_rate=2.0)
+        ladder = RateLadder(gamma=gamma, base_rate=2.0)
+        for category in STOCHASTIC_CATEGORIES:
+            for _, reaction in net.reactions_in_category(category):
+                assert reaction.rate == pytest.approx(ladder.rate_for(category))
+
+    def test_reaction_shapes(self, example1_network):
+        """Each category has the stoichiometric shape defined in Section 2.1.1."""
+        for _, r in example1_network.reactions_in_category("initializing"):
+            assert r.order == 1 and len(r.products) == 1
+        for _, r in example1_network.reactions_in_category("reinforcing"):
+            assert r.order == 2 and sum(r.products.values()) == 2
+        for _, r in example1_network.reactions_in_category("stabilizing"):
+            assert r.order == 2 and sum(r.products.values()) == 1
+        for _, r in example1_network.reactions_in_category("purifying"):
+            assert r.order == 2 and not r.products
+        for _, r in example1_network.reactions_in_category("working"):
+            assert any(r.is_catalytic_in(s) for s in r.reactants)
+
+    def test_food_initialized_to_target_output(self):
+        spec = DistributionSpec(
+            [OutcomeSpec("a", target_output=77), OutcomeSpec("b", target_output=33)],
+            [0.5, 0.5],
+        )
+        net = build_stochastic_module(spec)
+        assert net.initial_count("f_a") == 77
+        assert net.initial_count("f_b") == 33
+
+    def test_custom_outputs_in_working_reaction(self):
+        spec = DistributionSpec(
+            [OutcomeSpec("lys", outputs={"cro2": 1}), OutcomeSpec("lysg", outputs={"ci2": 2})],
+            [0.5, 0.5],
+        )
+        net = build_stochastic_module(spec)
+        working = dict(net.reactions_in_category("working"))
+        products = [set(r.products) for r in working.values()]
+        names = {s.name for group in products for s in group}
+        assert {"cro2", "ci2"} <= names
+
+    def test_custom_layout(self, example1_spec):
+        layout = StochasticModuleLayout(input_prefix="e", catalyst_prefix="d")
+        net = build_stochastic_module(example1_spec, layout=layout)
+        assert net.has_species("e1") and net.has_species("d2")
+
+    def test_metadata_records_design(self, example1_network):
+        meta = example1_network.metadata
+        assert meta["kind"] == "stochastic-module"
+        assert meta["gamma"] == pytest.approx(1e3)
+        assert set(meta["outcomes"]) == {"1", "2", "3"}
+
+
+class TestQuantities:
+    def test_programmed_distribution_formula(self):
+        """p_i = E_i k_i / Σ E_j k_j (Section 2.1.2)."""
+        distribution = expected_first_firing_distribution({"a": 30, "b": 40, "c": 30})
+        assert distribution == {"a": 0.3, "b": 0.4, "c": 0.3}
+
+    def test_formula_with_unequal_rates(self):
+        distribution = expected_first_firing_distribution(
+            {"a": 10, "b": 10}, rates={"a": 3.0, "b": 1.0}
+        )
+        assert distribution["a"] == pytest.approx(0.75)
+
+    def test_formula_rejects_all_zero(self):
+        with pytest.raises(SpecificationError):
+            expected_first_firing_distribution({"a": 0, "b": 0})
+
+    def test_quantities_compensate_unequal_rates(self, example1_spec):
+        """With k_1 doubled, E_1 is halved so the distribution is unchanged."""
+        quantities = stochastic_module_quantities(
+            example1_spec, scale=100, rates={"1": 2.0, "2": 1.0, "3": 1.0}
+        )
+        realized = expected_first_firing_distribution(
+            quantities, rates={"1": 2.0, "2": 1.0, "3": 1.0}
+        )
+        assert realized["1"] == pytest.approx(0.3, abs=0.02)
+        assert realized["2"] == pytest.approx(0.4, abs=0.02)
+
+    def test_quantities_sum_to_scale(self, example1_spec):
+        assert sum(stochastic_module_quantities(example1_spec, scale=250).values()) == 250

@@ -1,0 +1,103 @@
+"""Tests for stoichiometric matrix analysis (repro.crn.stoichiometry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crn import (
+    Reaction,
+    ReactionNetwork,
+    Species,
+    conservation_laws,
+    parse_network,
+    product_matrix,
+    reactant_matrix,
+    stoichiometry_matrix,
+)
+
+
+@pytest.fixture
+def conversion_network() -> ReactionNetwork:
+    """x -> y -> z: total x + y + z is conserved."""
+    return parse_network(
+        """
+        init: x = 10
+        x ->{1} y
+        y ->{2} z
+        """
+    )
+
+
+class TestMatrices:
+    def test_shapes(self, conversion_network):
+        matrix = stoichiometry_matrix(conversion_network)
+        assert matrix.net.shape == (3, 2)
+        assert matrix.n_species == 3
+        assert matrix.n_reactions == 2
+
+    def test_net_is_products_minus_reactants(self, conversion_network):
+        matrix = stoichiometry_matrix(conversion_network)
+        np.testing.assert_array_equal(
+            matrix.net, product_matrix(conversion_network) - reactant_matrix(conversion_network)
+        )
+
+    def test_entries(self, conversion_network):
+        matrix = stoichiometry_matrix(conversion_network)
+        row = matrix.row_index()
+        x, y, z = row[Species("x")], row[Species("y")], row[Species("z")]
+        assert matrix.net[x, 0] == -1 and matrix.net[y, 0] == 1
+        assert matrix.net[y, 1] == -1 and matrix.net[z, 1] == 1
+
+    def test_coefficients_respected(self):
+        net = parse_network("2 a ->{1} 3 b")
+        matrix = stoichiometry_matrix(net)
+        row = matrix.row_index()
+        assert matrix.reactants[row[Species("a")], 0] == 2
+        assert matrix.products[row[Species("b")], 0] == 3
+        assert matrix.net[row[Species("a")], 0] == -2
+
+    def test_rank(self, conversion_network):
+        assert stoichiometry_matrix(conversion_network).rank() == 2
+
+
+class TestConservationLaws:
+    def test_total_mass_conserved_in_chain(self, conversion_network):
+        matrix = stoichiometry_matrix(conversion_network)
+        laws = conservation_laws(matrix)
+        assert len(laws) == 1
+        weights = laws[0]
+        values = {s.name: w for s, w in weights.items()}
+        # x + y + z conserved: all weights equal (up to normalization).
+        assert pytest.approx(values["x"], rel=1e-6) == values["y"]
+        assert pytest.approx(values["y"], rel=1e-6) == values["z"]
+
+    def test_open_system_has_no_laws(self):
+        net = parse_network("src ->{1} src + x\nx ->{1} 0\ninit: src = 1")
+        matrix = stoichiometry_matrix(net)
+        laws = conservation_laws(matrix)
+        # src is conserved (catalytic); x is not. Exactly one law involving src only.
+        assert len(laws) == 1
+        assert {s.name for s in laws[0]} == {"src"}
+
+    def test_purifying_reaction_breaks_conservation(self):
+        net = parse_network("d1 + d2 ->{1} 0\ninit: d1 = 1\ninit: d2 = 2")
+        laws = conservation_laws(stoichiometry_matrix(net))
+        # d1 - d2 is conserved by d1 + d2 -> 0 (both decrease together).
+        assert len(laws) == 1
+        weights = {s.name: w for s, w in laws[0].items()}
+        assert pytest.approx(weights["d1"] + weights["d2"], abs=1e-9) == 0.0
+
+    def test_conserved_quantities_method(self, conversion_network):
+        matrix = stoichiometry_matrix(conversion_network)
+        assert matrix.conserved_quantities() == conservation_laws(matrix)
+
+    def test_law_annihilates_net_matrix(self, example1_network):
+        matrix = stoichiometry_matrix(example1_network)
+        for law in conservation_laws(matrix):
+            vector = np.zeros(matrix.n_species)
+            index = matrix.row_index()
+            for species, weight in law.items():
+                vector[index[species]] = weight
+            residual = vector @ matrix.net
+            assert np.allclose(residual, 0.0, atol=1e-8)

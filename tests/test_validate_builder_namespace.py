@@ -1,0 +1,123 @@
+"""Tests for network validation, the fluent builder, and namespacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import (
+    NetworkBuilder,
+    ReactionNetwork,
+    Species,
+    build_namespace_map,
+    check_network,
+    namespace_network,
+    parse_network,
+    validate_network,
+    wire,
+)
+from repro.errors import NetworkValidationError
+
+
+class TestValidation:
+    def test_valid_network_passes(self, example1_network):
+        report = validate_network(example1_network)
+        assert report.ok
+        assert str(report) != ""
+
+    def test_empty_network_is_error(self):
+        report = validate_network(ReactionNetwork())
+        assert not report.ok
+        with pytest.raises(NetworkValidationError):
+            report.raise_if_failed()
+
+    def test_empty_network_allowed_when_requested(self):
+        assert validate_network(ReactionNetwork(), require_nonempty=False).ok
+
+    def test_unproducible_species_warns(self):
+        net = parse_network("ghost ->{1} x")  # ghost never produced, starts at 0
+        report = validate_network(net)
+        assert report.ok
+        assert any("ghost" in warning for warning in report.warnings)
+
+    def test_inert_network_flagged(self):
+        net = parse_network("a + b ->{1} c")  # nothing to fire (all zero)
+        report = validate_network(net, require_firable=True)
+        assert not report.ok
+
+    def test_expected_categories_checked(self, example1_network):
+        report = validate_network(
+            example1_network,
+            expected_categories=["initializing", "working", "nonexistent"],
+        )
+        assert any("nonexistent" in error for error in report.errors)
+
+    def test_check_network_returns_report(self, example1_network):
+        assert check_network(example1_network).ok
+
+    def test_check_network_raises(self):
+        with pytest.raises(NetworkValidationError):
+            check_network(ReactionNetwork())
+
+
+class TestBuilder:
+    def test_fluent_construction(self):
+        net = (
+            NetworkBuilder("demo")
+            .reaction({"e1": 1}, {"d1": 1}, rate=1.0, category="initializing")
+            .reaction({"e2": 1}, {"d2": 1}, rate=1.0, category="initializing")
+            .text("d1 + d2 ->{1e6} 0", category="purifying")
+            .initial("e1", 30)
+            .initials({"e2": 70})
+            .declare("spare")
+            .annotate(gamma=1e3)
+            .build()
+        )
+        assert net.size == 3
+        assert net.reaction(0).name == "initializing[1]"
+        assert net.reaction(1).name == "initializing[2]"
+        assert net.reaction(2).category == "purifying"
+        assert net.initial_count("e2") == 70
+        assert net.has_species("spare")
+        assert net.metadata["gamma"] == 1e3
+
+    def test_extend_merges_initials(self, race_network):
+        builder = NetworkBuilder("x")
+        builder.initial("e1", 5)
+        builder.extend(race_network)
+        net = builder.build()
+        assert net.initial_count("e1") == 35
+        assert net.size == race_network.size
+
+    def test_add_existing_reaction_with_category(self):
+        from repro.crn import Reaction
+
+        builder = NetworkBuilder()
+        builder.add(Reaction({"a": 1}, {"b": 1}, rate=1.0), category="working")
+        assert builder.build().reaction(0).name == "working[1]"
+
+
+class TestNamespacing:
+    def test_namespace_map_keeps_ports(self):
+        species = [Species("x"), Species("y"), Species("internal")]
+        mapping = build_namespace_map(species, "log", keep=["x", "y"])
+        assert mapping[Species("x")] == Species("x")
+        assert mapping[Species("internal")] == Species("log.internal")
+
+    def test_namespace_network(self):
+        net = parse_network("init: x = 4\nx + helper ->{1} y\nhelper ->{1} 0\ninit: helper = 1")
+        spaced = namespace_network(net, "m1", keep=["x", "y"])
+        names = {s.name for s in spaced.species}
+        assert "m1.helper" in names and "helper" not in names
+        assert "x" in names and "y" in names
+        assert spaced.initial_count("m1.helper") == 1
+        assert spaced.initial_count("x") == 4
+
+    def test_wire_renames_ports(self):
+        net = parse_network("a ->{1} y_out")
+        wired = wire(net, {"y_out": "e_1"})
+        assert wired.has_species("e_1")
+        assert not wired.has_species("y_out")
+
+    def test_empty_prefix_identity(self):
+        net = parse_network("a ->{1} b")
+        assert namespace_network(net, "") == net
