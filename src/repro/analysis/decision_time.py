@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.synthesizer import SynthesizedSystem
 from repro.errors import AnalysisError
 from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import EnsembleRunner
+from repro.sim.ensemble import EnsembleRunner, ParallelEnsembleRunner
 
 __all__ = ["DecisionTimeStats", "decision_time_statistics", "decision_time_vs_gamma"]
 
@@ -64,22 +64,28 @@ def decision_time_statistics(
     working_firings: int = 10,
     inputs: "Mapping[str, int] | None" = None,
     engine: str = "direct",
+    workers: int = 1,
 ) -> DecisionTimeStats:
     """Measure the decision latency of a synthesized system.
 
     A trial's decision time is the simulated time at which the stopping
     condition (``working_firings`` firings of some working reaction) is met.
-    Undecided trials are excluded.
+    Undecided trials are excluded.  ``engine="batch-direct"`` vectorizes the
+    ensemble; ``workers > 1`` shards it across processes — both matter here
+    because tight latency percentiles (p95) need large trial counts.
     """
     if n_trials <= 0:
         raise AnalysisError(f"n_trials must be positive, got {n_trials}")
     network = system.network_with_inputs(inputs)
-    runner = EnsembleRunner(
+    runner_class = ParallelEnsembleRunner if workers > 1 else EnsembleRunner
+    runner_kwargs = {"workers": workers} if workers > 1 else {}
+    runner = runner_class(
         network,
         engine=engine,
         stopping=system.stopping_condition(working_firings),
         options=SimulationOptions(record_firings=False),
         outcome_classifier=system.classify_outcome,
+        **runner_kwargs,
     )
     result = runner.run(n_trials, seed=seed)
     decided = result.final_times[result.final_times > 0.0]
@@ -101,12 +107,15 @@ def decision_time_vs_gamma(
     n_trials: int = 150,
     seed: "int | None" = None,
     scale: int = 100,
+    engine: str = "direct",
+    workers: int = 1,
 ) -> list[dict[str, float]]:
     """Sweep γ and report decision latency and cost at each value.
 
     Returns one row per γ with the latency statistics plus the measured
     total-variation distance from the programmed distribution, so the
-    latency/accuracy trade-off is visible in a single table.
+    latency/accuracy trade-off is visible in a single table.  ``engine`` and
+    ``workers`` pass through to the per-γ latency ensembles.
     """
     from repro.analysis.distance import total_variation
     from repro.core.synthesizer import synthesize_distribution
@@ -118,6 +127,8 @@ def decision_time_vs_gamma(
             system,
             n_trials=n_trials,
             seed=None if seed is None else seed + offset,
+            engine=engine,
+            workers=workers,
         )
         sampled = system.sample_distribution(
             n_trials=n_trials, seed=None if seed is None else seed + 1000 + offset

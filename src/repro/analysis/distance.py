@@ -72,16 +72,34 @@ def kl_divergence(p: Mapping[str, float], q: Mapping[str, float]) -> float:
 
 
 def jensen_shannon(p: Mapping[str, float], q: Mapping[str, float]) -> float:
-    """Jensen–Shannon divergence (symmetric, finite, in [0, ln 2])."""
+    """Jensen–Shannon divergence (symmetric, finite, in [0, ln 2]).
+
+    Computed term-by-term as ``½ Σ a·log(2a / (a + b))`` over both directions
+    rather than via two KL calls against an explicitly-formed mixture: each
+    log ratio is bounded by 2, so the result stays finite and within the
+    ``ln 2`` bound even for subnormal probabilities whose halved mixture
+    weight would round to zero (which made the KL formulation return ∞).
+    """
     p_norm, q_norm, labels = _aligned(p, q)
-    mixture = {l: 0.5 * (p_norm.get(l, 0.0) + q_norm.get(l, 0.0)) for l in labels}
-    return 0.5 * kl_divergence(p_norm, mixture) + 0.5 * kl_divergence(q_norm, mixture)
+    divergence = 0.0
+    for label in labels:
+        a = p_norm.get(label, 0.0)
+        b = q_norm.get(label, 0.0)
+        for x, y in ((a, b), (b, a)):
+            if x > 0.0:
+                # 2x/(x+y) ≤ 2 exactly; min() guards the one-ulp division error.
+                divergence += 0.5 * x * math.log(min(2.0 * x / (x + y), 2.0))
+    return min(max(divergence, 0.0), math.log(2.0))
 
 
 def hellinger(p: Mapping[str, float], q: Mapping[str, float]) -> float:
-    """Hellinger distance (in [0, 1])."""
+    """Hellinger distance (in [0, 1]).
+
+    The sum of squared sqrt-differences is mathematically ≤ 2 but can exceed
+    it by rounding error, so the result is clamped to the documented bound.
+    """
     p_norm, q_norm, labels = _aligned(p, q)
     total = sum(
         (math.sqrt(p_norm.get(l, 0.0)) - math.sqrt(q_norm.get(l, 0.0))) ** 2 for l in labels
     )
-    return math.sqrt(total / 2.0)
+    return min(math.sqrt(total / 2.0), 1.0)

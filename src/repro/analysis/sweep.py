@@ -4,6 +4,10 @@ The benchmark harnesses all have the same shape — sweep a parameter (γ, MOI,
 trial count), run a measurement at each point, and report a table of rows —
 so that shape is factored out here.  Results are plain lists of dictionaries,
 renderable as aligned text (:func:`repro.analysis.tables.format_table`) or CSV.
+
+Grid points are independent measurements, so a sweep parallelizes the same
+way an ensemble does: ``ParameterSweep.run(workers=N)`` distributes the grid
+across worker processes while keeping the row order of the grid.
 """
 
 from __future__ import annotations
@@ -93,9 +97,36 @@ class ParameterSweep:
         if not self.values:
             raise AnalysisError("sweep needs at least one parameter value")
 
-    def run(self, progress: "Callable[[str], None] | None" = None) -> SweepResult:
-        """Execute the sweep and return its :class:`SweepResult`."""
+    def run(
+        self,
+        progress: "Callable[[str], None] | None" = None,
+        workers: int = 1,
+    ) -> SweepResult:
+        """Execute the sweep and return its :class:`SweepResult`.
+
+        ``workers > 1`` evaluates the grid points in a ``multiprocessing``
+        pool (the ``measure`` callable must then be picklable — a
+        module-level function or a bound method of a picklable object, not a
+        lambda).  Row order always follows the grid order.
+        """
+        if workers < 1:
+            raise AnalysisError(f"workers must be positive, got {workers}")
         result = SweepResult(parameter=self.parameter)
+        if workers > 1 and len(self.values) > 1:
+            from repro.sim.ensemble import pool_context
+
+            if progress is not None:
+                progress(
+                    f"{self.parameter}: {len(self.values)} points on {workers} workers"
+                )
+            context = pool_context()
+            with context.Pool(processes=min(workers, len(self.values))) as pool:
+                measured = pool.map(self.measure, self.values)
+            for value, row_mapping in zip(self.values, measured):
+                row = dict(row_mapping)
+                row.setdefault(self.parameter, value)
+                result.rows.append(row)
+            return result
         for value in self.values:
             if progress is not None:
                 progress(f"{self.parameter} = {value}")

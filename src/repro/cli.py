@@ -41,7 +41,13 @@ from repro.core.modules import (
 )
 from repro.crn import load_network, save_network
 from repro.errors import ReproError
-from repro.sim import CategoryFiringCondition, EnsembleRunner, SimulationOptions
+from repro.sim import (
+    CategoryFiringCondition,
+    EnsembleRunner,
+    ParallelEnsembleRunner,
+    SimulationOptions,
+    engine_names,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -102,8 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=2007)
     sim.add_argument("--working-firings", type=int, default=10,
                      help="working firings that declare an outcome (default 10)")
-    sim.add_argument("--engine", default="direct",
-                     choices=["direct", "first-reaction", "next-reaction", "tau-leaping"])
+    sim.add_argument("--engine", default="direct", choices=engine_names(),
+                     help="simulation engine; 'batch-direct' advances all trials "
+                          "in lock-step vectorized steps (default: direct)")
+    sim.add_argument("--workers", type=int, default=1,
+                     help="shard trials across N worker processes (default 1)")
 
     settle = subparsers.add_parser(
         "settle", help="run a deterministic functional module to completion"
@@ -118,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     settle.add_argument("--coefficients", default="0,1",
                         help="polynomial coefficients, constant first (default 0,1)")
     settle.add_argument("--seed", type=int, default=1)
+    settle.add_argument("--engine", default="direct", choices=engine_names())
 
     fig3 = subparsers.add_parser("figure3", help="reproduce Figure 3 (error vs gamma)")
     fig3.add_argument("--gammas", default="1,10,100,1000")
@@ -165,12 +175,21 @@ def _cmd_synthesize(args) -> int:
 def _cmd_simulate(args) -> int:
     network = load_network(args.network)
     stopping = CategoryFiringCondition("working", args.working_firings)
-    runner = EnsembleRunner(
-        network,
-        engine=args.engine,
-        stopping=stopping,
-        options=SimulationOptions(record_firings=False),
-    )
+    if args.workers > 1:
+        runner = ParallelEnsembleRunner(
+            network,
+            engine=args.engine,
+            stopping=stopping,
+            options=SimulationOptions(record_firings=False),
+            workers=args.workers,
+        )
+    else:
+        runner = EnsembleRunner(
+            network,
+            engine=args.engine,
+            stopping=stopping,
+            options=SimulationOptions(record_firings=False),
+        )
     result = runner.run(args.trials, seed=args.seed)
     print(result.summary())
     distribution = result.outcome_distribution()
@@ -196,7 +215,7 @@ def _cmd_settle(args) -> int:
     else:
         coefficients = [int(c) for c in args.coefficients.split(",")]
         module = polynomial_module(coefficients)
-    result = settle_module(module, inputs, seed=args.seed)
+    result = settle_module(module, inputs, seed=args.seed, engine=args.engine)
     print(f"module      : {module.name}   ({module.description})")
     print(f"inputs      : {inputs}")
     print(f"outputs     : {result.outputs}")

@@ -6,6 +6,10 @@ quantity *after the module has finished*.  Some modules genuinely exhaust
 catalytic (the logarithm module's ``b → a + b``).  :func:`settle_module`
 simulates a module until it exhausts or until a time horizon generous enough
 for all its rounds to finish, and returns the settled quantities.
+
+:func:`settle_statistics` repeats that over Monte-Carlo trials; with
+``engine="batch-direct"`` or ``workers > 1`` the repetition runs through the
+batched / multiprocess ensemble machinery instead of a per-trial Python loop.
 """
 
 from __future__ import annotations
@@ -17,7 +21,12 @@ from typing import Mapping
 from repro.core.modules.base import FunctionalModule
 from repro.errors import SimulationError
 from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import make_simulator
+from repro.sim.ensemble import (
+    BATCH_ENGINES,
+    EnsembleRunner,
+    ParallelEnsembleRunner,
+    make_simulator,
+)
 from repro.sim.propensity import CompiledNetwork
 from repro.sim.rng import spawn_children
 
@@ -116,6 +125,7 @@ def settle_statistics(
     engine: str = "direct",
     horizon: "float | None" = None,
     output_role: str = "y",
+    workers: int = 1,
 ) -> dict[str, float]:
     """Settle a module ``n_trials`` times and summarize one output port.
 
@@ -123,15 +133,26 @@ def settle_statistics(
     the settled output, plus the ideal value from the module's
     ``expected`` function when available.  Used by the module-accuracy tests
     and the A1 ablation benchmark.
+
+    ``engine="batch-direct"`` settles all trials as one vectorized batch;
+    ``workers > 1`` shards the trials across processes (either way the trial
+    loop leaves Python, so large repetition counts cost far less than the
+    default per-trial path).  Seeded results differ between the paths — each
+    derives its trial streams differently — but their statistics agree.
     """
     if n_trials <= 0:
         raise SimulationError(f"n_trials must be positive, got {n_trials}")
-    values = []
-    for rng in spawn_children(seed, n_trials):
-        result = settle_module(
-            module, inputs=inputs, engine=engine, horizon=horizon, seed=_seed_from(rng)
+    if workers > 1 or engine in BATCH_ENGINES:
+        values = _settle_values_ensemble(
+            module, inputs, n_trials, seed, engine, horizon, output_role, workers
         )
-        values.append(result.output(output_role))
+    else:
+        values = []
+        for rng in spawn_children(seed, n_trials):
+            result = settle_module(
+                module, inputs=inputs, engine=engine, horizon=horizon, seed=_seed_from(rng)
+            )
+            values.append(result.output(output_role))
     mean = sum(values) / len(values)
     variance = sum((v - mean) ** 2 for v in values) / max(len(values) - 1, 1)
     summary = {
@@ -146,6 +167,40 @@ def settle_statistics(
         if output_role in expected:
             summary["expected"] = float(expected[output_role])
     return summary
+
+
+def _settle_values_ensemble(
+    module: FunctionalModule,
+    inputs: "Mapping[str, int] | None",
+    n_trials: int,
+    seed: "int | None",
+    engine: str,
+    horizon: "float | None",
+    output_role: str,
+    workers: int,
+) -> list[int]:
+    """Settled output-port values via the (batched / parallel) ensemble path.
+
+    The module's prepared network is run as a plain ensemble bounded by the
+    settling horizon, and the output port's settled quantity is read off the
+    final-count matrix — the module-level equivalent of what
+    :func:`settle_module` extracts from a single trajectory.
+    """
+    prepared = module.with_input_quantities(dict(inputs or {}))
+    options = SimulationOptions(
+        max_time=horizon if horizon is not None else default_horizon(module),
+        max_steps=2_000_000,
+        record_firings=False,
+    )
+    if workers > 1:
+        runner = ParallelEnsembleRunner(
+            prepared.network, engine=engine, options=options, workers=workers
+        )
+    else:
+        runner = EnsembleRunner(prepared.network, engine=engine, options=options)
+    ensemble = runner.run(n_trials, seed=seed)
+    species = module.outputs[output_role]
+    return [int(v) for v in ensemble.final_values(species)]
 
 
 def _seed_from(rng) -> int:

@@ -1,18 +1,23 @@
 """Stochastic simulation substrate.
 
 Exact SSA engines (Gillespie direct, first-reaction, Gibson–Bruck
-next-reaction), approximate tau-leaping, deterministic mean-field ODE
-integration, stopping conditions, trajectory records and a Monte-Carlo
-ensemble runner.
+next-reaction, and a vectorized batched direct method), approximate
+tau-leaping, deterministic mean-field ODE integration, stopping conditions,
+trajectory records, and Monte-Carlo ensemble runners (sequential, batched
+and multiprocess-sharded with Welford-merged statistics).
 """
 
-from repro.sim.base import SimulationOptions, StochasticSimulator
+from repro.sim.base import SimulationOptions, StochasticSimulator, resolve_initial_counts
+from repro.sim.batch import BatchDirectEngine, BatchResult
 from repro.sim.dependency import DependencyStats, dependency_graph, dependency_stats
 from repro.sim.direct import DirectMethodSimulator
 from repro.sim.ensemble import (
+    BATCH_ENGINES,
     ENGINES,
     EnsembleResult,
     EnsembleRunner,
+    ParallelEnsembleRunner,
+    engine_names,
     make_simulator,
     run_ensemble,
 )
@@ -31,7 +36,8 @@ from repro.sim.next_reaction import NextReactionSimulator
 from repro.sim.ode import OdeIntegrator, OdeResult, simulate_ode
 from repro.sim.priority_queue import IndexedPriorityQueue
 from repro.sim.propensity import CompiledNetwork, combinations, reaction_propensity
-from repro.sim.rng import derive_seed, make_rng, spawn_children
+from repro.sim.rng import derive_seed, make_rng, spawn_children, spawn_children_range
+from repro.sim.stats import RunningMoments
 from repro.sim.tau_leaping import TauLeapingSimulator, TauLeapOptions
 from repro.sim.trajectory import FiringRecord, StopReason, Trajectory
 
@@ -65,11 +71,19 @@ __all__ = [
     "FiringRecord",
     "StopReason",
     "ENGINES",
+    "BATCH_ENGINES",
+    "engine_names",
+    "BatchDirectEngine",
+    "BatchResult",
     "EnsembleResult",
     "EnsembleRunner",
+    "ParallelEnsembleRunner",
     "run_ensemble",
     "make_simulator",
+    "resolve_initial_counts",
+    "RunningMoments",
     "make_rng",
     "spawn_children",
+    "spawn_children_range",
     "derive_seed",
 ]

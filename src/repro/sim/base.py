@@ -1,10 +1,15 @@
 """Shared machinery for the stochastic simulation engines.
 
-Every engine (direct, first-reaction, next-reaction, tau-leaping) follows the
-same template: initialize counts from the network's initial state, repeatedly
-pick the next reaction event, apply it, record it, and check the stopping
-rules.  :class:`StochasticSimulator` implements that template; engines only
-implement event selection (:meth:`_prepare` and :meth:`_next_event`).
+The paper's experimental methodology is Monte-Carlo stochastic simulation —
+it cites Gillespie's SSA as [6] and the Gibson–Bruck next-reaction method as
+[7].  Every per-trial engine here (direct, first-reaction, next-reaction,
+tau-leaping) follows the same template: initialize counts from the network's
+initial state, repeatedly pick the next reaction event, apply it, record it,
+and check the stopping rules.  :class:`StochasticSimulator` implements that
+template; engines only implement event selection (:meth:`_prepare` and
+:meth:`_next_event`).  The batched engine (:mod:`repro.sim.batch`) replaces
+the per-event loop with lock-step vectorized steps but reuses the options
+and initial-state semantics defined here.
 """
 
 from __future__ import annotations
@@ -22,7 +27,31 @@ from repro.sim.propensity import CompiledNetwork
 from repro.sim.rng import make_rng
 from repro.sim.trajectory import StopReason, Trajectory
 
-__all__ = ["SimulationOptions", "StochasticSimulator"]
+__all__ = ["SimulationOptions", "StochasticSimulator", "resolve_initial_counts"]
+
+
+def resolve_initial_counts(
+    compiled: CompiledNetwork, initial_state: "State | dict | None"
+) -> np.ndarray:
+    """Resolve a run's starting count vector.
+
+    ``None`` means the network's own initial state; otherwise ``initial_state``
+    (a :class:`State` or ``{species: count}`` mapping) replaces it wholesale,
+    with unmentioned species defaulting to zero.  Shared by the per-trial
+    template (:meth:`StochasticSimulator.run`) and the batched engine
+    (:class:`repro.sim.batch.BatchDirectEngine`), so both validate species
+    membership identically.
+    """
+    if initial_state is None:
+        return compiled.initial_counts().astype(np.int64)
+    state = initial_state if isinstance(initial_state, State) else State(initial_state)
+    unknown = state.species() - set(compiled.species)
+    if unknown:
+        names = ", ".join(sorted(s.name for s in unknown))
+        raise SimulationError(
+            f"initial state mentions species not in the network: {names}"
+        )
+    return state.to_vector(compiled.species).astype(np.int64)
 
 
 @dataclass
@@ -151,18 +180,7 @@ class StochasticSimulator:
             )
         rng = self._default_rng if seed is None else make_rng(seed)
         compiled = self.compiled
-
-        if initial_state is None:
-            counts = compiled.initial_counts().astype(np.int64)
-        else:
-            state = initial_state if isinstance(initial_state, State) else State(initial_state)
-            unknown = state.species() - set(compiled.species)
-            if unknown:
-                names = ", ".join(sorted(s.name for s in unknown))
-                raise SimulationError(
-                    f"initial state mentions species not in the network: {names}"
-                )
-            counts = state.to_vector(compiled.species).astype(np.int64)
+        counts = resolve_initial_counts(compiled, initial_state)
 
         firing_counts = np.zeros(compiled.n_reactions, dtype=np.int64)
         times: list[float] = []

@@ -1,0 +1,464 @@
+"""Vectorized direct-method SSA: a whole batch of trajectories in lock-step.
+
+Every experiment in the paper is a Monte-Carlo ensemble of *independent*
+trials (Section 3 runs 100,000 trials per Figure-3 point), which makes the
+ensemble embarrassingly data-parallel: instead of running one Python-level
+Gillespie loop per trial, :class:`BatchDirectEngine` advances all unfinished
+trials together, one reaction event per trial per step, using whole-array
+NumPy operations:
+
+* the propensity matrix has shape ``(n_active, n_reactions)`` and is rebuilt
+  from the count matrix with a handful of vectorized falling-factorial
+  products (the ``h(X)`` combinatorics of Gillespie 1977, the paper's [6]);
+* waiting times are one vectorized exponential draw (``Exp(1)/a_total``);
+* the fired reaction per trial is selected by inverting the per-row
+  propensity CDF with one comparison-and-sum;
+* stopping conditions are evaluated as boolean masks over the batch (with a
+  generic per-trial fallback for conditions that cannot be vectorized).
+
+The per-trial random *sequences* differ from the sequential
+:class:`~repro.sim.direct.DirectMethodSimulator` (draws are interleaved
+across the batch), so individual trajectories are not bit-identical between
+engines — but the sampled process is the same exact SSA, and the test suite
+checks statistical agreement (chi-squared) between the two.
+
+The engine quacks like a :class:`~repro.sim.base.StochasticSimulator` for
+single runs (:meth:`BatchDirectEngine.run` simulates a batch of one), so it
+can be registered in the ensemble engine registry and selected with
+``engine="batch-direct"`` anywhere the sequential engines are accepted.
+Firing *logs* and state snapshots are not supported — only per-reaction
+totals are kept, which is what ensembles consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.state import State
+from repro.errors import SimulationError
+from repro.sim.base import SimulationOptions, resolve_initial_counts
+from repro.sim.events import (
+    AnyCondition,
+    CategoryFiringCondition,
+    FiringCountCondition,
+    OutcomeThresholds,
+    SpeciesThreshold,
+    StoppingCondition,
+)
+from repro.sim.propensity import CompiledNetwork
+from repro.sim.rng import make_rng
+from repro.sim.trajectory import StopReason, Trajectory
+
+__all__ = ["BatchResult", "BatchDirectEngine"]
+
+
+@dataclass
+class BatchResult:
+    """Raw per-trial results of one batched simulation.
+
+    This is the vector-native counterpart of a list of
+    :class:`~repro.sim.trajectory.Trajectory` objects: everything an ensemble
+    aggregates, kept as flat arrays.  Individual trials can still be viewed
+    as (log-free) trajectories via :meth:`trajectory`.
+
+    Attributes
+    ----------
+    species:
+        Column labels for ``final_counts``.
+    final_counts:
+        Final molecular counts, shape ``(n_trials, n_species)``.
+    final_times:
+        Simulated stop time per trial.
+    firing_counts:
+        Per-reaction firing totals, shape ``(n_trials, n_reactions)``.
+    stop_reasons / stop_details:
+        Why each trial stopped (:class:`~repro.sim.trajectory.StopReason`
+        constants) and the stopping condition's detail string (outcome label).
+    """
+
+    species: tuple
+    final_counts: np.ndarray
+    final_times: np.ndarray
+    firing_counts: np.ndarray
+    stop_reasons: np.ndarray
+    stop_details: np.ndarray
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials in the batch."""
+        return self.final_counts.shape[0]
+
+    def trajectory(self, trial: int) -> Trajectory:
+        """View one trial as a :class:`Trajectory` (no firing log, totals only)."""
+        return Trajectory(
+            times=np.empty(0, dtype=float),
+            reaction_indices=np.empty(0, dtype=np.int64),
+            final_state=State.from_vector(
+                [int(c) for c in self.final_counts[trial]], self.species
+            ),
+            final_time=float(self.final_times[trial]),
+            stop_reason=str(self.stop_reasons[trial]),
+            stop_detail=str(self.stop_details[trial]),
+            species_order=self.species,
+            firing_counts=self.firing_counts[trial].copy(),
+        )
+
+
+class BatchDirectEngine:
+    """Gillespie's direct method, vectorized across a batch of trials.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.crn.network.ReactionNetwork` or pre-compiled
+        :class:`~repro.sim.propensity.CompiledNetwork`.
+    seed:
+        Default random seed / generator for runs that do not pass their own.
+        The whole batch shares one generator: per-step draws are vectors over
+        the active trials, which is what makes the engine fast, at the cost
+        of per-trial streams not being independently reseedable.
+    """
+
+    method_name = "batch-direct"
+
+    def __init__(
+        self,
+        network: "ReactionNetwork | CompiledNetwork",
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if isinstance(network, CompiledNetwork):
+            self.compiled = network
+        elif isinstance(network, ReactionNetwork):
+            self.compiled = CompiledNetwork.compile(network)
+        else:
+            raise SimulationError(
+                f"expected a ReactionNetwork or CompiledNetwork, got {type(network).__name__}"
+            )
+        self._default_rng = make_rng(seed)
+        compiled = self.compiled
+        # Dense (n_reactions, n_species) state-change matrix: applying the
+        # chosen reactions of a whole batch becomes one fancy-indexed add.
+        self._deltas = np.zeros((compiled.n_reactions, compiled.n_species), dtype=np.int64)
+        for j in range(compiled.n_reactions):
+            for s, delta in zip(compiled.change_species[j], compiled.change_deltas[j]):
+                self._deltas[j, s] = delta
+        self._rates = np.asarray(compiled.rates, dtype=float)
+        self._reactants = [
+            tuple(zip(compiled.reactant_species[j], compiled.reactant_coeffs[j]))
+            for j in range(compiled.n_reactions)
+        ]
+
+    @property
+    def network(self) -> ReactionNetwork:
+        """The underlying reaction network."""
+        return self.compiled.network
+
+    # -- vectorized propensities --------------------------------------------------
+
+    def _propensity_matrix(self, counts: np.ndarray) -> np.ndarray:
+        """Propensities of every reaction for every count row.
+
+        ``counts`` has shape ``(k, n_species)``; the result has shape
+        ``(k, n_reactions)``.  For each reaction the combinatorial factor
+        ``h(X) = Π binomial(X_s, n_s)`` is evaluated as a falling-factorial
+        product over the whole column at once; for non-negative integer
+        counts the product self-zeroes whenever ``X_s < n_s`` (some factor
+        hits zero), so no clamping is needed.
+        """
+        matrix = np.empty((counts.shape[0], len(self._reactants)), dtype=float)
+        for j, reactants in enumerate(self._reactants):
+            column = np.full(counts.shape[0], self._rates[j])
+            for s, n in reactants:
+                c = counts[:, s].astype(float)
+                if n == 1:
+                    column *= c
+                elif n == 2:
+                    column *= c * (c - 1.0) * 0.5
+                else:
+                    for i in range(n):
+                        column *= (c - i) / (i + 1.0)
+            matrix[:, j] = column
+        return matrix
+
+    # -- batched simulation --------------------------------------------------------
+
+    def run_batch(
+        self,
+        n_trials: int,
+        initial_state: "State | dict | None" = None,
+        stopping: "StoppingCondition | None" = None,
+        options: "SimulationOptions | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+        **option_overrides,
+    ) -> BatchResult:
+        """Simulate ``n_trials`` independent trajectories in lock-step.
+
+        Parameters mirror :meth:`repro.sim.base.StochasticSimulator.run`,
+        applied uniformly to every trial.  ``record_firings`` /
+        ``record_states`` must be off: the batched engine keeps per-reaction
+        firing totals but no event log (raising keeps a mistaken
+        ``engine="batch-direct"`` in log-dependent analyses loud instead of
+        silently returning empty logs).
+        """
+        if n_trials <= 0:
+            raise SimulationError(f"n_trials must be positive, got {n_trials}")
+        opts = options or SimulationOptions(record_firings=False)
+        if option_overrides:
+            opts = SimulationOptions(**{**opts.__dict__, **option_overrides})
+        if opts.record_firings or opts.record_states:
+            raise SimulationError(
+                "batch-direct keeps per-reaction totals only; pass "
+                "SimulationOptions(record_firings=False) (and record_states=False) "
+                "or use a per-trial engine for full firing logs"
+            )
+        rng = self._default_rng if seed is None else make_rng(seed)
+        compiled = self.compiled
+        n_reactions = compiled.n_reactions
+
+        start = resolve_initial_counts(compiled, initial_state)
+        counts = np.tile(start, (n_trials, 1))
+        times = np.zeros(n_trials, dtype=float)
+        firings = np.zeros((n_trials, n_reactions), dtype=np.int64)
+        steps = np.zeros(n_trials, dtype=np.int64)
+        stop_reasons = np.full(n_trials, StopReason.EXHAUSTED, dtype=object)
+        stop_details = np.full(n_trials, "", dtype=object)
+        active = np.ones(n_trials, dtype=bool)
+
+        checker = None
+        if stopping is not None:
+            stopping.reset(compiled)
+            checker = _compile_stopping(stopping, compiled)
+            # A stopping condition may already hold at t=0 (threshold met initially).
+            details = checker(counts, firings, times)
+            hit = _decided_mask(details)
+            if hit.any():
+                stop_reasons[hit] = StopReason.CONDITION
+                stop_details[hit] = details[hit]
+                active[hit] = False
+
+        while active.any():
+            idx = np.flatnonzero(active)
+            propensities = self._propensity_matrix(counts[idx])
+            totals = propensities.sum(axis=1)
+
+            dead = totals <= 0.0
+            if dead.any():
+                # Nothing can fire any more in these trials: they exhaust as-is.
+                active[idx[dead]] = False
+                stop_reasons[idx[dead]] = StopReason.EXHAUSTED
+                keep = ~dead
+                idx = idx[keep]
+                if idx.size == 0:
+                    continue
+                propensities = propensities[keep]
+                totals = totals[keep]
+
+            waits = rng.standard_exponential(idx.size) / totals
+            new_times = times[idx] + waits
+            overtime = new_times > opts.max_time
+            if overtime.any():
+                # Mirror the sequential template: the event past the horizon
+                # never fires; the trial stops exactly at max_time.
+                over_idx = idx[overtime]
+                times[over_idx] = opts.max_time
+                stop_reasons[over_idx] = StopReason.MAX_TIME
+                active[over_idx] = False
+                keep = ~overtime
+                idx = idx[keep]
+                if idx.size == 0:
+                    continue
+                propensities = propensities[keep]
+                totals = totals[keep]
+                new_times = new_times[keep]
+
+            # Categorical reaction selection by inverting each row's CDF.
+            cdf = np.cumsum(propensities, axis=1)
+            thresholds = rng.random(idx.size) * totals
+            chosen = np.minimum(
+                (thresholds[:, None] >= cdf).sum(axis=1), n_reactions - 1
+            )
+            zero_picked = propensities[np.arange(idx.size), chosen] <= 0.0
+            if zero_picked.any():
+                # Floating point placed a threshold past the last positive
+                # entry (same fallback as the sequential direct method).
+                chosen[zero_picked] = np.argmax(propensities[zero_picked], axis=1)
+
+            times[idx] = new_times
+            counts[idx] += self._deltas[chosen]
+            firings[idx, chosen] += 1
+            steps[idx] += 1
+
+            if checker is not None:
+                details = checker(counts[idx], firings[idx], times[idx])
+                hit = _decided_mask(details)
+                if hit.any():
+                    hit_idx = idx[hit]
+                    stop_reasons[hit_idx] = StopReason.CONDITION
+                    stop_details[hit_idx] = details[hit]
+                    active[hit_idx] = False
+                    idx = idx[~hit]
+
+            capped = steps[idx] >= opts.max_steps
+            if capped.any():
+                cap_idx = idx[capped]
+                stop_reasons[cap_idx] = StopReason.MAX_STEPS
+                active[cap_idx] = False
+
+        return BatchResult(
+            species=compiled.species,
+            final_counts=counts,
+            final_times=times,
+            firing_counts=firings,
+            stop_reasons=stop_reasons,
+            stop_details=stop_details,
+        )
+
+    def run(
+        self,
+        initial_state: "State | dict | None" = None,
+        stopping: "StoppingCondition | None" = None,
+        options: "SimulationOptions | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+        **option_overrides,
+    ) -> Trajectory:
+        """Simulate one trajectory (a batch of one); drop-in for the per-trial engines.
+
+        The returned trajectory has no firing log (``times`` /
+        ``reaction_indices`` empty) but carries full per-reaction totals in
+        ``firing_counts``, which is all the ensemble, settling and
+        decision-time paths consume.
+        """
+        batch = self.run_batch(
+            1,
+            initial_state=initial_state,
+            stopping=stopping,
+            options=options,
+            seed=seed,
+            **option_overrides,
+        )
+        return batch.trajectory(0)
+
+
+# ---------------------------------------------------------------------------
+# vectorized stopping conditions
+# ---------------------------------------------------------------------------
+
+
+def _decided_mask(details: np.ndarray) -> np.ndarray:
+    """Boolean mask of rows whose detail is not ``None``."""
+    return np.fromiter((d is not None for d in details), dtype=bool, count=len(details))
+
+
+def _blank(n: int) -> np.ndarray:
+    """An all-``None`` object vector of per-trial details."""
+    return np.full(n, None, dtype=object)
+
+
+def _compile_stopping(stopping: StoppingCondition, compiled: CompiledNetwork):
+    """Compile a stopping condition into a batched checker.
+
+    The checker maps ``(counts, firings, times)`` row-matrices for the
+    active trials to an object vector of detail strings (``None`` = keep
+    going).  The condition classes used by the paper's experiments
+    (thresholds and firing counts, plus ``AnyCondition`` combinations of
+    them) get fully vectorized mask implementations; anything else falls
+    back to calling the scalar ``check`` per row, which is still correct —
+    the dynamics stay batched — just slower.
+
+    ``stopping.reset(compiled)`` must have been called already (it resolves
+    the species/reaction indices the masks read).
+    """
+    vectorized = _vectorize_condition(stopping, compiled)
+    if vectorized is not None:
+        return vectorized
+
+    def generic(counts: np.ndarray, firings: np.ndarray, times: np.ndarray) -> np.ndarray:
+        details = _blank(counts.shape[0])
+        for row in range(counts.shape[0]):
+            details[row] = stopping.check(
+                float(times[row]), counts[row], compiled, firings[row]
+            )
+        return details
+
+    return generic
+
+
+def _vectorize_condition(condition: StoppingCondition, compiled: CompiledNetwork):
+    """Return a mask-based checker for known condition types, else ``None``."""
+    if isinstance(condition, SpeciesThreshold):
+        column = compiled.species_index()[condition.species]
+        threshold, greater = condition.threshold, condition.comparison == ">="
+        label = condition.label
+
+        def check_species(counts, firings, times):
+            values = counts[:, column]
+            mask = values >= threshold if greater else values <= threshold
+            details = _blank(counts.shape[0])
+            details[mask] = label
+            return details
+
+        return check_species
+
+    if isinstance(condition, OutcomeThresholds):
+        resolved = list(condition._resolved)
+
+        def check_outcomes(counts, firings, times):
+            details = _blank(counts.shape[0])
+            undecided = np.ones(counts.shape[0], dtype=bool)
+            # Insertion order matters: the first matching outcome wins,
+            # matching the scalar check()'s iteration order.
+            for label, column, level in resolved:
+                mask = undecided & (counts[:, column] >= level)
+                details[mask] = label
+                undecided &= ~mask
+            return details
+
+        return check_outcomes
+
+    if isinstance(condition, FiringCountCondition):
+        indices = np.array(condition.reaction_indices, dtype=np.int64)
+        count, label = condition.count, condition.label
+
+        def check_firing_total(counts, firings, times):
+            details = _blank(counts.shape[0])
+            details[firings[:, indices].sum(axis=1) >= count] = label
+            return details
+
+        return check_firing_total
+
+    if isinstance(condition, CategoryFiringCondition):
+        members = list(condition._members)
+        count = condition.count
+
+        def check_category(counts, firings, times):
+            details = _blank(counts.shape[0])
+            undecided = np.ones(counts.shape[0], dtype=bool)
+            for index, name in members:
+                mask = undecided & (firings[:, index] >= count)
+                details[mask] = name
+                undecided &= ~mask
+            return details
+
+        return check_category
+
+    if isinstance(condition, AnyCondition):
+        children = [_vectorize_condition(c, compiled) for c in condition.conditions]
+        if any(child is None for child in children):
+            return None
+
+        def check_any(counts, firings, times):
+            details = _blank(counts.shape[0])
+            undecided = np.ones(counts.shape[0], dtype=bool)
+            for child in children:
+                result = child(counts, firings, times)
+                mask = undecided & _decided_mask(result)
+                details[mask] = result[mask]
+                undecided &= ~mask
+            return details
+
+        return check_any
+
+    return None

@@ -2,13 +2,29 @@
 
 Every experiment in the paper is an ensemble: run the network many times,
 classify each trajectory into an outcome (which threshold was reached, which
-working reaction won, did an error occur), and report outcome frequencies.
-:class:`EnsembleRunner` packages that loop with per-trial independent random
-streams, outcome classification hooks, and summary statistics.
+working reaction won, did an error occur), and report outcome frequencies —
+the Figure-3 error estimates used 100,000 trials per γ point.  This module
+packages that loop at three execution scales:
+
+* :class:`EnsembleRunner` — the sequential baseline: one simulator, one
+  Python-level trial loop, per-trial independent random streams;
+* ``engine="batch-direct"`` — the same runner dispatching to the vectorized
+  :class:`~repro.sim.batch.BatchDirectEngine`, which advances the whole
+  ensemble in lock-step NumPy operations;
+* :class:`ParallelEnsembleRunner` — trials sharded across ``multiprocessing``
+  workers in fixed-size chunks, with per-shard :class:`EnsembleResult`
+  statistics merged via a Welford/Chan streaming-moment merge
+  (:class:`~repro.sim.stats.RunningMoments`).
+
+Chunking and random-stream spawning are keyed by global trial index, so a
+given ``(seed, n_trials, chunk_size)`` produces identical results whether the
+chunks run sequentially, on 2 workers or on 32.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -18,19 +34,31 @@ from repro.crn.network import ReactionNetwork
 from repro.crn.species import Species, as_species
 from repro.errors import EnsembleError
 from repro.sim.base import SimulationOptions, StochasticSimulator
+from repro.sim.batch import BatchDirectEngine
 from repro.sim.direct import DirectMethodSimulator
 from repro.sim.events import StoppingCondition
 from repro.sim.first_reaction import FirstReactionSimulator
 from repro.sim.next_reaction import NextReactionSimulator
 from repro.sim.propensity import CompiledNetwork
-from repro.sim.rng import spawn_children
+from repro.sim.rng import derive_seed, spawn_children_range
+from repro.sim.stats import RunningMoments
 from repro.sim.tau_leaping import TauLeapingSimulator
-from repro.sim.trajectory import Trajectory
+from repro.sim.trajectory import StopReason, Trajectory
 
-__all__ = ["ENGINES", "make_simulator", "EnsembleResult", "EnsembleRunner", "run_ensemble"]
+__all__ = [
+    "ENGINES",
+    "BATCH_ENGINES",
+    "engine_names",
+    "pool_context",
+    "make_simulator",
+    "EnsembleResult",
+    "EnsembleRunner",
+    "ParallelEnsembleRunner",
+    "run_ensemble",
+]
 
 
-#: Registry of available simulation engines, keyed by name.
+#: Registry of per-trial simulation engines, keyed by name.
 ENGINES: dict[str, type[StochasticSimulator]] = {
     "direct": DirectMethodSimulator,
     "first-reaction": FirstReactionSimulator,
@@ -38,19 +66,49 @@ ENGINES: dict[str, type[StochasticSimulator]] = {
     "tau-leaping": TauLeapingSimulator,
 }
 
+#: Registry of batched engines: they simulate many trials per call and are
+#: dispatched specially by the ensemble runner (see EnsembleRunner.run), but
+#: also quack like per-trial simulators for single runs.
+BATCH_ENGINES: dict[str, type] = {
+    "batch-direct": BatchDirectEngine,
+}
+
+
+def engine_names() -> list[str]:
+    """All selectable engine names (per-trial and batched), sorted."""
+    return sorted(ENGINES) + sorted(BATCH_ENGINES)
+
+
+def pool_context():
+    """The ``multiprocessing`` context shared by every parallel path.
+
+    Prefers ``fork`` where available (cheap worker startup, workers inherit
+    the parent's imported modules); falls back to ``spawn`` on platforms
+    without it.  Centralized so the ensemble runner and the parameter sweep
+    cannot silently diverge in start-method policy.
+    """
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
 
 def make_simulator(
     network: "ReactionNetwork | CompiledNetwork",
     engine: str = "direct",
     seed=None,
-) -> StochasticSimulator:
-    """Instantiate a simulation engine by name (see :data:`ENGINES`)."""
-    try:
-        simulator_class = ENGINES[engine]
-    except KeyError as exc:
+):
+    """Instantiate a simulation engine by name.
+
+    Per-trial engines come from :data:`ENGINES`; batched engines from
+    :data:`BATCH_ENGINES` (their ``run()`` simulates a batch of one, so the
+    returned object is a drop-in for single-trajectory use — minus firing
+    logs and state snapshots, which batched engines do not record).
+    """
+    simulator_class = ENGINES.get(engine) or BATCH_ENGINES.get(engine)
+    if simulator_class is None:
         raise EnsembleError(
-            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
-        ) from exc
+            f"unknown engine {engine!r}; available: {engine_names()}"
+        )
     return simulator_class(network, seed=seed)
 
 
@@ -74,6 +132,10 @@ class EnsembleResult:
         Per-trial stopping time and number of firings.
     trajectories:
         The raw trajectories, only if ``keep_trajectories=True`` was requested.
+    moments:
+        Streaming per-species mean/variance of the final counts
+        (:class:`~repro.sim.stats.RunningMoments`); shard results merge these
+        without revisiting the raw samples.
     """
 
     n_trials: int
@@ -83,8 +145,51 @@ class EnsembleResult:
     final_times: np.ndarray
     n_firings: np.ndarray
     trajectories: list[Trajectory] = field(default_factory=list)
+    moments: "RunningMoments | None" = None
 
     UNDECIDED = "(undecided)"
+
+    # -- shard merging -----------------------------------------------------------
+
+    @classmethod
+    def merge(cls, shards: Sequence["EnsembleResult"]) -> "EnsembleResult":
+        """Combine per-shard results into one ensemble-wide result.
+
+        Outcome counts add, the per-trial arrays concatenate in shard order,
+        and the streaming moments merge via the Chan et al. parallel-variance
+        update — so the merged ``moments`` equal (to rounding) what a single
+        sequential pass over all trials would have accumulated.
+        """
+        shards = list(shards)
+        if not shards:
+            raise EnsembleError("cannot merge an empty list of ensemble shards")
+        species = shards[0].species
+        if any(shard.species != species for shard in shards):
+            raise EnsembleError("cannot merge ensembles over different species orders")
+        outcome_counts: dict[str, int] = {}
+        for shard in shards:
+            for label, count in shard.outcome_counts.items():
+                outcome_counts[label] = outcome_counts.get(label, 0) + count
+        moments = RunningMoments(len(species))
+        for shard in shards:
+            moments.merge(
+                shard.moments
+                if shard.moments is not None
+                else RunningMoments.from_samples(shard.final_counts)
+            )
+        trajectories: list[Trajectory] = []
+        for shard in shards:
+            trajectories.extend(shard.trajectories)
+        return cls(
+            n_trials=sum(shard.n_trials for shard in shards),
+            outcome_counts=outcome_counts,
+            final_counts=np.concatenate([shard.final_counts for shard in shards]),
+            species=species,
+            final_times=np.concatenate([shard.final_times for shard in shards]),
+            n_firings=np.concatenate([shard.n_firings for shard in shards]),
+            trajectories=trajectories,
+            moments=moments,
+        )
 
     # -- outcome statistics -------------------------------------------------------
 
@@ -95,7 +200,12 @@ class EnsembleResult:
         return self.outcome_counts.get(label, 0) / self.n_trials
 
     def outcome_distribution(self, include_undecided: bool = False) -> dict[str, float]:
-        """Outcome frequencies as a dictionary summing to one over counted trials."""
+        """Outcome frequencies as a dictionary summing to one over counted trials.
+
+        This is the ensemble estimate of the synthesized distribution — the
+        quantity the paper's method programs (Section 2.1) and its
+        experiments measure.
+        """
         counts = dict(self.outcome_counts)
         if not include_undecided:
             counts.pop(self.UNDECIDED, None)
@@ -119,6 +229,10 @@ class EnsembleResult:
             return list(self.species).index(sp)
         except ValueError as exc:
             raise EnsembleError(f"species {sp.name!r} not part of the ensemble") from exc
+
+    def final_values(self, species: "Species | str") -> np.ndarray:
+        """Per-trial final counts of one species (a column of ``final_counts``)."""
+        return self.final_counts[:, self._column(species)]
 
     def mean_final(self, species: "Species | str") -> float:
         """Mean final count of one species across trials."""
@@ -158,18 +272,27 @@ class EnsembleResult:
 class EnsembleRunner:
     """Run many independent trajectories of one network and aggregate them.
 
+    With a per-trial engine the trials run one after another, each on its own
+    spawned child random stream (keyed by global trial index, so results are
+    independent of execution order).  With ``engine="batch-direct"`` the
+    whole ensemble advances in lock-step vectorized steps instead — same
+    exact SSA statistics, typically an order of magnitude faster for the
+    ensemble sizes the paper uses.
+
     Parameters
     ----------
     network:
         The network (or compiled network) to simulate.
     engine:
-        Engine name from :data:`ENGINES` (default ``"direct"``).
+        Engine name from :data:`ENGINES` or :data:`BATCH_ENGINES`
+        (default ``"direct"``).
     stopping:
         Stopping condition applied to every trial.
     options:
         Simulation options applied to every trial.  The firing log is disabled
         by default inside ensembles (per-reaction totals are always recorded),
-        pass ``options=SimulationOptions(record_firings=True)`` to keep it.
+        pass ``options=SimulationOptions(record_firings=True)`` to keep it
+        (per-trial engines only; the batched engine records totals only).
     outcome_classifier:
         Callable mapping a :class:`Trajectory` to an outcome label (or
         ``None`` for undecided).  Default: the trajectory's ``stop_detail``
@@ -189,6 +312,10 @@ class EnsembleRunner:
             if isinstance(network, CompiledNetwork)
             else CompiledNetwork.compile(network)
         )
+        if engine not in ENGINES and engine not in BATCH_ENGINES:
+            raise EnsembleError(
+                f"unknown engine {engine!r}; available: {engine_names()}"
+            )
         self.engine = engine
         self.stopping = stopping
         self.options = options or SimulationOptions(record_firings=False)
@@ -196,6 +323,7 @@ class EnsembleRunner:
 
     @staticmethod
     def _default_classifier(trajectory: Trajectory) -> "str | None":
+        """Label a trial by its stopping-condition detail (None = undecided)."""
         if trajectory.stop_reason == "condition" and trajectory.stop_detail:
             return trajectory.stop_detail
         return None
@@ -210,13 +338,40 @@ class EnsembleRunner:
         """Simulate ``n_trials`` independent trajectories and aggregate them."""
         if n_trials <= 0:
             raise EnsembleError(f"n_trials must be positive, got {n_trials}")
+        return self._run_range(
+            n_trials, seed, 0, n_trials, initial_state, keep_trajectories
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run_range(
+        self,
+        n_trials: int,
+        seed: "int | None",
+        start: int,
+        stop: int,
+        initial_state: "Mapping | None",
+        keep_trajectories: bool,
+    ) -> EnsembleResult:
+        """Simulate the trial slice ``[start, stop)`` of an ``n_trials`` ensemble.
+
+        The slice abstraction is what the parallel runner shards: per-trial
+        engines derive each trial's random stream from its global index, and
+        the batched engine derives one sub-seed per slice, so results depend
+        only on ``(seed, n_trials, slicing)`` — never on which process runs
+        which slice.
+        """
+        if self.engine in BATCH_ENGINES:
+            return self._run_batched(seed, start, stop, initial_state, keep_trajectories)
         simulator = make_simulator(self.compiled, engine=self.engine)
-        streams = spawn_children(seed, n_trials)
+        streams = spawn_children_range(seed, n_trials, start, stop)
+        count = stop - start
 
         outcome_counts: dict[str, int] = {}
-        final_counts = np.zeros((n_trials, self.compiled.n_species), dtype=np.int64)
-        final_times = np.zeros(n_trials)
-        n_firings = np.zeros(n_trials, dtype=np.int64)
+        final_counts = np.zeros((count, self.compiled.n_species), dtype=np.int64)
+        final_times = np.zeros(count)
+        n_firings = np.zeros(count, dtype=np.int64)
+        moments = RunningMoments(self.compiled.n_species)
         kept: list[Trajectory] = []
 
         for trial, rng in enumerate(streams):
@@ -230,20 +385,205 @@ class EnsembleRunner:
             key = EnsembleResult.UNDECIDED if label is None else str(label)
             outcome_counts[key] = outcome_counts.get(key, 0) + 1
             final_counts[trial] = trajectory.final_state.to_vector(self.compiled.species)
+            moments.update(final_counts[trial])
             final_times[trial] = trajectory.final_time
             n_firings[trial] = int(trajectory.firing_counts.sum())
             if keep_trajectories:
                 kept.append(trajectory)
 
         return EnsembleResult(
-            n_trials=n_trials,
+            n_trials=count,
             outcome_counts=outcome_counts,
             final_counts=final_counts,
             species=self.compiled.species,
             final_times=final_times,
             n_firings=n_firings,
             trajectories=kept,
+            moments=moments,
         )
+
+    def _run_batched(
+        self,
+        seed: "int | None",
+        start: int,
+        stop: int,
+        initial_state: "Mapping | None",
+        keep_trajectories: bool,
+    ) -> EnsembleResult:
+        """Run trials ``[start, stop)`` as one vectorized batch."""
+        count = stop - start
+        # The batch shares one generator, so the slice (not each trial) gets a
+        # deterministic sub-seed; fixed chunking then keeps parallel results
+        # invariant to the worker count.
+        sub_seed = None if seed is None else derive_seed(seed, "batch", start, stop)
+        engine = BATCH_ENGINES[self.engine](self.compiled)
+        batch = engine.run_batch(
+            count,
+            initial_state=dict(initial_state) if initial_state else None,
+            stopping=self.stopping,
+            options=self.options,
+            seed=sub_seed,
+        )
+
+        outcome_counts: dict[str, int] = {}
+        kept: list[Trajectory] = []
+        default_classifier = self.outcome_classifier is EnsembleRunner._default_classifier
+        for trial in range(count):
+            if default_classifier and not keep_trajectories:
+                # Fast path: the default classifier only reads the stop fields.
+                label = (
+                    str(batch.stop_details[trial])
+                    if batch.stop_reasons[trial] == StopReason.CONDITION
+                    and batch.stop_details[trial]
+                    else None
+                )
+            else:
+                trajectory = batch.trajectory(trial)
+                label = self.outcome_classifier(trajectory)
+                if keep_trajectories:
+                    kept.append(trajectory)
+            key = EnsembleResult.UNDECIDED if label is None else str(label)
+            outcome_counts[key] = outcome_counts.get(key, 0) + 1
+
+        return EnsembleResult(
+            n_trials=count,
+            outcome_counts=outcome_counts,
+            final_counts=batch.final_counts,
+            species=self.compiled.species,
+            final_times=batch.final_times,
+            n_firings=batch.firing_counts.sum(axis=1),
+            trajectories=kept,
+            moments=RunningMoments.from_samples(batch.final_counts),
+        )
+
+
+def _ensemble_shard(payload: tuple) -> EnsembleResult:
+    """Worker entry point: simulate one trial slice in a child process.
+
+    Receives plain picklable pieces (the uncompiled network is shipped and
+    recompiled here — compilation is cheap relative to any ensemble worth
+    parallelizing) and returns the shard's :class:`EnsembleResult`.
+    """
+    (
+        network,
+        engine,
+        stopping,
+        options,
+        classifier,
+        seed,
+        n_trials,
+        start,
+        stop,
+        initial_state,
+        keep_trajectories,
+    ) = payload
+    runner = EnsembleRunner(
+        network,
+        engine=engine,
+        stopping=stopping,
+        options=options,
+        outcome_classifier=classifier,
+    )
+    return runner._run_range(n_trials, seed, start, stop, initial_state, keep_trajectories)
+
+
+class ParallelEnsembleRunner(EnsembleRunner):
+    """Ensemble runner that shards trials across ``multiprocessing`` workers.
+
+    Trials are split into fixed-size chunks; workers pull chunks from a pool
+    and each chunk derives its randomness from the global trial indices it
+    covers (:func:`~repro.sim.rng.spawn_children_range` for per-trial
+    engines, a per-slice sub-seed for the batched engine).  Results are
+    therefore *identical* for a given ``(seed, n_trials, chunk_size)``
+    regardless of ``workers`` — and, for per-trial engines, identical to the
+    sequential :class:`EnsembleRunner` too.  Shard statistics merge through
+    :meth:`EnsembleResult.merge` (Welford/Chan moment merging included).
+
+    The network, stopping condition and outcome classifier are pickled to the
+    workers, so all three must be picklable: module-level classes/functions
+    and bound methods of picklable objects work; lambdas and closures do not
+    (use the sequential runner for those, or define the classifier at module
+    level).
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: ``os.cpu_count()``).  ``workers=1``
+        runs the same chunked schedule inline, without spawning processes.
+    chunk_size:
+        Trials per shard (default 512).  Smaller chunks balance load better;
+        larger chunks amortize per-chunk setup (network recompilation, and
+        batch-engine efficiency grows with batch width).
+    """
+
+    def __init__(
+        self,
+        network: "ReactionNetwork | CompiledNetwork",
+        engine: str = "direct",
+        stopping: "StoppingCondition | None" = None,
+        options: "SimulationOptions | None" = None,
+        outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
+        workers: "int | None" = None,
+        chunk_size: int = 512,
+    ) -> None:
+        super().__init__(
+            network,
+            engine=engine,
+            stopping=stopping,
+            options=options,
+            outcome_classifier=outcome_classifier,
+        )
+        if chunk_size <= 0:
+            raise EnsembleError(f"chunk_size must be positive, got {chunk_size}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers <= 0:
+            raise EnsembleError(f"workers must be positive, got {self.workers}")
+        self.chunk_size = chunk_size
+
+    def run(
+        self,
+        n_trials: int,
+        seed: "int | None" = None,
+        initial_state: "Mapping | None" = None,
+        keep_trajectories: bool = False,
+    ) -> EnsembleResult:
+        """Simulate ``n_trials`` trajectories across the worker pool and merge."""
+        if n_trials <= 0:
+            raise EnsembleError(f"n_trials must be positive, got {n_trials}")
+        bounds = [
+            (start, min(start + self.chunk_size, n_trials))
+            for start in range(0, n_trials, self.chunk_size)
+        ]
+        initial = dict(initial_state) if initial_state else None
+
+        if self.workers == 1 or len(bounds) == 1:
+            shards = [
+                self._run_range(n_trials, seed, start, stop, initial, keep_trajectories)
+                for start, stop in bounds
+            ]
+            return EnsembleResult.merge(shards)
+
+        payloads = [
+            (
+                self.compiled.network,
+                self.engine,
+                self.stopping,
+                self.options,
+                self.outcome_classifier,
+                seed,
+                n_trials,
+                start,
+                stop,
+                initial,
+                keep_trajectories,
+            )
+            for start, stop in bounds
+        ]
+        context = pool_context()
+        processes = min(self.workers, len(bounds))
+        with context.Pool(processes=processes) as pool:
+            shards = pool.map(_ensemble_shard, payloads)
+        return EnsembleResult.merge(shards)
 
 
 def run_ensemble(
@@ -255,13 +595,23 @@ def run_ensemble(
     options: "SimulationOptions | None" = None,
     outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
     keep_trajectories: bool = False,
+    workers: int = 1,
 ) -> EnsembleResult:
-    """One-call convenience wrapper around :class:`EnsembleRunner`."""
-    runner = EnsembleRunner(
+    """One-call convenience wrapper around the ensemble runners.
+
+    ``workers > 1`` selects :class:`ParallelEnsembleRunner` (multiprocess
+    sharding); otherwise the sequential :class:`EnsembleRunner` is used.
+    Combine ``engine="batch-direct"`` with ``workers`` to get vectorized
+    chunks distributed across processes.
+    """
+    runner_class = ParallelEnsembleRunner if workers > 1 else EnsembleRunner
+    kwargs = {"workers": workers} if workers > 1 else {}
+    runner = runner_class(
         network,
         engine=engine,
         stopping=stopping,
         options=options,
         outcome_classifier=outcome_classifier,
+        **kwargs,
     )
     return runner.run(n_trials, seed=seed, keep_trajectories=keep_trajectories)

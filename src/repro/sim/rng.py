@@ -8,11 +8,11 @@ for their trials (via :func:`spawn_children`, which uses NumPy's
 
 from __future__ import annotations
 
-from typing import Sequence
+import hashlib
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_children", "derive_seed"]
+__all__ = ["make_rng", "spawn_children", "spawn_children_range", "derive_seed"]
 
 
 def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
@@ -34,18 +34,54 @@ def spawn_children(seed: "int | None", count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+    return spawn_children_range(seed, count, 0, count)
+
+
+def spawn_children_range(
+    seed: "int | None", count: int, start: int, stop: int
+) -> list[np.random.Generator]:
+    """Generators for trials ``start..stop-1`` of a ``count``-trial ensemble.
+
+    Spawning is keyed by the *global* trial index, so a worker simulating a
+    shard of the ensemble draws exactly the streams the sequential runner
+    would have used for those trials — this is what makes parallel ensemble
+    results identical across worker counts (and to the sequential runner).
+
+    The child for trial ``i`` is constructed directly as
+    ``SeedSequence(entropy=root.entropy, spawn_key=(i,))`` — bit-identical to
+    ``root.spawn(count)[i]`` — so a shard costs O(stop-start), not O(count);
+    spawning all ``count`` children per chunk would make large sharded
+    ensembles quadratic in the trial count.
+    """
+    if not 0 <= start <= stop <= count:
+        raise ValueError(f"invalid trial range [{start}, {stop}) of {count}")
+    root = np.random.SeedSequence(seed)
+    return [
+        np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=root.entropy, spawn_key=(i,), pool_size=root.pool_size
+            )
+        )
+        for i in range(start, stop)
+    ]
 
 
 def derive_seed(seed: "int | None", *keys: "int | str") -> int:
     """Derive a deterministic integer sub-seed from ``seed`` and context keys.
 
     Handy for benchmarks that need distinct but reproducible seeds per sweep
-    point (``derive_seed(base, "gamma", 1000)``).
+    point (``derive_seed(base, "gamma", 1000)``), and used by the ensemble
+    runner to key batch chunks.  String keys are hashed with a *stable*
+    digest (not the built-in ``hash``, whose per-process randomization would
+    make the result differ between interpreter invocations and between
+    spawned worker processes).
     """
-    material: Sequence[int] = [0 if seed is None else int(seed)] + [
-        abs(hash(k)) % (2**31) for k in keys
-    ]
+    material: list[int] = [0 if seed is None else int(seed)]
+    for key in keys:
+        if isinstance(key, int):
+            material.append(abs(key) % (2**31))
+        else:
+            digest = hashlib.sha256(str(key).encode("utf-8")).digest()
+            material.append(int.from_bytes(digest[:4], "big") % (2**31))
     sequence = np.random.SeedSequence(material)
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
