@@ -21,7 +21,6 @@ from _config import report, trials
 
 from repro.analysis import format_table, total_variation
 from repro.core import synthesize_distribution
-from repro.sim import SimulationOptions, make_simulator
 
 TARGET = {"1": 0.3, "2": 0.4, "3": 0.3}
 ENGINES = ("direct", "first-reaction", "next-reaction")

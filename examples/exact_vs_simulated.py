@@ -16,8 +16,9 @@ Run:  python examples/exact_vs_simulated.py
 from __future__ import annotations
 
 from repro.analysis import format_table, outcome_probabilities
+from repro.api import Experiment
 from repro.core import DistributionSpec, OutcomeSpec, build_stochastic_module
-from repro.sim import run_ensemble, CategoryFiringCondition
+from repro.sim import CategoryFiringCondition
 
 
 def classify(state: dict) -> "str | None":
@@ -65,9 +66,9 @@ def main() -> None:
     exact = outcome_probabilities(network, classify=classify).decided()
     rows = []
     for trials in (100, 400, 1600):
-        ensemble = run_ensemble(
-            network, trials, stopping=CategoryFiringCondition("working", 3), seed=9
-        )
+        ensemble = Experiment.from_network(
+            network, stopping=CategoryFiringCondition("working", 3)
+        ).simulate(trials=trials, seed=9).ensemble
         measured = ensemble.outcome_distribution()
         rows.append(
             {

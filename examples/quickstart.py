@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 
-from repro import synthesize_distribution
+from repro import Experiment
 from repro.core import verify_by_sampling
 
 TRIALS = int(os.environ.get("REPRO_TRIALS", "1000"))
@@ -22,11 +22,12 @@ TRIALS = int(os.environ.get("REPRO_TRIALS", "1000"))
 
 def main() -> None:
     # 1. Specify the target distribution and synthesize the reactions.
-    system = synthesize_distribution(
+    experiment = Experiment.from_distribution(
         {"1": 0.3, "2": 0.4, "3": 0.3},
         gamma=1e3,     # rate separation (Equation 1); larger = lower error
         scale=100,     # total input molecules: E1=30, E2=40, E3=30 as in Example 1
     )
+    system = experiment.system
 
     print("=== Synthesized design ===")
     print(system.describe())
@@ -34,10 +35,11 @@ def main() -> None:
     print(system.network.pretty())
     print()
 
-    # 2. Sample the outcome distribution by stochastic simulation.
+    # 2. Sample the outcome distribution by stochastic simulation (the
+    #    batch-direct engine advances all trials in lock-step vectorized steps).
     print(f"=== Monte-Carlo check ({TRIALS} trials) ===")
-    sampled = system.sample_distribution(n_trials=TRIALS, seed=2007)
-    print(sampled.summary())
+    result = experiment.simulate(trials=TRIALS, engine="batch-direct", seed=2007)
+    print(result.summary())
     print()
 
     # 3. A formal verification report (TV distance + chi-square goodness of fit).

@@ -17,13 +17,15 @@ Fett, Bruck & Riedel, DAC 2007.  The library provides:
   (the Figure-4 synthetic model, the natural-model surrogate, and the
   Figure-5 experiment).
 
-Quickstart::
+Quickstart (the fluent facade is the front door)::
 
-    from repro import synthesize_distribution
+    from repro import Experiment
 
-    system = synthesize_distribution({"a": 0.3, "b": 0.4, "c": 0.3}, gamma=1e3)
-    sampled = system.sample_distribution(n_trials=1000, seed=1)
-    print(sampled.summary())
+    result = (
+        Experiment.from_distribution({"a": 0.3, "b": 0.4, "c": 0.3}, gamma=1e3)
+        .simulate(trials=1000, engine="batch-direct", seed=1)
+    )
+    print(result.summary())
 """
 
 from repro.core import (
@@ -58,11 +60,15 @@ from repro.sim import (
     SimulationOptions,
     run_ensemble,
 )
+from repro.api import Experiment, RunResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # api (the fluent facade)
+    "Experiment",
+    "RunResult",
     # crn
     "Species",
     "Reaction",

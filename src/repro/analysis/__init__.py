@@ -27,7 +27,7 @@ from repro.analysis.sensitivity import (
     perturb_rates,
     robustness_report,
 )
-from repro.analysis.sweep import ParameterSweep, SweepResult
+from repro.analysis.sweep import ExperimentMeasure, ParameterSweep, SweepResult
 from repro.analysis.tables import format_kv, format_table, write_csv
 
 __all__ = [
@@ -51,6 +51,7 @@ __all__ = [
     "PAPER_EQ14_COEFFICIENTS",
     "ParameterSweep",
     "SweepResult",
+    "ExperimentMeasure",
     "format_table",
     "format_kv",
     "write_csv",

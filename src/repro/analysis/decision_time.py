@@ -15,12 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
+from repro.api.experiment import Experiment
 from repro.core.synthesizer import SynthesizedSystem
-from repro.errors import AnalysisError
-from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import EnsembleRunner, ParallelEnsembleRunner
+from repro.errors import AnalysisError, ExperimentError
 
 __all__ = ["DecisionTimeStats", "decision_time_statistics", "decision_time_vs_gamma"]
 
@@ -65,39 +62,41 @@ def decision_time_statistics(
     inputs: "Mapping[str, int] | None" = None,
     engine: str = "direct",
     workers: int = 1,
+    engine_options=None,
 ) -> DecisionTimeStats:
     """Measure the decision latency of a synthesized system.
 
     A trial's decision time is the simulated time at which the stopping
     condition (``working_firings`` firings of some working reaction) is met.
-    Undecided trials are excluded.  ``engine="batch-direct"`` vectorizes the
-    ensemble; ``workers > 1`` shards it across processes — both matter here
-    because tight latency percentiles (p95) need large trial counts.
+    Undecided trials are excluded.  The ensemble runs through the fluent
+    facade (:class:`repro.api.Experiment`); ``engine="batch-direct"``
+    vectorizes it and ``workers > 1`` shards it across processes — both
+    matter here because tight latency percentiles (p95) need large trial
+    counts.
     """
     if n_trials <= 0:
         raise AnalysisError(f"n_trials must be positive, got {n_trials}")
-    network = system.network_with_inputs(inputs)
-    runner_class = ParallelEnsembleRunner if workers > 1 else EnsembleRunner
-    runner_kwargs = {"workers": workers} if workers > 1 else {}
-    runner = runner_class(
-        network,
+    experiment = Experiment.from_system(system).declare_after(working_firings)
+    if inputs:
+        experiment = experiment.program(inputs)
+    result = experiment.simulate(
+        trials=n_trials,
         engine=engine,
-        stopping=system.stopping_condition(working_firings),
-        options=SimulationOptions(record_firings=False),
-        outcome_classifier=system.classify_outcome,
-        **runner_kwargs,
+        workers=workers,
+        seed=seed,
+        engine_options=engine_options,
     )
-    result = runner.run(n_trials, seed=seed)
-    decided = result.final_times[result.final_times > 0.0]
-    if decided.size == 0:
-        raise AnalysisError("no trial reached a decision; check the stopping condition")
+    try:
+        times = result.decision_times()
+    except ExperimentError as exc:
+        raise AnalysisError(str(exc)) from exc
     return DecisionTimeStats(
-        mean=float(np.mean(decided)),
-        std=float(np.std(decided, ddof=1)) if decided.size > 1 else 0.0,
-        median=float(np.median(decided)),
-        p95=float(np.percentile(decided, 95)),
-        mean_firings=float(np.mean(result.n_firings)),
-        n_trials=int(decided.size),
+        mean=times["mean"],
+        std=times["std"],
+        median=times["median"],
+        p95=times["p95"],
+        mean_firings=times["mean_firings"],
+        n_trials=int(times["n_trials"]),
     )
 
 
@@ -117,21 +116,20 @@ def decision_time_vs_gamma(
     latency/accuracy trade-off is visible in a single table.  ``engine`` and
     ``workers`` pass through to the per-γ latency ensembles.
     """
-    from repro.analysis.distance import total_variation
-    from repro.core.synthesizer import synthesize_distribution
-
     rows: list[dict[str, float]] = []
     for offset, gamma in enumerate(gammas):
-        system = synthesize_distribution(dict(probabilities), gamma=gamma, scale=scale)
+        experiment = Experiment.from_distribution(
+            dict(probabilities), gamma=gamma, scale=scale
+        )
         stats = decision_time_statistics(
-            system,
+            experiment.system,
             n_trials=n_trials,
             seed=None if seed is None else seed + offset,
             engine=engine,
             workers=workers,
         )
-        sampled = system.sample_distribution(
-            n_trials=n_trials, seed=None if seed is None else seed + 1000 + offset
+        sampled = experiment.simulate(
+            trials=n_trials, seed=None if seed is None else seed + 1000 + offset
         )
         rows.append(
             {
@@ -139,7 +137,7 @@ def decision_time_vs_gamma(
                 "mean_decision_time": stats.mean,
                 "p95_decision_time": stats.p95,
                 "mean_firings": stats.mean_firings,
-                "tv_from_target": total_variation(sampled.frequencies, dict(probabilities)),
+                "tv_from_target": sampled.total_variation(dict(probabilities)),
             }
         )
     return rows

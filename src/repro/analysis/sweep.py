@@ -14,11 +14,55 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
 from repro.errors import AnalysisError
 
-__all__ = ["SweepResult", "ParameterSweep"]
+__all__ = ["SweepResult", "ParameterSweep", "ExperimentMeasure"]
+
+
+class ExperimentMeasure:
+    """Picklable sweep measure built on the fluent facade.
+
+    Wraps *build a per-point* :class:`repro.api.Experiment` *, simulate it,
+    extract a row* so that grids of facade experiments plug straight into
+    :class:`ParameterSweep` — including its multiprocess path, for which a
+    lambda would not pickle (``builder`` and ``row`` must be module-level
+    callables or bound methods of picklable objects).
+
+    Parameters
+    ----------
+    builder:
+        Callable mapping one grid value to an :class:`~repro.api.Experiment`.
+    row:
+        Callable mapping ``(value, RunResult)`` to the row dictionary.
+        Default: one ``p[label]`` column per outcome plus ``tv_distance``
+        when the experiment knows its target.
+    simulate_kwargs:
+        Passed to :meth:`~repro.api.Experiment.simulate` at every point
+        (``trials=``, ``engine=``, ``seed=``, ``workers=`` ...).
+    """
+
+    def __init__(
+        self,
+        builder: "Callable[[object], object]",
+        row: "Callable[[object, object], Mapping[str, object]] | None" = None,
+        **simulate_kwargs: object,
+    ) -> None:
+        self.builder = builder
+        self.row = row
+        self.simulate_kwargs = simulate_kwargs
+
+    def __call__(self, value: object) -> dict[str, object]:
+        result = self.builder(value).simulate(**self.simulate_kwargs)
+        if self.row is not None:
+            return dict(self.row(value, result))
+        columns: dict[str, object] = {
+            f"p[{label}]": freq for label, freq in result.frequencies.items()
+        }
+        if result.target:
+            columns["tv_distance"] = result.total_variation()
+        return columns
 
 
 @dataclass
@@ -96,6 +140,25 @@ class ParameterSweep:
         self.measure = measure
         if not self.values:
             raise AnalysisError("sweep needs at least one parameter value")
+
+    @classmethod
+    def over_experiments(
+        cls,
+        parameter: str,
+        values: Iterable[object],
+        builder: "Callable[[object], object]",
+        row: "Callable[[object, object], Mapping[str, object]] | None" = None,
+        **simulate_kwargs: object,
+    ) -> "ParameterSweep":
+        """Sweep a grid of facade experiments.
+
+        ``builder(value)`` returns the :class:`repro.api.Experiment` for one
+        grid point; ``simulate_kwargs`` configure every point's
+        :meth:`~repro.api.Experiment.simulate` call.  See
+        :class:`ExperimentMeasure` for the row format and picklability rules
+        (``run(workers=N)`` works when ``builder`` and ``row`` pickle).
+        """
+        return cls(parameter, values, ExperimentMeasure(builder, row=row, **simulate_kwargs))
 
     def run(
         self,

@@ -1,0 +1,368 @@
+"""The fluent design → simulate → analyze facade.
+
+The paper's framework (Figure 1) is a pipeline: a target distribution is
+compiled into reactions, the reactions are simulated stochastically, and the
+outcome statistics are compared with the target.  :class:`Experiment` exposes
+that pipeline as one fluent chain over every entry point the library has::
+
+    from repro.api import Experiment
+
+    result = (
+        Experiment.from_distribution({"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3)
+        .simulate(trials=2000, engine="batch-direct", workers=4, seed=7)
+    )
+    print(result.frequencies, result.distances())
+
+    settled = (
+        Experiment.from_module(logarithm_module())
+        .program({"x": 16})
+        .simulate(trials=50, engine="batch-direct")
+        .output_summary("y")
+    )
+
+Every fluent method returns a *new* experiment (the builder is immutable), so
+partially-configured experiments can be shared and forked freely — a sweep
+can hold one base experiment and ``.program()`` each grid point.  Execution
+always flows through the capability-aware engine registry
+(:mod:`repro.sim.registry`), so third-party engines and typed
+``engine_options`` work everywhere the facade does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.modules.base import FunctionalModule
+from repro.core.runtime import default_horizon
+from repro.core.synthesizer import (
+    SynthesizedSystem,
+    synthesize_affine_response,
+    synthesize_distribution,
+)
+from repro.crn.network import ReactionNetwork
+from repro.errors import ExperimentError
+from repro.sim.base import SimulationOptions
+from repro.sim.ensemble import EnsembleRunner, ParallelEnsembleRunner
+from repro.sim.events import StoppingCondition
+from repro.api.results import RunResult
+
+__all__ = ["Experiment"]
+
+#: max_steps safety bound used when settling modules (matches settle_module).
+_MODULE_MAX_STEPS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """An immutable, fluent experiment description.
+
+    Build one with a ``from_*`` constructor, refine it with the fluent
+    methods (each returns a new experiment), and execute it with
+    :meth:`simulate`, which returns a :class:`~repro.api.results.RunResult`.
+
+    The three experiment kinds:
+
+    * **system** — a :class:`~repro.core.synthesizer.SynthesizedSystem`
+      (``from_distribution`` / ``from_affine_response`` / ``from_system``):
+      stopping condition, outcome classifier and target distribution are
+      derived from the design; ``program()`` sets external input quantities.
+    * **module** — a deterministic :class:`FunctionalModule`
+      (``from_module``): trials settle the module under its time horizon;
+      results expose ``output_summary()``.
+    * **network** — a raw :class:`~repro.crn.network.ReactionNetwork`
+      (``from_network``): bring your own stopping condition / classifier /
+      target.
+    """
+
+    system: "SynthesizedSystem | None" = None
+    module: "FunctionalModule | None" = None
+    network: "ReactionNetwork | None" = None
+    inputs: "tuple[tuple[str, int], ...]" = ()
+    stopping: "StoppingCondition | None" = None
+    classifier: "Callable | None" = None
+    options: "SimulationOptions | None" = None
+    target: "dict[str, float] | None" = None
+    n_working_firings: int = 10
+    horizon: "float | None" = None
+    label: str = "experiment"
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_distribution(
+        cls,
+        distribution,
+        gamma: float = 1e3,
+        scale: int = 100,
+        **synthesis_kwargs: Any,
+    ) -> "Experiment":
+        """Design a stochastic module realizing a target distribution (Example 1).
+
+        ``distribution`` and the keyword arguments are those of
+        :func:`repro.core.synthesizer.synthesize_distribution`.
+        """
+        system = synthesize_distribution(
+            distribution, gamma=gamma, scale=scale, **synthesis_kwargs
+        )
+        return cls.from_system(system)
+
+    @classmethod
+    def from_affine_response(
+        cls,
+        affine,
+        gamma: float = 1e3,
+        scale: int = 100,
+        **synthesis_kwargs: Any,
+    ) -> "Experiment":
+        """Design a programmable affine response (Example 2); program inputs later."""
+        system = synthesize_affine_response(
+            affine, gamma=gamma, scale=scale, **synthesis_kwargs
+        )
+        return cls.from_system(system)
+
+    @classmethod
+    def from_system(cls, system: SynthesizedSystem) -> "Experiment":
+        """Wrap an already-synthesized system."""
+        return cls(system=system, label=system.network.name)
+
+    @classmethod
+    def from_module(
+        cls, module: FunctionalModule, horizon: "float | None" = None
+    ) -> "Experiment":
+        """Settle a deterministic functional module (Section 2.2).
+
+        ``horizon`` bounds the simulated time (default:
+        :func:`repro.core.runtime.default_horizon`, generous enough for every
+        module in the paper — some modules idle forever on catalytic
+        triggers, so an unbounded run would never return).
+        """
+        return cls(module=module, horizon=horizon, label=f"module[{module.name}]")
+
+    @classmethod
+    def from_network(
+        cls,
+        network: ReactionNetwork,
+        stopping: "StoppingCondition | None" = None,
+        classifier: "Callable | None" = None,
+        target: "Mapping[str, float] | None" = None,
+    ) -> "Experiment":
+        """Simulate a raw reaction network with caller-supplied semantics."""
+        return cls(
+            network=network,
+            stopping=stopping,
+            classifier=classifier,
+            target=dict(target) if target is not None else None,
+            label=getattr(network, "name", "network") or "network",
+        )
+
+    # -- fluent refinement -------------------------------------------------------
+
+    def _replace(self, **changes: Any) -> "Experiment":
+        return dataclasses.replace(self, **changes)
+
+    def program(self, inputs: "Mapping[str, int]") -> "Experiment":
+        """Set input quantities (merged over any previously programmed ones).
+
+        For systems these are the external inputs of the affine response (or
+        any species name); for modules, the input-port quantities by role
+        (``{"x": 16}``); for raw networks, initial quantities of existing
+        species.
+        """
+        merged = {**dict(self.inputs), **{str(k): int(v) for k, v in inputs.items()}}
+        return self._replace(inputs=tuple(sorted(merged.items())))
+
+    def stop_when(self, stopping: StoppingCondition) -> "Experiment":
+        """Override the stopping condition applied to every trial."""
+        return self._replace(stopping=stopping)
+
+    def classify_with(self, classifier: Callable) -> "Experiment":
+        """Override the trajectory → outcome-label classifier."""
+        return self._replace(classifier=classifier)
+
+    def declare_after(self, working_firings: int) -> "Experiment":
+        """Working firings needed to declare an outcome (system experiments).
+
+        The paper's convention is 10 (Section 2.1.3).
+        """
+        if working_firings <= 0:
+            raise ExperimentError(
+                f"working_firings must be positive, got {working_firings}"
+            )
+        return self._replace(n_working_firings=int(working_firings))
+
+    def with_options(self, options: SimulationOptions) -> "Experiment":
+        """Replace the per-trial :class:`SimulationOptions` wholesale."""
+        return self._replace(options=options)
+
+    def configure(self, **option_fields: Any) -> "Experiment":
+        """Override individual :class:`SimulationOptions` fields fluently."""
+        base = self.options or self._default_options()
+        return self._replace(
+            options=SimulationOptions(**{**base.__dict__, **option_fields})
+        )
+
+    def targeting(self, target: "Mapping[str, float]") -> "Experiment":
+        """Attach a reference distribution (for raw-network experiments)."""
+        return self._replace(target=dict(target))
+
+    def named(self, label: str) -> "Experiment":
+        """Set the experiment's human-readable label."""
+        return self._replace(label=str(label))
+
+    # -- resolution --------------------------------------------------------------
+
+    def _default_options(self) -> SimulationOptions:
+        if self.module is not None:
+            return SimulationOptions(
+                max_time=(
+                    self.horizon
+                    if self.horizon is not None
+                    else default_horizon(self.module)
+                ),
+                max_steps=_MODULE_MAX_STEPS,
+                record_firings=False,
+            )
+        return SimulationOptions(record_firings=False)
+
+    def _resolved(self) -> "tuple[ReactionNetwork, StoppingCondition | None, Callable | None]":
+        """Materialize (network, stopping, classifier) with inputs applied."""
+        inputs = dict(self.inputs)
+        if self.system is not None:
+            network = self.system.network_with_inputs(inputs or None)
+            stopping = self.stopping or self.system.stopping_condition(
+                self.n_working_firings
+            )
+            classifier = self.classifier or self.system.classify_outcome
+            return network, stopping, classifier
+        if self.module is not None:
+            prepared = self.module.with_input_quantities(inputs)
+            return prepared.network, self.stopping, self.classifier
+        if self.network is not None:
+            network = self.network
+            if inputs:
+                network = network.copy()
+                for species, count in inputs.items():
+                    if not network.has_species(species):
+                        raise ExperimentError(
+                            f"programmed species {species!r} is not part of the network"
+                        )
+                    network.set_initial(species, int(count))
+            return network, self.stopping, self.classifier
+        raise ExperimentError(
+            "empty experiment; build one with Experiment.from_distribution / "
+            "from_affine_response / from_system / from_module / from_network"
+        )
+
+    def _resolved_target(self) -> "dict[str, float] | None":
+        if self.target is not None:
+            return dict(self.target)
+        if self.system is not None:
+            return self.system.target_distribution(dict(self.inputs) or None)
+        return None
+
+    # -- execution ---------------------------------------------------------------
+
+    def simulate(
+        self,
+        trials: int = 1000,
+        engine: str = "direct",
+        workers: int = 1,
+        seed: "int | None" = None,
+        engine_options: "Any | None" = None,
+        keep_trajectories: bool = False,
+        chunk_size: int = 512,
+    ) -> RunResult:
+        """Run the Monte-Carlo ensemble and return a :class:`RunResult`.
+
+        Parameters
+        ----------
+        trials:
+            Number of independent trajectories.
+        engine:
+            Engine name from the registry (``repro.sim.registry.registry``);
+            ``"batch-direct"`` advances all trials in lock-step vectorized
+            steps.
+        workers:
+            Shard trials across this many worker processes (``> 1`` selects
+            the :class:`~repro.sim.ensemble.ParallelEnsembleRunner`; results
+            are invariant to the worker count for a fixed seed).
+        seed:
+            Random seed; trials derive independent streams from it.
+        engine_options:
+            Typed engine options (e.g.
+            :class:`~repro.sim.tau_leaping.TauLeapOptions`).
+        keep_trajectories:
+            Keep the raw per-trial trajectories on the result.
+        chunk_size:
+            Trials per parallel shard.
+        """
+        network, stopping, classifier = self._resolved()
+        options = self.options or self._default_options()
+        if workers > 1:
+            runner = ParallelEnsembleRunner(
+                network,
+                engine=engine,
+                stopping=stopping,
+                options=options,
+                outcome_classifier=classifier,
+                workers=workers,
+                chunk_size=chunk_size,
+                engine_options=engine_options,
+            )
+        else:
+            runner = EnsembleRunner(
+                network,
+                engine=engine,
+                stopping=stopping,
+                options=options,
+                outcome_classifier=classifier,
+                engine_options=engine_options,
+            )
+        ensemble = runner.run(trials, seed=seed, keep_trajectories=keep_trajectories)
+
+        outputs = None
+        expected_outputs = None
+        if self.module is not None:
+            outputs = dict(self.module.outputs)
+            if self.module.expected is not None:
+                expected_outputs = {
+                    role: float(value)
+                    for role, value in self.module.expected_outputs(
+                        dict(self.inputs)
+                    ).items()
+                }
+        return RunResult(
+            ensemble=ensemble,
+            engine=engine,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            inputs=dict(self.inputs),
+            target=self._resolved_target(),
+            outputs=outputs,
+            expected_outputs=expected_outputs,
+            label=self.label,
+        )
+
+    def run_once(
+        self,
+        engine: str = "direct",
+        seed: "int | None" = None,
+        engine_options: "Any | None" = None,
+    ):
+        """Simulate a single trajectory (no ensemble) and return it.
+
+        Accepts any registered engine, including the deterministic ``"ode"``
+        mean-field baseline that ensembles reject.
+        """
+        from repro.sim.ensemble import make_simulator
+
+        network, stopping, classifier = self._resolved()
+        simulator = make_simulator(
+            network, engine=engine, seed=seed, engine_options=engine_options
+        )
+        return simulator.run(
+            stopping=stopping, options=self.options or self._default_options()
+        )

@@ -1,0 +1,307 @@
+"""Results of a facade experiment run.
+
+:class:`RunResult` is what :meth:`repro.api.Experiment.simulate` returns: the
+underlying :class:`~repro.sim.ensemble.EnsembleResult` plus the experiment's
+metadata (engine, seed, inputs, programmed target distribution, module output
+ports), with the paper's analysis quantities exposed lazily — outcome
+frequencies, distances to the target (Section 2.1's programmed distribution),
+decision-time summaries — and a JSON round trip for archiving runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.crn.species import as_species
+from repro.errors import ExperimentError
+from repro.sim.ensemble import EnsembleResult
+from repro.sim.stats import RunningMoments
+
+__all__ = ["RunResult"]
+
+_SCHEMA = "repro.run-result/v1"
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one :meth:`Experiment.simulate` call.
+
+    Attributes
+    ----------
+    ensemble:
+        The raw :class:`~repro.sim.ensemble.EnsembleResult` (final counts,
+        outcome counts, streaming moments, optional trajectories).
+    engine / trials / seed / workers:
+        How the run was executed.
+    inputs:
+        Programmed input quantities (``Experiment.program``).
+    target:
+        The distribution the design was programmed to produce, when the
+        experiment knows one (synthesized systems; optional for raw
+        networks) — the reference for :meth:`distances`.
+    outputs:
+        Output-port map ``{role: species}`` for module experiments.
+    expected_outputs:
+        Ideal module outputs at these inputs (``module.expected``), if known.
+    label:
+        Human-readable experiment label.
+    """
+
+    ensemble: EnsembleResult
+    engine: str = "direct"
+    trials: int = 0
+    seed: "int | None" = None
+    workers: int = 1
+    inputs: dict[str, int] = field(default_factory=dict)
+    target: "dict[str, float] | None" = None
+    outputs: "dict[str, str] | None" = None
+    expected_outputs: "dict[str, float] | None" = None
+    label: str = "experiment"
+
+    # -- outcome statistics ------------------------------------------------------
+
+    @property
+    def frequencies(self) -> dict[str, float]:
+        """Empirical outcome frequencies over decided trials."""
+        return self.ensemble.outcome_distribution()
+
+    def frequency(self, outcome: str) -> float:
+        """Empirical frequency of one outcome label."""
+        return self.frequencies.get(outcome, 0.0)
+
+    def decided_fraction(self) -> float:
+        """Fraction of trials that produced a definite outcome."""
+        return self.ensemble.decided_fraction()
+
+    def _reference(self, target: "Mapping[str, float] | None") -> dict[str, float]:
+        reference = dict(target) if target is not None else self.target
+        if not reference:
+            raise ExperimentError(
+                "no target distribution to compare against; the experiment was "
+                "built from a raw network — pass target=... explicitly"
+            )
+        return dict(reference)
+
+    def distances(self, target: "Mapping[str, float] | None" = None) -> dict[str, float]:
+        """All distribution distances between the measured and target outcomes.
+
+        Wires :mod:`repro.analysis.distance`: total variation, Jensen–Shannon,
+        Hellinger and (possibly infinite) Kullback–Leibler divergence of the
+        empirical frequencies from the programmed target.
+        """
+        from repro.analysis.distance import (
+            hellinger,
+            jensen_shannon,
+            kl_divergence,
+            total_variation,
+        )
+
+        reference = self._reference(target)
+        measured = self.frequencies
+        if not measured:
+            raise ExperimentError("no decided trials; cannot compute distances")
+        return {
+            "total_variation": total_variation(measured, reference),
+            "jensen_shannon": jensen_shannon(measured, reference),
+            "hellinger": hellinger(measured, reference),
+            "kl_divergence": kl_divergence(measured, reference),
+        }
+
+    def total_variation(self, target: "Mapping[str, float] | None" = None) -> float:
+        """Total-variation distance from the target distribution."""
+        from repro.analysis.distance import total_variation
+
+        return total_variation(self.frequencies, self._reference(target))
+
+    def chi_squared(self, target: "Mapping[str, float] | None" = None) -> float:
+        """Pearson chi-squared statistic of outcome counts vs the target.
+
+        Computed over decided trials against the (normalized) target
+        probabilities — the statistic the batch-vs-sequential agreement tests
+        use, exposed here so acceptance checks read fluently.
+        """
+        from repro.analysis.distance import normalize
+
+        reference = normalize(self._reference(target))
+        counts = dict(self.ensemble.outcome_counts)
+        counts.pop(EnsembleResult.UNDECIDED, None)
+        n = sum(counts.values())
+        if n == 0:
+            raise ExperimentError("no decided trials; cannot compute chi-squared")
+        return float(
+            sum(
+                (counts.get(label, 0) - n * p) ** 2 / (n * p)
+                for label, p in reference.items()
+                if p > 0
+            )
+        )
+
+    # -- decision times ----------------------------------------------------------
+
+    def decision_times(self) -> dict[str, float]:
+        """Latency summary of decided trials (simulated time units).
+
+        Mirrors :class:`repro.analysis.decision_time.DecisionTimeStats`:
+        mean / std / median / p95 of the time at which the outcome was
+        declared, plus the mean number of firings (simulation cost).  Raises
+        when no trial decided.  Per-trial decision labels are not stored, so
+        a trial's stop time stands in for its decision time; when some trials
+        end undecided (``decided_fraction() < 1``), their cutoff times are
+        included in the summary.
+        """
+        if self.decided_fraction() == 0.0:
+            raise ExperimentError(
+                "no trial reached a decision; check the stopping condition"
+            )
+        decided = self.ensemble.final_times[self.ensemble.final_times > 0.0]
+        if decided.size == 0:
+            raise ExperimentError(
+                "no trial reached a decision; check the stopping condition"
+            )
+        return {
+            "mean": float(np.mean(decided)),
+            "std": float(np.std(decided, ddof=1)) if decided.size > 1 else 0.0,
+            "median": float(np.median(decided)),
+            "p95": float(np.percentile(decided, 95)),
+            "mean_firings": float(np.mean(self.ensemble.n_firings)),
+            "n_trials": float(decided.size),
+        }
+
+    # -- module outputs ----------------------------------------------------------
+
+    def output_values(self, role: str = "y") -> np.ndarray:
+        """Per-trial settled values of one module output port."""
+        if not self.outputs:
+            raise ExperimentError(
+                "this run has no output ports; only module experiments "
+                "(Experiment.from_module) do"
+            )
+        try:
+            species = self.outputs[role]
+        except KeyError:
+            raise ExperimentError(
+                f"no output port {role!r}; available: {sorted(self.outputs)}"
+            ) from None
+        return self.ensemble.final_values(species)
+
+    def output_summary(self, role: str = "y") -> dict[str, float]:
+        """Mean/std/min/max of one output port (plus the ideal value if known).
+
+        The facade equivalent of the old ``settle_statistics`` dictionary.
+        """
+        values = self.output_values(role).astype(float)
+        summary = {
+            "mean": float(values.mean()),
+            "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "n_trials": float(values.size),
+        }
+        if self.expected_outputs and role in self.expected_outputs:
+            summary["expected"] = float(self.expected_outputs[role])
+        return summary
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line report: ensemble counts, target-vs-measured, TV distance."""
+        lines = [self.ensemble.summary()]
+        if self.target:
+            measured = self.frequencies
+            lines.append("")
+            lines.append(f"{'outcome':<14s} {'target':>8s} {'measured':>9s}")
+            for outcome in sorted(set(self.target) | set(measured)):
+                lines.append(
+                    f"{outcome:<14s} {self.target.get(outcome, 0.0):8.4f} "
+                    f"{measured.get(outcome, 0.0):9.4f}"
+                )
+            lines.append(
+                f"TV distance: {self.total_variation():.4f} "
+                f"({self.ensemble.n_trials} trials)"
+            )
+        return "\n".join(lines)
+
+    # -- JSON round trip ---------------------------------------------------------
+
+    def to_json(self, path: "str | Path | None" = None, indent: int = 2) -> str:
+        """Serialize the result (sans trajectories) to JSON; optionally write it."""
+        payload = {
+            "schema": _SCHEMA,
+            "label": self.label,
+            "engine": self.engine,
+            "trials": self.trials,
+            "seed": self.seed,
+            "workers": self.workers,
+            "inputs": dict(self.inputs),
+            "target": dict(self.target) if self.target is not None else None,
+            "outputs": dict(self.outputs) if self.outputs is not None else None,
+            "expected_outputs": (
+                dict(self.expected_outputs)
+                if self.expected_outputs is not None
+                else None
+            ),
+            "ensemble": {
+                "n_trials": self.ensemble.n_trials,
+                "outcome_counts": dict(self.ensemble.outcome_counts),
+                "species": [s.name for s in self.ensemble.species],
+                "final_counts": self.ensemble.final_counts.tolist(),
+                "final_times": self.ensemble.final_times.tolist(),
+                "n_firings": self.ensemble.n_firings.tolist(),
+            },
+        }
+        text = json.dumps(payload, indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: "str | Path") -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_json` output (text or path).
+
+        Trajectories are not round-tripped; streaming moments are recomputed
+        from the final-count matrix.
+        """
+        text = source
+        if isinstance(source, Path):
+            text = source.read_text(encoding="utf-8")
+        elif isinstance(source, str) and not source.lstrip().startswith("{"):
+            text = Path(source).read_text(encoding="utf-8")
+        payload = json.loads(text)
+        if payload.get("schema") != _SCHEMA:
+            raise ExperimentError(
+                f"unrecognized result schema {payload.get('schema')!r}; expected {_SCHEMA!r}"
+            )
+        raw = payload["ensemble"]
+        final_counts = np.asarray(raw["final_counts"], dtype=np.int64)
+        if final_counts.size == 0:
+            final_counts = final_counts.reshape(0, len(raw["species"]))
+        ensemble = EnsembleResult(
+            n_trials=int(raw["n_trials"]),
+            outcome_counts={str(k): int(v) for k, v in raw["outcome_counts"].items()},
+            final_counts=final_counts,
+            species=tuple(as_species(name) for name in raw["species"]),
+            final_times=np.asarray(raw["final_times"], dtype=float),
+            n_firings=np.asarray(raw["n_firings"], dtype=np.int64),
+            moments=(
+                RunningMoments.from_samples(final_counts)
+                if final_counts.size
+                else None
+            ),
+        )
+        return cls(
+            ensemble=ensemble,
+            engine=payload["engine"],
+            trials=int(payload["trials"]),
+            seed=payload["seed"],
+            workers=int(payload["workers"]),
+            inputs={str(k): int(v) for k, v in payload["inputs"].items()},
+            target=payload["target"],
+            outputs=payload["outputs"],
+            expected_outputs=payload["expected_outputs"],
+            label=payload["label"],
+        )

@@ -1,11 +1,16 @@
 """Command-line interface: synthesize, simulate and reproduce from the shell.
 
-The CLI wraps the library's main entry points so a network can be designed,
-saved, inspected and exercised without writing Python::
+The CLI is a thin shell over the fluent facade (:mod:`repro.api`): every
+subcommand that simulates builds an :class:`~repro.api.Experiment`, runs it,
+and prints the resulting report, so the shell exposes exactly the knobs the
+library has — engine selection (from the live engine registry), worker
+sharding, and typed engine options such as the tau-leaping tolerances::
 
     repro synthesize --probabilities "lysis=0.15,lysogeny=0.85" --gamma 1e3 -o design.json
     repro simulate design.json --trials 500 --working-firings 10
+    repro simulate design.json --engine tau-leaping --tau-epsilon 0.01
     repro settle --module logarithm --inputs "x=16"
+    repro engines
     repro figure3 --trials 500 --gammas 1,10,100,1000
     repro figure5 --trials 100 --moi 1,2,4,8
     repro example1
@@ -24,12 +29,11 @@ from typing import Sequence
 
 from repro import __version__
 from repro.analysis import format_table
+from repro.api import Experiment
 from repro.core import (
     AffineResponseSpec,
     gamma_sweep,
     settle_module,
-    synthesize_affine_response,
-    synthesize_distribution,
 )
 from repro.core.modules import (
     exponentiation_module,
@@ -41,13 +45,8 @@ from repro.core.modules import (
 )
 from repro.crn import load_network, save_network
 from repro.errors import ReproError
-from repro.sim import (
-    CategoryFiringCondition,
-    EnsembleRunner,
-    ParallelEnsembleRunner,
-    SimulationOptions,
-    engine_names,
-)
+from repro.sim import CategoryFiringCondition, TauLeapOptions
+from repro.sim.registry import registry
 
 __all__ = ["main", "build_parser"]
 
@@ -79,6 +78,58 @@ def _parse_float_list(text: str) -> list[float]:
     return [float(chunk) for chunk in text.split(",") if chunk.strip()]
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser, workers: bool = True) -> None:
+    """The shared engine knobs: every simulating subcommand gets the same set.
+
+    ``--engine`` deliberately has no argparse ``choices``: unknown names are
+    resolved (and rejected, with a closest-match suggestion) by the engine
+    registry, so third-party engines registered at import time are usable
+    from the shell without touching this module.
+    """
+    parser.add_argument(
+        "--engine",
+        default="direct",
+        help="simulation engine: " + ", ".join(registry.names())
+        + " (default: direct; 'batch-direct' advances all trials in "
+        "lock-step vectorized steps)",
+    )
+    if workers:
+        parser.add_argument(
+            "--workers", type=int, default=1,
+            help="shard trials across N worker processes (default 1)",
+        )
+    parser.add_argument(
+        "--tau-epsilon", type=float, default=None, metavar="EPS",
+        help="tau-leaping error-control parameter (requires --engine tau-leaping; "
+             "default 0.03)",
+    )
+    parser.add_argument(
+        "--tau-n-critical", type=int, default=None, metavar="N",
+        help="tau-leaping critical-reaction threshold (requires --engine "
+             "tau-leaping; default 10)",
+    )
+
+
+def _engine_options_from(args) -> "TauLeapOptions | None":
+    """Build the typed ``engine_options`` payload from the CLI flags."""
+    epsilon = getattr(args, "tau_epsilon", None)
+    n_critical = getattr(args, "tau_n_critical", None)
+    if epsilon is None and n_critical is None:
+        return None
+    if args.engine != "tau-leaping":
+        raise argparse.ArgumentTypeError(
+            "--tau-epsilon/--tau-n-critical require --engine tau-leaping "
+            f"(got --engine {args.engine})"
+        )
+    defaults = TauLeapOptions()
+    return TauLeapOptions(
+        epsilon=epsilon if epsilon is not None else defaults.epsilon,
+        critical_threshold=(
+            n_critical if n_critical is not None else defaults.critical_threshold
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -108,11 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=2007)
     sim.add_argument("--working-firings", type=int, default=10,
                      help="working firings that declare an outcome (default 10)")
-    sim.add_argument("--engine", default="direct", choices=engine_names(),
-                     help="simulation engine; 'batch-direct' advances all trials "
-                          "in lock-step vectorized steps (default: direct)")
-    sim.add_argument("--workers", type=int, default=1,
-                     help="shard trials across N worker processes (default 1)")
+    _add_engine_arguments(sim)
 
     settle = subparsers.add_parser(
         "settle", help="run a deterministic functional module to completion"
@@ -127,12 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
     settle.add_argument("--coefficients", default="0,1",
                         help="polynomial coefficients, constant first (default 0,1)")
     settle.add_argument("--seed", type=int, default=1)
-    settle.add_argument("--engine", default="direct", choices=engine_names())
+    _add_engine_arguments(settle, workers=False)
+
+    engines = subparsers.add_parser(
+        "engines", help="list the registered simulation engines and capabilities"
+    )
+    engines.add_argument("--verbose", action="store_true",
+                         help="include the one-line engine descriptions")
 
     fig3 = subparsers.add_parser("figure3", help="reproduce Figure 3 (error vs gamma)")
     fig3.add_argument("--gammas", default="1,10,100,1000")
     fig3.add_argument("--trials", type=int, default=500)
     fig3.add_argument("--seed", type=int, default=1977)
+    _add_engine_arguments(fig3, workers=False)
 
     fig5 = subparsers.add_parser("figure5", help="reproduce Figure 5 (lambda response)")
     fig5.add_argument("--moi", default="1,2,4,6,8,10")
@@ -140,16 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--seed", type=int, default=2007)
     fig5.add_argument("--skip-natural", action="store_true")
     fig5.add_argument("--skip-synthetic", action="store_true")
+    _add_engine_arguments(fig5, workers=False)
 
     ex1 = subparsers.add_parser("example1", help="run the paper's Example 1 end to end")
     ex1.add_argument("--trials", type=int, default=500)
     ex1.add_argument("--seed", type=int, default=2007)
+    _add_engine_arguments(ex1)
 
     ex2 = subparsers.add_parser("example2", help="run the paper's Example 2 end to end")
     ex2.add_argument("--trials", type=int, default=300)
     ex2.add_argument("--x1", type=int, default=5)
     ex2.add_argument("--x2", type=int, default=4)
     ex2.add_argument("--seed", type=int, default=2007)
+    _add_engine_arguments(ex2)
 
     return parser
 
@@ -161,7 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_synthesize(args) -> int:
     probabilities = _parse_mapping(args.probabilities)
-    system = synthesize_distribution(probabilities, gamma=args.gamma, scale=args.scale)
+    system = Experiment.from_distribution(
+        probabilities, gamma=args.gamma, scale=args.scale
+    ).system
     print(system.describe())
     if args.pretty:
         print()
@@ -174,25 +233,20 @@ def _cmd_synthesize(args) -> int:
 
 def _cmd_simulate(args) -> int:
     network = load_network(args.network)
-    stopping = CategoryFiringCondition("working", args.working_firings)
-    if args.workers > 1:
-        runner = ParallelEnsembleRunner(
-            network,
+    result = (
+        Experiment.from_network(
+            network, stopping=CategoryFiringCondition("working", args.working_firings)
+        )
+        .simulate(
+            trials=args.trials,
             engine=args.engine,
-            stopping=stopping,
-            options=SimulationOptions(record_firings=False),
             workers=args.workers,
+            seed=args.seed,
+            engine_options=_engine_options_from(args),
         )
-    else:
-        runner = EnsembleRunner(
-            network,
-            engine=args.engine,
-            stopping=stopping,
-            options=SimulationOptions(record_firings=False),
-        )
-    result = runner.run(args.trials, seed=args.seed)
-    print(result.summary())
-    distribution = result.outcome_distribution()
+    )
+    print(result.ensemble.summary())
+    distribution = result.frequencies
     if distribution:
         rows = [{"outcome": k, "frequency": v} for k, v in distribution.items()]
         print()
@@ -215,7 +269,13 @@ def _cmd_settle(args) -> int:
     else:
         coefficients = [int(c) for c in args.coefficients.split(",")]
         module = polynomial_module(coefficients)
-    result = settle_module(module, inputs, seed=args.seed, engine=args.engine)
+    result = settle_module(
+        module,
+        inputs,
+        seed=args.seed,
+        engine=args.engine,
+        engine_options=_engine_options_from(args),
+    )
     print(f"module      : {module.name}   ({module.description})")
     print(f"inputs      : {inputs}")
     print(f"outputs     : {result.outputs}")
@@ -225,9 +285,30 @@ def _cmd_settle(args) -> int:
     return 0
 
 
+def _cmd_engines(args) -> int:
+    rows = []
+    for row in registry.capability_matrix():
+        flags = {
+            key: ("yes" if row[key] else "-")
+            for key in ("exact", "approximate", "batched", "events", "deterministic")
+        }
+        table_row = {"engine": row["engine"], **flags, "options": row["options"]}
+        if args.verbose:
+            table_row["summary"] = row["summary"]
+        rows.append(table_row)
+    print(format_table(rows, title="Registered simulation engines"))
+    return 0
+
+
 def _cmd_figure3(args) -> int:
     gammas = _parse_float_list(args.gammas)
-    points = gamma_sweep(gammas, n_trials=args.trials, seed=args.seed)
+    points = gamma_sweep(
+        gammas,
+        n_trials=args.trials,
+        seed=args.seed,
+        engine=args.engine,
+        engine_options=_engine_options_from(args),
+    )
     rows = [
         {
             "gamma": point.gamma,
@@ -252,17 +333,27 @@ def _cmd_figure5(args) -> int:
         seed=args.seed,
         include_natural=not args.skip_natural,
         include_synthetic=not args.skip_synthetic,
+        engine=args.engine,
+        engine_options=_engine_options_from(args),
     )
     print(result.summary())
     return 0
 
 
 def _cmd_example1(args) -> int:
-    system = synthesize_distribution({"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3, scale=100)
-    print(system.describe())
-    sampled = system.sample_distribution(n_trials=args.trials, seed=args.seed)
+    experiment = Experiment.from_distribution(
+        {"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3, scale=100
+    )
+    print(experiment.system.describe())
+    result = experiment.simulate(
+        trials=args.trials,
+        engine=args.engine,
+        workers=args.workers,
+        seed=args.seed,
+        engine_options=_engine_options_from(args),
+    )
     print()
-    print(sampled.summary())
+    print(result.summary())
     return 0
 
 
@@ -271,14 +362,18 @@ def _cmd_example2(args) -> int:
         base={"1": 0.3, "2": 0.4, "3": 0.3},
         slopes={"1": {"x1": 0.02, "x2": -0.03}, "2": {"x2": 0.03}, "3": {"x1": -0.02}},
     )
-    system = synthesize_affine_response(spec, gamma=1e3, scale=100)
-    print(system.describe())
-    sampled = system.sample_distribution(
-        n_trials=args.trials, seed=args.seed, inputs={"x1": args.x1, "x2": args.x2}
+    experiment = Experiment.from_affine_response(spec, gamma=1e3, scale=100)
+    print(experiment.system.describe())
+    result = experiment.program({"x1": args.x1, "x2": args.x2}).simulate(
+        trials=args.trials,
+        engine=args.engine,
+        workers=args.workers,
+        seed=args.seed,
+        engine_options=_engine_options_from(args),
     )
     print()
     print(f"inputs: X1={args.x1}, X2={args.x2}")
-    print(sampled.summary())
+    print(result.summary())
     return 0
 
 
@@ -286,6 +381,7 @@ _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "simulate": _cmd_simulate,
     "settle": _cmd_settle,
+    "engines": _cmd_engines,
     "figure3": _cmd_figure3,
     "figure5": _cmd_figure5,
     "example1": _cmd_example1,

@@ -29,6 +29,7 @@ from repro.errors import SynthesisError
 from repro.sim.base import SimulationOptions
 from repro.sim.ensemble import make_simulator
 from repro.sim.events import CategoryFiringCondition
+from repro.sim.registry import registry
 from repro.sim.rng import spawn_children
 from repro.sim.trajectory import Trajectory
 
@@ -151,6 +152,7 @@ def estimate_error_rate(
     declare_after: int = 10,
     engine: str = "direct",
     max_steps: int = 200_000,
+    engine_options=None,
 ) -> ErrorEstimate:
     """Estimate the stochastic-module error probability at one γ.
 
@@ -160,10 +162,21 @@ def estimate_error_rate(
     """
     if n_trials <= 0:
         raise SynthesisError(f"n_trials must be positive, got {n_trials}")
+    # Classifying a trial needs the per-event firing log (first initializing
+    # firing vs declared outcome), which batched engines do not record and a
+    # deterministic mean field cannot produce.
+    info = registry.get(engine)
+    if info.batched or info.deterministic:
+        raise SynthesisError(
+            f"the error experiment needs a per-trial stochastic engine with a "
+            f"firing log; {engine!r} is "
+            f"{'batched' if info.batched else 'deterministic'} — use one of "
+            f"{[n for n in registry.per_trial_names() if not registry.get(n).deterministic]}"
+        )
     network = build_error_experiment_network(
         gamma, n_outcomes=n_outcomes, input_quantity=input_quantity
     )
-    simulator = make_simulator(network, engine=engine)
+    simulator = make_simulator(network, engine=engine, engine_options=engine_options)
     stopping = CategoryFiringCondition("working", declare_after)
     options = SimulationOptions(record_firings=True, max_steps=max_steps)
 

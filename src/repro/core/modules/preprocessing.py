@@ -22,7 +22,6 @@ plus these pre-processing reactions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Mapping
 
 from repro.core.rates import TierScheme

@@ -7,28 +7,22 @@ catalytic (the logarithm module's ``b → a + b``).  :func:`settle_module`
 simulates a module until it exhausts or until a time horizon generous enough
 for all its rounds to finish, and returns the settled quantities.
 
-:func:`settle_statistics` repeats that over Monte-Carlo trials; with
-``engine="batch-direct"`` or ``workers > 1`` the repetition runs through the
-batched / multiprocess ensemble machinery instead of a per-trial Python loop.
+:func:`settle_statistics` repeats that over Monte-Carlo trials.  It is now a
+deprecation shim over the fluent facade —
+``Experiment.from_module(module).program(inputs).simulate(...)`` — which runs
+the repetition through the batched / multiprocess ensemble machinery.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.modules.base import FunctionalModule
 from repro.errors import SimulationError
 from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import (
-    BATCH_ENGINES,
-    EnsembleRunner,
-    ParallelEnsembleRunner,
-    make_simulator,
-)
-from repro.sim.propensity import CompiledNetwork
-from repro.sim.rng import spawn_children
+from repro.sim.ensemble import make_simulator
 
 __all__ = ["SettleResult", "settle_module", "settle_statistics", "default_horizon"]
 
@@ -79,6 +73,7 @@ def settle_module(
     engine: str = "direct",
     horizon: "float | None" = None,
     max_steps: int = 2_000_000,
+    engine_options=None,
 ) -> SettleResult:
     """Run a module once and return its settled output quantities.
 
@@ -90,14 +85,20 @@ def settle_module(
         Initial quantities of the module's input ports, keyed by role
         (``{"x": 8}``, ``{"x": 3, "p": 2}``).
     seed / engine:
-        Random seed and simulation engine.
+        Random seed and simulation engine (any registry name, including the
+        deterministic ``"ode"`` mean-field baseline).
     horizon:
         Simulated-time limit; defaults to :func:`default_horizon`.
     max_steps:
         Safety bound on the number of firings.
+    engine_options:
+        Typed options for the selected engine (e.g.
+        :class:`~repro.sim.tau_leaping.TauLeapOptions`).
     """
     prepared = module.with_input_quantities(dict(inputs or {}))
-    simulator = make_simulator(prepared.network, engine=engine, seed=seed)
+    simulator = make_simulator(
+        prepared.network, engine=engine, seed=seed, engine_options=engine_options
+    )
     options = SimulationOptions(
         max_time=horizon if horizon is not None else default_horizon(module),
         max_steps=max_steps,
@@ -126,83 +127,40 @@ def settle_statistics(
     horizon: "float | None" = None,
     output_role: str = "y",
     workers: int = 1,
+    engine_options=None,
 ) -> dict[str, float]:
-    """Settle a module ``n_trials`` times and summarize one output port.
+    """Deprecated: settle a module ``n_trials`` times and summarize one port.
 
-    Returns a dictionary with the mean, standard deviation, min and max of
-    the settled output, plus the ideal value from the module's
-    ``expected`` function when available.  Used by the module-accuracy tests
-    and the A1 ablation benchmark.
+    Thin shim over the fluent facade::
 
-    ``engine="batch-direct"`` settles all trials as one vectorized batch;
-    ``workers > 1`` shards the trials across processes (either way the trial
-    loop leaves Python, so large repetition counts cost far less than the
-    default per-trial path).  Seeded results differ between the paths — each
-    derives its trial streams differently — but their statistics agree.
+        Experiment.from_module(module, horizon=horizon).program(inputs) \\
+            .simulate(trials=n_trials, engine=engine, workers=workers, seed=seed) \\
+            .output_summary(output_role)
+
+    which returns the same dictionary (mean, std, min, max, n_trials, and the
+    ideal ``expected`` value when the module declares one).  All trials run
+    through the ensemble machinery — ``engine="batch-direct"`` settles them
+    as one vectorized batch, ``workers > 1`` shards them across processes.
     """
+    warnings.warn(
+        "settle_statistics() is deprecated; use repro.api.Experiment.from_module(...)"
+        ".program(...).simulate(...).output_summary(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if n_trials <= 0:
         raise SimulationError(f"n_trials must be positive, got {n_trials}")
-    if workers > 1 or engine in BATCH_ENGINES:
-        values = _settle_values_ensemble(
-            module, inputs, n_trials, seed, engine, horizon, output_role, workers
+    from repro.api.experiment import Experiment
+
+    result = (
+        Experiment.from_module(module, horizon=horizon)
+        .program(dict(inputs or {}))
+        .simulate(
+            trials=n_trials,
+            engine=engine,
+            workers=workers,
+            seed=seed,
+            engine_options=engine_options,
         )
-    else:
-        values = []
-        for rng in spawn_children(seed, n_trials):
-            result = settle_module(
-                module, inputs=inputs, engine=engine, horizon=horizon, seed=_seed_from(rng)
-            )
-            values.append(result.output(output_role))
-    mean = sum(values) / len(values)
-    variance = sum((v - mean) ** 2 for v in values) / max(len(values) - 1, 1)
-    summary = {
-        "mean": mean,
-        "std": math.sqrt(variance),
-        "min": float(min(values)),
-        "max": float(max(values)),
-        "n_trials": float(n_trials),
-    }
-    if module.expected is not None:
-        expected = module.expected_outputs(dict(inputs or {}))
-        if output_role in expected:
-            summary["expected"] = float(expected[output_role])
-    return summary
-
-
-def _settle_values_ensemble(
-    module: FunctionalModule,
-    inputs: "Mapping[str, int] | None",
-    n_trials: int,
-    seed: "int | None",
-    engine: str,
-    horizon: "float | None",
-    output_role: str,
-    workers: int,
-) -> list[int]:
-    """Settled output-port values via the (batched / parallel) ensemble path.
-
-    The module's prepared network is run as a plain ensemble bounded by the
-    settling horizon, and the output port's settled quantity is read off the
-    final-count matrix — the module-level equivalent of what
-    :func:`settle_module` extracts from a single trajectory.
-    """
-    prepared = module.with_input_quantities(dict(inputs or {}))
-    options = SimulationOptions(
-        max_time=horizon if horizon is not None else default_horizon(module),
-        max_steps=2_000_000,
-        record_firings=False,
     )
-    if workers > 1:
-        runner = ParallelEnsembleRunner(
-            prepared.network, engine=engine, options=options, workers=workers
-        )
-    else:
-        runner = EnsembleRunner(prepared.network, engine=engine, options=options)
-    ensemble = runner.run(n_trials, seed=seed)
-    species = module.outputs[output_role]
-    return [int(v) for v in ensemble.final_values(species)]
-
-
-def _seed_from(rng) -> int:
-    """Derive a plain integer seed from a generator (for child-run reproducibility)."""
-    return int(rng.integers(0, 2**31 - 1))
+    return result.output_summary(output_role)

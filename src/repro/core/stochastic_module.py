@@ -22,10 +22,10 @@ quantities from a :class:`~repro.core.spec.DistributionSpec`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.rates import STOCHASTIC_CATEGORIES, RateLadder
-from repro.core.spec import DistributionSpec, OutcomeSpec
+from repro.core.spec import DistributionSpec
 from repro.crn.builder import NetworkBuilder
 from repro.crn.network import ReactionNetwork
 from repro.errors import SpecificationError, SynthesisError

@@ -25,8 +25,7 @@ from repro.core.spec import AffineResponseSpec, DistributionSpec, OutcomeSpec
 from repro.core.stochastic_module import StochasticModuleLayout, build_stochastic_module
 from repro.crn.network import ReactionNetwork
 from repro.errors import SpecificationError, SynthesisError
-from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import EnsembleResult, EnsembleRunner
+from repro.sim.ensemble import EnsembleResult
 from repro.sim.events import CategoryFiringCondition, StoppingCondition
 from repro.sim.trajectory import Trajectory
 
@@ -128,6 +127,12 @@ class SynthesizedSystem:
                 network.set_initial(species, int(count))
         return network
 
+    def experiment(self) -> "object":
+        """This design as a fluent :class:`repro.api.Experiment`."""
+        from repro.api.experiment import Experiment
+
+        return Experiment.from_system(self)
+
     def sample_distribution(
         self,
         n_trials: int = 1000,
@@ -136,18 +141,35 @@ class SynthesizedSystem:
         working_firings: int = 10,
         inputs: "Mapping[str, int] | None" = None,
         max_steps: int = 1_000_000,
+        workers: int = 1,
+        engine_options=None,
     ) -> "SampledDistribution":
-        """Estimate the outcome distribution by Monte-Carlo simulation."""
-        network = self.network_with_inputs(inputs)
-        runner = EnsembleRunner(
-            network,
-            engine=engine,
-            stopping=self.stopping_condition(working_firings),
-            options=SimulationOptions(record_firings=False, max_steps=max_steps),
-            outcome_classifier=self.classify_outcome,
+        """Estimate the outcome distribution by Monte-Carlo simulation.
+
+        Runs through the fluent facade (equivalent to
+        ``self.experiment().declare_after(working_firings).program(inputs)
+        .simulate(...)``) and repackages the result in the historical
+        :class:`SampledDistribution` shape.
+        """
+        from repro.api.experiment import Experiment
+
+        experiment = (
+            Experiment.from_system(self)
+            .declare_after(working_firings)
+            .configure(max_steps=max_steps)
         )
-        result = runner.run(n_trials, seed=seed)
-        return SampledDistribution(system=self, ensemble=result, inputs=dict(inputs or {}))
+        if inputs:
+            experiment = experiment.program(inputs)
+        result = experiment.simulate(
+            trials=n_trials,
+            engine=engine,
+            seed=seed,
+            workers=workers,
+            engine_options=engine_options,
+        )
+        return SampledDistribution(
+            system=self, ensemble=result.ensemble, inputs=dict(inputs or {})
+        )
 
     def target_distribution(self, inputs: "Mapping[str, int] | None" = None) -> dict[str, float]:
         """The distribution the design is programmed to produce.

@@ -27,6 +27,7 @@ __all__ = [
     "AnalysisError",
     "FitError",
     "CTMCError",
+    "ExperimentError",
 ]
 
 
@@ -120,3 +121,12 @@ class FitError(AnalysisError):
 
 class CTMCError(AnalysisError):
     """Exact CTMC analysis failed (state space too large, no absorbing states, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Facade (repro.api) errors
+# ---------------------------------------------------------------------------
+
+
+class ExperimentError(ReproError):
+    """The fluent experiment facade (:mod:`repro.api`) was misused."""

@@ -16,11 +16,10 @@ from repro.analysis.curvefit import ResponseFit, paper_equation_14
 from repro.analysis.empirical import ProportionEstimate, wilson_interval
 from repro.analysis.plotting import ascii_chart
 from repro.analysis.tables import format_table
+from repro.api.experiment import Experiment
 from repro.lambda_phage.fit import PAPER_MOI_VALUES, fit_response_data
 from repro.lambda_phage.natural import LYSIS, LYSOGENY, NaturalLambdaSurrogate
 from repro.lambda_phage.synthetic import SyntheticLambdaModel
-from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import EnsembleRunner
 
 __all__ = ["Figure5Point", "Figure5Result", "run_figure5_experiment", "simulate_synthetic_moi"]
 
@@ -97,18 +96,27 @@ def simulate_synthetic_moi(
     seed: "int | None" = None,
     engine: str = "direct",
     max_steps: int = 500_000,
+    workers: int = 1,
+    engine_options=None,
 ) -> ProportionEstimate:
-    """Estimate P(cI2 threshold reached) for the synthetic model at one MOI."""
-    network = model.build(int(moi))
-    runner = EnsembleRunner(
-        network,
-        engine=engine,
-        stopping=model.threshold_condition(),
-        options=SimulationOptions(record_firings=False, max_steps=max_steps),
+    """Estimate P(cI2 threshold reached) for the synthetic model at one MOI.
+
+    Runs through the fluent facade: one :class:`~repro.api.Experiment` per
+    MOI point, stopped by the model's threshold condition.
+    """
+    result = (
+        Experiment.from_network(model.build(int(moi)), stopping=model.threshold_condition())
+        .configure(max_steps=max_steps)
+        .simulate(
+            trials=n_trials,
+            engine=engine,
+            seed=seed,
+            workers=workers,
+            engine_options=engine_options,
+        )
     )
-    ensemble = runner.run(n_trials, seed=seed)
-    successes = ensemble.outcome_counts.get(LYSOGENY, 0)
-    decided = successes + ensemble.outcome_counts.get(LYSIS, 0)
+    successes = result.ensemble.outcome_counts.get(LYSOGENY, 0)
+    decided = successes + result.ensemble.outcome_counts.get(LYSIS, 0)
     return wilson_interval(successes, max(decided, 1))
 
 
@@ -121,6 +129,7 @@ def run_figure5_experiment(
     engine: str = "direct",
     surrogate: "NaturalLambdaSurrogate | None" = None,
     model: "SyntheticLambdaModel | None" = None,
+    engine_options=None,
 ) -> Figure5Result:
     """Run the Figure-5 MOI sweep and return the comparison dataset.
 
@@ -144,11 +153,20 @@ def run_figure5_experiment(
         synthetic_estimate = None
         if include_natural:
             natural_estimate = surrogate.simulate_moi(
-                moi, n_trials=n_trials, seed=seed + 10 * offset, engine=engine
+                moi,
+                n_trials=n_trials,
+                seed=seed + 10 * offset,
+                engine=engine,
+                engine_options=engine_options,
             )
         if include_synthetic:
             synthetic_estimate = simulate_synthetic_moi(
-                model, moi, n_trials=n_trials, seed=seed + 10 * offset + 5, engine=engine
+                model,
+                moi,
+                n_trials=n_trials,
+                seed=seed + 10 * offset + 5,
+                engine=engine,
+                engine_options=engine_options,
             )
         points.append(
             Figure5Point(

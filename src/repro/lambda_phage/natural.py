@@ -32,12 +32,11 @@ from dataclasses import dataclass
 
 from repro.analysis.curvefit import paper_equation_14
 from repro.analysis.empirical import ProportionEstimate, wilson_interval
+from repro.api.experiment import Experiment
 from repro.core.spec import DistributionSpec, OutcomeSpec
 from repro.core.stochastic_module import build_stochastic_module
 from repro.crn.network import ReactionNetwork
 from repro.errors import SpecificationError
-from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import EnsembleRunner
 from repro.sim.events import OutcomeThresholds
 
 __all__ = ["LYSIS", "LYSOGENY", "CRO2_THRESHOLD", "CI2_THRESHOLD", "NaturalLambdaSurrogate"]
@@ -105,17 +104,14 @@ class NaturalLambdaSurrogate:
         n_trials: int = 200,
         seed: "int | None" = None,
         engine: str = "direct",
+        engine_options=None,
     ) -> ProportionEstimate:
         """Fraction of trials reaching the cI2 threshold at one MOI (with CI)."""
-        runner = EnsembleRunner(
-            self.network_for_moi(moi),
-            engine=engine,
-            stopping=self.threshold_condition(),
-            options=SimulationOptions(record_firings=False),
-        )
-        ensemble = runner.run(n_trials, seed=seed)
-        successes = ensemble.outcome_counts.get(LYSOGENY, 0)
-        decided = successes + ensemble.outcome_counts.get(LYSIS, 0)
+        result = Experiment.from_network(
+            self.network_for_moi(moi), stopping=self.threshold_condition()
+        ).simulate(trials=n_trials, engine=engine, seed=seed, engine_options=engine_options)
+        successes = result.ensemble.outcome_counts.get(LYSOGENY, 0)
+        decided = successes + result.ensemble.outcome_counts.get(LYSIS, 0)
         return wilson_interval(successes, max(decided, 1))
 
     def response_curve(

@@ -12,8 +12,6 @@ from repro.sim.batch import BatchDirectEngine, BatchResult
 from repro.sim.dependency import DependencyStats, dependency_graph, dependency_stats
 from repro.sim.direct import DirectMethodSimulator
 from repro.sim.ensemble import (
-    BATCH_ENGINES,
-    ENGINES,
     EnsembleResult,
     EnsembleRunner,
     ParallelEnsembleRunner,
@@ -33,8 +31,9 @@ from repro.sim.events import (
 )
 from repro.sim.first_reaction import FirstReactionSimulator
 from repro.sim.next_reaction import NextReactionSimulator
-from repro.sim.ode import OdeIntegrator, OdeResult, simulate_ode
+from repro.sim.ode import OdeEngine, OdeIntegrator, OdeOptions, OdeResult, simulate_ode
 from repro.sim.priority_queue import IndexedPriorityQueue
+from repro.sim.registry import EngineInfo, EngineRegistry, register_engine, registry
 from repro.sim.propensity import CompiledNetwork, combinations, reaction_propensity
 from repro.sim.rng import derive_seed, make_rng, spawn_children, spawn_children_range
 from repro.sim.stats import RunningMoments
@@ -51,7 +50,13 @@ __all__ = [
     "TauLeapOptions",
     "OdeIntegrator",
     "OdeResult",
+    "OdeOptions",
+    "OdeEngine",
     "simulate_ode",
+    "EngineInfo",
+    "EngineRegistry",
+    "register_engine",
+    "registry",
     "CompiledNetwork",
     "combinations",
     "reaction_propensity",
@@ -70,8 +75,6 @@ __all__ = [
     "Trajectory",
     "FiringRecord",
     "StopReason",
-    "ENGINES",
-    "BATCH_ENGINES",
     "engine_names",
     "BatchDirectEngine",
     "BatchResult",
@@ -87,3 +90,12 @@ __all__ = [
     "spawn_children_range",
     "derive_seed",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecated ``ENGINES``/``BATCH_ENGINES`` access, forwarded to the registry."""
+    if name in ("ENGINES", "BATCH_ENGINES"):
+        from repro.sim import ensemble
+
+        return getattr(ensemble, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

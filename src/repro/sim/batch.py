@@ -49,6 +49,7 @@ from repro.sim.events import (
     StoppingCondition,
 )
 from repro.sim.propensity import CompiledNetwork
+from repro.sim.registry import register_engine
 from repro.sim.rng import make_rng
 from repro.sim.trajectory import StopReason, Trajectory
 
@@ -107,6 +108,12 @@ class BatchResult:
         )
 
 
+@register_engine(
+    "batch-direct",
+    exact=True,
+    batched=True,
+    summary="vectorized direct method advancing a whole ensemble in lock-step",
+)
 class BatchDirectEngine:
     """Gillespie's direct method, vectorized across a batch of trials.
 

@@ -17,10 +17,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.base import StochasticSimulator
+from repro.sim.registry import register_engine
 
 __all__ = ["DirectMethodSimulator"]
 
 
+@register_engine(
+    "direct",
+    exact=True,
+    summary="Gillespie direct method with incremental propensity updates",
+)
 class DirectMethodSimulator(StochasticSimulator):
     """Exact SSA via Gillespie's direct method with incremental propensity updates."""
 

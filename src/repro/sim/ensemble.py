@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -33,21 +34,15 @@ import numpy as np
 from repro.crn.network import ReactionNetwork
 from repro.crn.species import Species, as_species
 from repro.errors import EnsembleError
-from repro.sim.base import SimulationOptions, StochasticSimulator
-from repro.sim.batch import BatchDirectEngine
-from repro.sim.direct import DirectMethodSimulator
+from repro.sim.base import SimulationOptions
 from repro.sim.events import StoppingCondition
-from repro.sim.first_reaction import FirstReactionSimulator
-from repro.sim.next_reaction import NextReactionSimulator
 from repro.sim.propensity import CompiledNetwork
+from repro.sim.registry import registry
 from repro.sim.rng import derive_seed, spawn_children_range
 from repro.sim.stats import RunningMoments
-from repro.sim.tau_leaping import TauLeapingSimulator
 from repro.sim.trajectory import StopReason, Trajectory
 
 __all__ = [
-    "ENGINES",
-    "BATCH_ENGINES",
     "engine_names",
     "pool_context",
     "make_simulator",
@@ -58,25 +53,37 @@ __all__ = [
 ]
 
 
-#: Registry of per-trial simulation engines, keyed by name.
-ENGINES: dict[str, type[StochasticSimulator]] = {
-    "direct": DirectMethodSimulator,
-    "first-reaction": FirstReactionSimulator,
-    "next-reaction": NextReactionSimulator,
-    "tau-leaping": TauLeapingSimulator,
-}
-
-#: Registry of batched engines: they simulate many trials per call and are
-#: dispatched specially by the ensemble runner (see EnsembleRunner.run), but
-#: also quack like per-trial simulators for single runs.
-BATCH_ENGINES: dict[str, type] = {
-    "batch-direct": BatchDirectEngine,
-}
-
-
 def engine_names() -> list[str]:
-    """All selectable engine names (per-trial and batched), sorted."""
-    return sorted(ENGINES) + sorted(BATCH_ENGINES)
+    """All selectable engine names (per-trial and batched), sorted.
+
+    Thin alias for :meth:`repro.sim.registry.EngineRegistry.names` on the
+    default registry, kept because it predates the registry.
+    """
+    return registry.names()
+
+
+def __getattr__(name: str):
+    """Deprecated access to the removed ``ENGINES``/``BATCH_ENGINES`` dicts.
+
+    The hard-coded dictionaries were replaced by the capability-aware
+    :data:`repro.sim.registry.registry`; these views are rebuilt from it so
+    old ``from repro.sim.ensemble import ENGINES`` code keeps working.
+    """
+    if name == "ENGINES":
+        warnings.warn(
+            "repro.sim.ensemble.ENGINES is deprecated; use repro.sim.registry.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {n: registry.get(n).cls for n in registry.per_trial_names()}
+    if name == "BATCH_ENGINES":
+        warnings.warn(
+            "repro.sim.ensemble.BATCH_ENGINES is deprecated; use repro.sim.registry.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {n: registry.get(n).cls for n in registry.batched_names()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def pool_context():
@@ -96,20 +103,19 @@ def make_simulator(
     network: "ReactionNetwork | CompiledNetwork",
     engine: str = "direct",
     seed=None,
+    engine_options=None,
 ):
-    """Instantiate a simulation engine by name.
+    """Instantiate a simulation engine by name from the default registry.
 
-    Per-trial engines come from :data:`ENGINES`; batched engines from
-    :data:`BATCH_ENGINES` (their ``run()`` simulates a batch of one, so the
-    returned object is a drop-in for single-trajectory use — minus firing
-    logs and state snapshots, which batched engines do not record).
+    Any registered engine is accepted — per-trial, batched (their ``run()``
+    simulates a batch of one, so the returned object is a drop-in for
+    single-trajectory use, minus firing logs and state snapshots) or
+    deterministic.  Unknown names raise with the live engine list and the
+    closest-matching name.  ``engine_options`` delivers the engine's typed
+    options dataclass (e.g. :class:`~repro.sim.tau_leaping.TauLeapOptions`
+    for ``"tau-leaping"``).
     """
-    simulator_class = ENGINES.get(engine) or BATCH_ENGINES.get(engine)
-    if simulator_class is None:
-        raise EnsembleError(
-            f"unknown engine {engine!r}; available: {engine_names()}"
-        )
-    return simulator_class(network, seed=seed)
+    return registry.create(network, engine, seed=seed, engine_options=engine_options)
 
 
 @dataclass
@@ -284,8 +290,9 @@ class EnsembleRunner:
     network:
         The network (or compiled network) to simulate.
     engine:
-        Engine name from :data:`ENGINES` or :data:`BATCH_ENGINES`
-        (default ``"direct"``).
+        Engine name from the default :data:`~repro.sim.registry.registry`
+        (default ``"direct"``).  Deterministic engines (``"ode"``) are
+        rejected — repeating a deterministic run estimates nothing.
     stopping:
         Stopping condition applied to every trial.
     options:
@@ -297,6 +304,10 @@ class EnsembleRunner:
         Callable mapping a :class:`Trajectory` to an outcome label (or
         ``None`` for undecided).  Default: the trajectory's ``stop_detail``
         when it stopped on a condition.
+    engine_options:
+        Typed options dataclass for the selected engine (e.g.
+        :class:`~repro.sim.tau_leaping.TauLeapOptions`), validated against
+        the engine's registered options type.
     """
 
     def __init__(
@@ -306,17 +317,23 @@ class EnsembleRunner:
         stopping: "StoppingCondition | None" = None,
         options: "SimulationOptions | None" = None,
         outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
+        engine_options=None,
     ) -> None:
         self.compiled = (
             network
             if isinstance(network, CompiledNetwork)
             else CompiledNetwork.compile(network)
         )
-        if engine not in ENGINES and engine not in BATCH_ENGINES:
+        info = registry.get(engine)
+        if info.deterministic:
             raise EnsembleError(
-                f"unknown engine {engine!r}; available: {engine_names()}"
+                f"engine {engine!r} is deterministic; every ensemble trial would be "
+                "identical — run it once via make_simulator() or simulate_ode()"
             )
+        info.validate_options(engine_options)
         self.engine = engine
+        self.engine_info = info
+        self.engine_options = engine_options
         self.stopping = stopping
         self.options = options or SimulationOptions(record_firings=False)
         self.outcome_classifier = outcome_classifier or self._default_classifier
@@ -361,9 +378,11 @@ class EnsembleRunner:
         only on ``(seed, n_trials, slicing)`` — never on which process runs
         which slice.
         """
-        if self.engine in BATCH_ENGINES:
+        if self.engine_info.batched:
             return self._run_batched(seed, start, stop, initial_state, keep_trajectories)
-        simulator = make_simulator(self.compiled, engine=self.engine)
+        simulator = make_simulator(
+            self.compiled, engine=self.engine, engine_options=self.engine_options
+        )
         streams = spawn_children_range(seed, n_trials, start, stop)
         count = stop - start
 
@@ -416,7 +435,7 @@ class EnsembleRunner:
         # deterministic sub-seed; fixed chunking then keeps parallel results
         # invariant to the worker count.
         sub_seed = None if seed is None else derive_seed(seed, "batch", start, stop)
-        engine = BATCH_ENGINES[self.engine](self.compiled)
+        engine = self.engine_info.create(self.compiled, engine_options=self.engine_options)
         batch = engine.run_batch(
             count,
             initial_state=dict(initial_state) if initial_state else None,
@@ -470,6 +489,7 @@ def _ensemble_shard(payload: tuple) -> EnsembleResult:
         stopping,
         options,
         classifier,
+        engine_options,
         seed,
         n_trials,
         start,
@@ -483,6 +503,7 @@ def _ensemble_shard(payload: tuple) -> EnsembleResult:
         stopping=stopping,
         options=options,
         outcome_classifier=classifier,
+        engine_options=engine_options,
     )
     return runner._run_range(n_trials, seed, start, stop, initial_state, keep_trajectories)
 
@@ -525,6 +546,7 @@ class ParallelEnsembleRunner(EnsembleRunner):
         outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
         workers: "int | None" = None,
         chunk_size: int = 512,
+        engine_options=None,
     ) -> None:
         super().__init__(
             network,
@@ -532,6 +554,7 @@ class ParallelEnsembleRunner(EnsembleRunner):
             stopping=stopping,
             options=options,
             outcome_classifier=outcome_classifier,
+            engine_options=engine_options,
         )
         if chunk_size <= 0:
             raise EnsembleError(f"chunk_size must be positive, got {chunk_size}")
@@ -570,6 +593,7 @@ class ParallelEnsembleRunner(EnsembleRunner):
                 self.stopping,
                 self.options,
                 self.outcome_classifier,
+                self.engine_options,
                 seed,
                 n_trials,
                 start,
@@ -596,22 +620,37 @@ def run_ensemble(
     outcome_classifier: "Callable[[Trajectory], str | None] | None" = None,
     keep_trajectories: bool = False,
     workers: int = 1,
+    engine_options=None,
 ) -> EnsembleResult:
-    """One-call convenience wrapper around the ensemble runners.
+    """Deprecated one-call ensemble wrapper (use :class:`repro.api.Experiment`).
 
-    ``workers > 1`` selects :class:`ParallelEnsembleRunner` (multiprocess
-    sharding); otherwise the sequential :class:`EnsembleRunner` is used.
-    Combine ``engine="batch-direct"`` with ``workers`` to get vectorized
-    chunks distributed across processes.
+    Kept as a thin shim over the fluent facade::
+
+        Experiment.from_network(network, stopping=..., classifier=...) \\
+            .simulate(trials=..., engine=..., workers=..., seed=...)
+
+    It returns the facade result's underlying :class:`EnsembleResult`, so
+    seeded outputs are identical to what this function always produced.
     """
-    runner_class = ParallelEnsembleRunner if workers > 1 else EnsembleRunner
-    kwargs = {"workers": workers} if workers > 1 else {}
-    runner = runner_class(
-        network,
-        engine=engine,
-        stopping=stopping,
-        options=options,
-        outcome_classifier=outcome_classifier,
-        **kwargs,
+    warnings.warn(
+        "run_ensemble() is deprecated; use repro.api.Experiment.from_network(...)"
+        ".simulate(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return runner.run(n_trials, seed=seed, keep_trajectories=keep_trajectories)
+    from repro.api.experiment import Experiment
+
+    experiment = Experiment.from_network(
+        network, stopping=stopping, classifier=outcome_classifier
+    )
+    if options is not None:
+        experiment = experiment.with_options(options)
+    result = experiment.simulate(
+        trials=n_trials,
+        engine=engine,
+        seed=seed,
+        workers=workers,
+        engine_options=engine_options,
+        keep_trajectories=keep_trajectories,
+    )
+    return result.ensemble

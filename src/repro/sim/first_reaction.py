@@ -12,13 +12,17 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.sim.base import StochasticSimulator
+from repro.sim.registry import register_engine
 
 __all__ = ["FirstReactionSimulator"]
 
 
+@register_engine(
+    "first-reaction",
+    exact=True,
+    summary="Gillespie first-reaction method (reference cross-check)",
+)
 class FirstReactionSimulator(StochasticSimulator):
     """Exact SSA via the first-reaction method (reference implementation)."""
 

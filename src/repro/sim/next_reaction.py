@@ -19,10 +19,16 @@ import numpy as np
 
 from repro.sim.base import StochasticSimulator
 from repro.sim.priority_queue import IndexedPriorityQueue
+from repro.sim.registry import register_engine
 
 __all__ = ["NextReactionSimulator"]
 
 
+@register_engine(
+    "next-reaction",
+    exact=True,
+    summary="Gibson-Bruck next-reaction method (indexed priority queue)",
+)
 class NextReactionSimulator(StochasticSimulator):
     """Exact SSA via the Gibson–Bruck next-reaction method."""
 

@@ -16,8 +16,8 @@ copes with the stiff rate separations the synthesis method relies on).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 from scipy.integrate import solve_ivp
@@ -27,8 +27,9 @@ from repro.crn.species import Species, as_species
 from repro.crn.state import State
 from repro.errors import SimulationError
 from repro.sim.propensity import CompiledNetwork
+from repro.sim.registry import register_engine
 
-__all__ = ["OdeResult", "OdeIntegrator", "simulate_ode"]
+__all__ = ["OdeResult", "OdeIntegrator", "OdeOptions", "OdeEngine", "simulate_ode"]
 
 
 @dataclass
@@ -133,3 +134,114 @@ def simulate_ode(
 ) -> OdeResult:
     """One-call convenience wrapper around :class:`OdeIntegrator`."""
     return OdeIntegrator(network).run(t_final, initial_state=initial_state, n_points=n_points)
+
+
+@dataclass
+class OdeOptions:
+    """Tuning knobs for the ``ode`` engine (the ``engine_options`` payload).
+
+    Attributes
+    ----------
+    method / rtol / atol:
+        Passed to :func:`scipy.integrate.solve_ivp` (LSODA copes with the
+        stiff rate separations the synthesis method produces).
+    n_points:
+        Size of the evaluation grid.
+    """
+
+    method: str = "LSODA"
+    rtol: float = 1e-6
+    atol: float = 1e-9
+    n_points: int = 200
+
+
+@register_engine(
+    "ode",
+    exact=False,
+    approximate=True,
+    supports_events=False,
+    deterministic=True,
+    options_type=OdeOptions,
+    options_param="ode_options",
+    summary="deterministic mean-field (reaction-rate equation) integration",
+)
+class OdeEngine:
+    """Adapter giving the mean-field integrator the engine ``run()`` protocol.
+
+    This makes the ODE baseline selectable by name (``engine="ode"``) wherever
+    a single-trajectory engine is accepted — :func:`make_simulator`,
+    ``settle_module``, the CLI ``settle --engine ode`` — returning the bulk
+    prediction as a (log-free) trajectory with counts rounded to integers.
+
+    The engine is *deterministic*: every run yields the same trajectory, the
+    seed is ignored, and Monte-Carlo ensembles reject it (repeating a
+    deterministic run estimates nothing).  Stopping conditions are not
+    supported; a finite ``max_time`` must be given via
+    :class:`~repro.sim.base.SimulationOptions` since the mean field of a
+    catalytic module never exhausts on its own.
+    """
+
+    method_name = "ode"
+
+    def __init__(
+        self,
+        network: "ReactionNetwork | CompiledNetwork",
+        seed=None,
+        ode_options: "OdeOptions | None" = None,
+    ) -> None:
+        self._integrator = OdeIntegrator(network)
+        self.compiled = self._integrator.compiled
+        self.ode_options = ode_options or OdeOptions()
+
+    @property
+    def network(self) -> ReactionNetwork:
+        """The underlying reaction network."""
+        return self.compiled.network
+
+    def run(
+        self,
+        initial_state: "State | dict | None" = None,
+        stopping=None,
+        options=None,
+        seed=None,
+        **option_overrides,
+    ):
+        """Integrate the mean field to ``options.max_time``; return a Trajectory."""
+        from repro.sim.base import SimulationOptions
+        from repro.sim.trajectory import StopReason, Trajectory
+
+        if stopping is not None:
+            raise SimulationError(
+                "the 'ode' engine does not support stopping conditions; "
+                "integrate to a finite max_time instead"
+            )
+        opts = options or SimulationOptions()
+        if option_overrides:
+            opts = SimulationOptions(**{**opts.__dict__, **option_overrides})
+        if not math.isfinite(opts.max_time):
+            raise SimulationError(
+                "the 'ode' engine needs a finite max_time "
+                "(pass options=SimulationOptions(max_time=...))"
+            )
+        ode = self.ode_options
+        result = self._integrator.run(
+            opts.max_time,
+            initial_state=initial_state,
+            n_points=ode.n_points,
+            method=ode.method,
+            rtol=ode.rtol,
+            atol=ode.atol,
+        )
+        counts = np.rint(result.concentrations[-1]).astype(np.int64)
+        return Trajectory(
+            times=np.empty(0, dtype=float),
+            reaction_indices=np.empty(0, dtype=np.int64),
+            final_state=self.compiled.counts_to_state(counts),
+            final_time=float(result.times[-1]),
+            stop_reason=StopReason.MAX_TIME,
+            stop_detail="",
+            species_order=self.compiled.species,
+            snapshot_times=result.times,
+            state_snapshots=np.rint(result.concentrations).astype(np.int64),
+            firing_counts=np.zeros(self.compiled.n_reactions, dtype=np.int64),
+        )

@@ -24,10 +24,9 @@ import numpy as np
 from repro.sim.base import SimulationOptions, StochasticSimulator
 from repro.sim.direct import DirectMethodSimulator
 from repro.sim.events import StoppingCondition
-from repro.sim.propensity import CompiledNetwork
+from repro.sim.registry import register_engine
 from repro.sim.rng import make_rng
 from repro.sim.trajectory import StopReason, Trajectory
-from repro.errors import SimulationError
 
 __all__ = ["TauLeapingSimulator", "TauLeapOptions"]
 
@@ -55,6 +54,14 @@ class TauLeapOptions:
     exact_step_multiplier: float = 10.0
 
 
+@register_engine(
+    "tau-leaping",
+    exact=False,
+    approximate=True,
+    options_type=TauLeapOptions,
+    options_param="leap_options",
+    summary="explicit tau-leaping (Cao-Gillespie-Petzold step control)",
+)
 class TauLeapingSimulator(StochasticSimulator):
     """Approximate accelerated simulation via explicit tau-leaping.
 

@@ -25,8 +25,8 @@ class TestParser:
     def test_parser_lists_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("synthesize", "simulate", "settle", "figure3", "figure5",
-                        "example1", "example2"):
+        for command in ("synthesize", "simulate", "settle", "engines", "figure3",
+                        "figure5", "example1", "example2"):
             assert command in text
 
 
@@ -90,6 +90,71 @@ class TestSettle:
         assert "'y': 1" in capsys.readouterr().out
 
 
+@pytest.fixture
+def design_file(tmp_path):
+    """A small saved design for simulate-subcommand smoke tests."""
+    design = tmp_path / "design.json"
+    assert main(["synthesize", "--probabilities", "a=0.4,b=0.6",
+                 "-o", str(design)]) == 0
+    return design
+
+
+class TestEngineSelection:
+    """The --engine / --workers / --tau-* knobs, backed by the registry."""
+
+    def test_engines_subcommand_prints_capability_matrix(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for engine in ("direct", "batch-direct", "tau-leaping", "ode"):
+            assert engine in out
+        assert "TauLeapOptions" in out
+
+    def test_engines_verbose_includes_summaries(self, capsys):
+        assert main(["engines", "--verbose"]) == 0
+        assert "lock-step" in capsys.readouterr().out
+
+    def test_simulate_batch_engine_with_workers(self, design_file, capsys):
+        code = main(["simulate", str(design_file), "--trials", "120", "--seed", "7",
+                     "--engine", "batch-direct", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ensemble of 120 trials" in out
+
+    def test_simulate_tau_options_are_threaded(self, design_file, capsys):
+        code = main(["simulate", str(design_file), "--trials", "30", "--seed", "3",
+                     "--engine", "tau-leaping",
+                     "--tau-epsilon", "0.01", "--tau-n-critical", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ensemble of 30 trials" in out
+
+    def test_tau_options_require_tau_engine(self, design_file, capsys):
+        code = main(["simulate", str(design_file), "--tau-epsilon", "0.01"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--engine tau-leaping" in captured.err
+
+    def test_unknown_engine_suggests_closest_match(self, design_file, capsys):
+        code = main(["simulate", str(design_file), "--engine", "dirct"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown engine 'dirct'" in captured.err
+        assert "did you mean 'direct'?" in captured.err
+
+    def test_settle_with_ode_engine(self, capsys):
+        code = main(["settle", "--module", "linear", "--beta", "2",
+                     "--inputs", "x=10", "--engine", "ode"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'y': 20" in out
+
+    def test_settle_with_tau_options(self, capsys):
+        code = main(["settle", "--module", "linear", "--inputs", "x=12",
+                     "--engine", "tau-leaping", "--tau-epsilon", "0.01"])
+        assert code == 0
+        assert "'y':" in capsys.readouterr().out
+
+
 class TestExperimentCommands:
     def test_figure3_small(self, capsys):
         code = main(["figure3", "--gammas", "1,100", "--trials", "80", "--seed", "3"])
@@ -116,3 +181,39 @@ class TestExperimentCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "Figure 5" in out
+
+    def test_example1_through_batch_engine(self, capsys):
+        code = main(["example1", "--trials", "150", "--seed", "4",
+                     "--engine", "batch-direct", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TV distance" in out
+
+    def test_example2_batch_engine(self, capsys):
+        code = main(["example2", "--trials", "80", "--x1", "3", "--x2", "2",
+                     "--engine", "batch-direct"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "X1=3" in out
+        assert "TV distance" in out
+
+    def test_figure3_with_engine_flag(self, capsys):
+        code = main(["figure3", "--gammas", "10", "--trials", "40", "--seed", "2",
+                     "--engine", "direct"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+
+    def test_figure3_rejects_logless_engines(self, capsys):
+        code = main(["figure3", "--gammas", "10", "--trials", "10",
+                     "--engine", "batch-direct"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "firing log" in captured.err
+
+    def test_figure5_tau_flags_validated(self, capsys):
+        code = main(["figure5", "--moi", "1", "--trials", "5", "--skip-natural",
+                     "--tau-epsilon", "0.01"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--engine tau-leaping" in captured.err

@@ -1,0 +1,110 @@
+"""Old call paths keep working — and warn — after the facade redesign."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Experiment
+from repro.core import settle_statistics
+from repro.core.modules import linear_module
+from repro.crn import parse_network
+from repro.errors import SimulationError
+from repro.sim import OutcomeThresholds
+
+
+@pytest.fixture
+def race_net():
+    return parse_network(
+        """
+        init: ea = 60
+        init: eb = 40
+        ea ->{1} wa
+        eb ->{1} wb
+        """
+    )
+
+
+@pytest.fixture
+def condition():
+    return OutcomeThresholds({"A": ("wa", 1), "B": ("wb", 1)})
+
+
+class TestRunEnsembleShim:
+    def test_warns_and_matches_facade(self, race_net, condition):
+        from repro.sim import run_ensemble
+
+        with pytest.warns(DeprecationWarning, match="run_ensemble"):
+            old = run_ensemble(race_net, 150, stopping=condition, seed=5)
+        new = Experiment.from_network(race_net, stopping=condition).simulate(
+            trials=150, seed=5
+        )
+        assert old.outcome_counts == new.ensemble.outcome_counts
+        np.testing.assert_array_equal(old.final_counts, new.ensemble.final_counts)
+
+    def test_old_keyword_signature_still_accepted(self, race_net, condition):
+        from repro.sim import SimulationOptions, run_ensemble
+
+        with pytest.warns(DeprecationWarning):
+            result = run_ensemble(
+                race_net,
+                n_trials=40,
+                stopping=condition,
+                engine="batch-direct",
+                seed=2,
+                options=SimulationOptions(record_firings=False),
+                keep_trajectories=False,
+                workers=2,
+            )
+        assert result.n_trials == 40
+
+
+class TestSettleStatisticsShim:
+    def test_warns_and_keeps_result_shape(self):
+        with pytest.warns(DeprecationWarning, match="settle_statistics"):
+            stats = settle_statistics(
+                linear_module(alpha=1, beta=2), {"x": 5}, n_trials=8, seed=3
+            )
+        assert set(stats) == {"mean", "std", "min", "max", "n_trials", "expected"}
+        assert stats["mean"] == pytest.approx(10.0, abs=0.1)
+        assert stats["n_trials"] == 8.0
+
+    def test_validation_still_raises(self):
+        with pytest.raises(SimulationError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                settle_statistics(linear_module(), {"x": 1}, n_trials=0)
+
+
+class TestEngineDictShims:
+    def test_ensemble_module_attributes_warn_and_reflect_registry(self):
+        import repro.sim.ensemble as ensemble
+        from repro.sim.registry import registry
+
+        with pytest.warns(DeprecationWarning, match="ENGINES"):
+            engines = ensemble.ENGINES
+        with pytest.warns(DeprecationWarning, match="BATCH_ENGINES"):
+            batch_engines = ensemble.BATCH_ENGINES
+        assert set(engines) == set(registry.per_trial_names())
+        assert set(batch_engines) == set(registry.batched_names())
+        assert engines["direct"] is registry.get("direct").cls
+
+    def test_package_level_import_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.sim import ENGINES
+
+        assert "direct" in ENGINES
+
+    def test_unknown_attribute_raises(self):
+        import repro.sim.ensemble as ensemble
+
+        with pytest.raises(AttributeError):
+            ensemble.NOT_A_THING
+
+    def test_engine_names_matches_registry(self):
+        from repro.sim import engine_names
+        from repro.sim.registry import registry
+
+        assert engine_names() == registry.names()

@@ -11,7 +11,6 @@ from repro.sim import (
     EnsembleResult,
     EnsembleRunner,
     OutcomeThresholds,
-    SimulationOptions,
     run_ensemble,
 )
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.crn import parse_network
 from repro.errors import StoppingConditionError
 from repro.sim import (
     AllCondition,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crn import NetworkBuilder, Reaction, ReactionNetwork, Species
+from repro.crn import Reaction, ReactionNetwork, Species
 from repro.errors import CRNError, SpeciesError
 
 

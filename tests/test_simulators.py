@@ -20,7 +20,6 @@ from repro.sim import (
     ENGINES,
     DirectMethodSimulator,
     FiringCountCondition,
-    FirstReactionSimulator,
     NextReactionSimulator,
     SimulationOptions,
     SpeciesThreshold,

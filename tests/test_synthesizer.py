@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     AffineResponseSpec,
-    DistributionSpec,
     OutcomeSpec,
     synthesize_affine_response,
     synthesize_distribution,
