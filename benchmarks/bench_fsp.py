@@ -1,0 +1,176 @@
+"""A6 — Finite-state-projection solver: exact distributions at 10⁴⁺ states.
+
+The exact CTMC machinery used to top out at a few hundred states (dense
+per-state Python loops); the sparse FSP solver (``repro.sim.fsp``) assembles
+the CME generator in CSR form from a vectorized breadth-first enumeration and
+advances ``p(t)`` with ``expm_multiply``.  This harness demonstrates the new
+scale on a two-stage gene-expression cascade (mRNA/protein birth–death, the
+canonical FSP workload) truncated at ≥ 10,000 states, reporting the rigorous
+truncation-error bound alongside the wall clock, and cross-checks the
+solution against the analytically known transient mRNA distribution
+(Poisson) and mean.
+
+A second section reproduces the exact-oracle acceptance check: the ``fsp``
+engine's outcome probabilities for the paper's Example 1 module must match
+``repro.analysis.ctmc.outcome_probabilities`` to ≤ 1e-6 (they share the
+enumeration and the sparse absorption solve, so the agreement is exact).
+
+Run directly for a wall-clock report (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_fsp.py [--quick]
+
+or through pytest-benchmark with the other harnesses::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fsp.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `import _config` under direct run
+
+from _config import report
+
+from repro.analysis import format_table, outcome_probabilities
+from repro.api import Experiment
+from repro.crn import parse_network
+from repro.sim import FspEngine, FspOptions
+
+#: Two-stage expression cascade: mRNA (m) bursts proteins (p).
+#: Stationary means: m ~ Poisson(50), E[p] = 50 — the caps put the boundary
+#: many standard deviations out, so the truncation bound is tiny.
+CASCADE = """
+init: gene = 1
+gene ->{10} gene + m
+m ->{0.2} 0
+m ->{0.2} m + p
+p ->{0.2} 0
+"""
+
+#: Truncation caps giving a 111 × 121 = 13,431-state projection (≥ 10⁴).
+CAPS = {"m": 110, "p": 120}
+T_FINAL = 12.0
+QUICK_CAPS = {"m": 90, "p": 110}
+
+
+def solve_cascade(caps: dict[str, int], t_final: float) -> list[dict[str, object]]:
+    """Solve the cascade's CME and report scale, accuracy and the error bound."""
+    network = parse_network(CASCADE, name="expression-cascade")
+    engine = FspEngine(
+        network,
+        fsp_options=FspOptions(
+            count_caps=dict(caps), tolerance=1e-6, expand=False, checkpoints=13
+        ),
+    )
+    start = time.perf_counter()
+    result = engine.solve(t_final)
+    elapsed = time.perf_counter() - start
+
+    # mRNA is a linear birth–death process: m(t) ~ Poisson(λ(t)) exactly.
+    birth, decay = 10.0, 0.2
+    lam = (birth / decay) * (1.0 - math.exp(-decay * t_final))
+    marginal = result.marginal("m")
+    tv_poisson = 0.5 * sum(
+        abs(marginal.get(k, 0.0) - math.exp(-lam) * lam**k / math.factorial(k))
+        for k in range(0, max(marginal) + 1)
+    )
+    rows = [
+        {
+            "states": result.space.n_states,
+            "checkpoints": len(result.times),
+            "seconds": elapsed,
+            "error_bound": result.error_bound(),
+            "mean_m": result.mean("m"),
+            "analytic_mean_m": lam,
+            "tv_m_vs_poisson": tv_poisson,
+        }
+    ]
+    return rows
+
+
+def example1_agreement() -> list[dict[str, object]]:
+    """fsp-engine vs ctmc absorption probabilities on Example 1 (≤ 1e-6)."""
+    experiment = Experiment.from_distribution(
+        {"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3, scale=100
+    )
+    start = time.perf_counter()
+    via_engine = experiment.simulate(engine="fsp")
+    engine_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    via_ctmc = outcome_probabilities(
+        experiment.system.network, classify=experiment.system.state_classifier()
+    )
+    ctmc_seconds = time.perf_counter() - start
+    rows = []
+    for label in sorted(via_ctmc.probabilities):
+        rows.append(
+            {
+                "outcome": label,
+                "fsp": via_engine.exact[label],
+                "ctmc": via_ctmc.probabilities[label],
+                "abs_diff": abs(via_engine.exact[label] - via_ctmc.probabilities[label]),
+            }
+        )
+    rows.append(
+        {"outcome": "(seconds)", "fsp": engine_seconds, "ctmc": ctmc_seconds,
+         "abs_diff": 0.0}
+    )
+    return rows
+
+
+def run_report(quick: bool) -> dict[str, list[dict[str, object]]]:
+    """Measure both sections, print/record the tables, apply acceptance checks."""
+    caps = QUICK_CAPS if quick else CAPS
+    cascade_rows = solve_cascade(caps, T_FINAL)
+    agreement_rows = example1_agreement()
+    report(
+        "A6: sparse FSP transient solve (expression cascade)",
+        format_table(cascade_rows, floatfmt="{:.4g}"),
+    )
+    report(
+        "A6: fsp engine vs exact CTMC on Example 1",
+        format_table(agreement_rows, floatfmt="{:.8f}"),
+    )
+
+    row = cascade_rows[0]
+    if not quick:
+        assert row["states"] >= 10_000, (
+            f"projection only reached {row['states']} states (< 10,000)"
+        )
+    assert row["error_bound"] <= 1e-6, (
+        f"truncation error bound {row['error_bound']:.3e} exceeds 1e-6"
+    )
+    assert abs(row["mean_m"] - row["analytic_mean_m"]) < 1e-3
+    assert row["tv_m_vs_poisson"] < 1e-4
+
+    for outcome_row in agreement_rows[:-1]:
+        assert outcome_row["abs_diff"] < 1e-6, (
+            f"fsp vs ctmc differ by {outcome_row['abs_diff']:.2e} "
+            f"on outcome {outcome_row['outcome']}"
+        )
+    return {"cascade": cascade_rows, "example1": agreement_rows}
+
+
+def test_fsp_scale(benchmark):
+    """pytest-benchmark entry point: full ≥ 10⁴-state projection."""
+    tables = benchmark.pedantic(run_report, args=(False,), rounds=1, iterations=1)
+    benchmark.extra_info["states"] = tables["cascade"][0]["states"]
+    benchmark.extra_info["error_bound"] = tables["cascade"][0]["error_bound"]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smaller truncation box")
+    args = parser.parse_args(argv)
+    run_report(quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+import numpy as np
+
 from repro.core.modules.base import FunctionalModule
 from repro.core.runtime import default_horizon
 from repro.core.synthesizer import (
@@ -44,7 +46,7 @@ from repro.core.synthesizer import (
 from repro.crn.network import ReactionNetwork
 from repro.errors import ExperimentError
 from repro.sim.base import SimulationOptions
-from repro.sim.ensemble import EnsembleRunner, ParallelEnsembleRunner
+from repro.sim.ensemble import ParallelEnsembleRunner
 from repro.sim.events import StoppingCondition
 from repro.api.results import RunResult
 
@@ -82,6 +84,7 @@ class Experiment:
     inputs: "tuple[tuple[str, int], ...]" = ()
     stopping: "StoppingCondition | None" = None
     classifier: "Callable | None" = None
+    state_classifier: "Callable | None" = None
     options: "SimulationOptions | None" = None
     target: "dict[str, float] | None" = None
     n_working_firings: int = 10
@@ -180,6 +183,18 @@ class Experiment:
     def classify_with(self, classifier: Callable) -> "Experiment":
         """Override the trajectory → outcome-label classifier."""
         return self._replace(classifier=classifier)
+
+    def classify_states(self, classifier: Callable) -> "Experiment":
+        """Set the *state* → outcome-label classifier used by exact engines.
+
+        Distribution-computing engines (``engine="fsp"``) work on CTMC states,
+        not trajectories: the classifier receives a ``{species name: count}``
+        dictionary and returns an outcome label (the state becomes absorbing)
+        or ``None``.  System experiments derive one automatically (the first
+        catalyst produced names the outcome); raw-network experiments must set
+        it explicitly unless the network's metadata records an outcome map.
+        """
+        return self._replace(state_classifier=classifier)
 
     def declare_after(self, working_firings: int) -> "Experiment":
         """Working firings needed to declare an outcome (system experiments).
@@ -285,9 +300,9 @@ class Experiment:
             ``"batch-direct"`` advances all trials in lock-step vectorized
             steps.
         workers:
-            Shard trials across this many worker processes (``> 1`` selects
-            the :class:`~repro.sim.ensemble.ParallelEnsembleRunner`; results
-            are invariant to the worker count for a fixed seed).
+            Shard trials across this many worker processes (``workers=1``
+            runs the same chunked schedule inline; results are bit-identical
+            across worker counts for a fixed ``seed`` and ``chunk_size``).
         seed:
             Random seed; trials derive independent streams from it.
         engine_options:
@@ -297,29 +312,38 @@ class Experiment:
             Keep the raw per-trial trajectories on the result.
         chunk_size:
             Trials per parallel shard.
+
+        Notes
+        -----
+        Distribution-computing engines (``engine="fsp"``) do not sample at
+        all: the exact outcome distribution is computed by finite state
+        projection and returned as a :class:`RunResult` whose ``exact``
+        field carries the probabilities (``trials`` only scales the nominal
+        outcome counts; ``workers`` / ``seed`` are ignored).
         """
+        from repro.sim.registry import registry
+
+        info = registry.get(engine)
+        if info.computes_distribution:
+            return self._solve_exact(
+                info, trials=trials, engine=engine, engine_options=engine_options
+            )
         network, stopping, classifier = self._resolved()
         options = self.options or self._default_options()
-        if workers > 1:
-            runner = ParallelEnsembleRunner(
-                network,
-                engine=engine,
-                stopping=stopping,
-                options=options,
-                outcome_classifier=classifier,
-                workers=workers,
-                chunk_size=chunk_size,
-                engine_options=engine_options,
-            )
-        else:
-            runner = EnsembleRunner(
-                network,
-                engine=engine,
-                stopping=stopping,
-                options=options,
-                outcome_classifier=classifier,
-                engine_options=engine_options,
-            )
+        # Always run the chunked schedule (inline when workers == 1): random
+        # streams are keyed by chunk bounds and global trial indices, so a
+        # fixed (seed, trials, chunk_size) gives bit-identical results at any
+        # worker count — including between workers=1 and workers=2.
+        runner = ParallelEnsembleRunner(
+            network,
+            engine=engine,
+            stopping=stopping,
+            options=options,
+            outcome_classifier=classifier,
+            workers=workers,
+            chunk_size=chunk_size,
+            engine_options=engine_options,
+        )
         ensemble = runner.run(trials, seed=seed, keep_trajectories=keep_trajectories)
 
         outputs = None
@@ -344,6 +368,84 @@ class Experiment:
             outputs=outputs,
             expected_outputs=expected_outputs,
             label=self.label,
+        )
+
+    def _resolved_state_classifier(self, network: ReactionNetwork) -> Callable:
+        """The state classifier an exact distribution engine should use.
+
+        Resolution order: an explicit :meth:`classify_states` override; the
+        synthesized system's catalyst-winner classifier; an outcome map
+        recorded in the network's metadata (synthesized designs round-tripped
+        through JSON keep it).  Module experiments and bare networks without
+        metadata must set one explicitly.
+        """
+        from repro.sim.fsp import DominantSpeciesClassifier
+
+        if self.state_classifier is not None:
+            return self.state_classifier
+        if self.system is not None:
+            return self.system.state_classifier()
+        outcomes = getattr(network, "metadata", {}).get("outcomes")
+        if isinstance(outcomes, Mapping):
+            catalysts = {
+                str(label): str(info["catalyst"])
+                for label, info in outcomes.items()
+                if isinstance(info, Mapping) and "catalyst" in info
+            }
+            if catalysts:
+                return DominantSpeciesClassifier(catalysts)
+        raise ExperimentError(
+            "exact distribution engines need a state classifier; set one with "
+            ".classify_states(fn) mapping a {species: count} state to an "
+            "outcome label (or None)"
+        )
+
+    def _solve_exact(
+        self, info, trials: int, engine: str, engine_options: "Any | None"
+    ) -> RunResult:
+        """Compute the exact outcome distribution via a distribution engine."""
+        from repro.sim.ensemble import EnsembleResult
+
+        network, _stopping, _classifier = self._resolved()
+        classify = self._resolved_state_classifier(network)
+        solver = info.create(network, engine_options=engine_options)
+        absorption = solver.outcome_probabilities(classify)
+
+        # Nominal outcome counts: largest-remainder rounding of p·trials, so
+        # the synthetic ensemble sums to exactly `trials` decided+undecided.
+        labels = sorted(absorption.probabilities)
+        ideal = {k: absorption.probabilities[k] * trials for k in labels}
+        counts = {k: int(ideal[k]) for k in labels}
+        for k in sorted(labels, key=lambda k: ideal[k] - counts[k], reverse=True):
+            if sum(counts.values()) >= trials:
+                break
+            counts[k] += 1
+        compiled = solver.compiled
+        ensemble = EnsembleResult(
+            n_trials=trials,
+            outcome_counts={k: v for k, v in counts.items() if v > 0},
+            final_counts=np.empty((0, compiled.n_species), dtype=np.int64),
+            species=compiled.species,
+            final_times=np.empty(0, dtype=float),
+            n_firings=np.empty(0, dtype=np.int64),
+        )
+        return RunResult(
+            ensemble=ensemble,
+            engine=engine,
+            trials=trials,
+            seed=None,
+            workers=1,
+            inputs=dict(self.inputs),
+            target=self._resolved_target(),
+            outputs=None,
+            expected_outputs=None,
+            label=self.label,
+            exact=dict(absorption.probabilities),
+            exact_info={
+                "n_states": float(absorption.n_states),
+                "n_transient": float(absorption.n_transient),
+                "truncation_error": float(absorption.truncation_error),
+            },
         )
 
     def run_once(

@@ -50,6 +50,13 @@ class RunResult:
         Ideal module outputs at these inputs (``module.expected``), if known.
     label:
         Human-readable experiment label.
+    exact:
+        Exact outcome probabilities, set when the run used a
+        distribution-computing engine (``engine="fsp"``) instead of sampling;
+        :attr:`frequencies` then reports these (noise-free) probabilities and
+        the ensemble carries nominal rounded counts only.
+    exact_info:
+        Solver metadata for exact runs (``n_states``, ``n_transient``).
     """
 
     ensemble: EnsembleResult
@@ -62,12 +69,27 @@ class RunResult:
     outputs: "dict[str, str] | None" = None
     expected_outputs: "dict[str, float] | None" = None
     label: str = "experiment"
+    exact: "dict[str, float] | None" = None
+    exact_info: "dict[str, float] | None" = None
 
     # -- outcome statistics ------------------------------------------------------
 
     @property
     def frequencies(self) -> dict[str, float]:
-        """Empirical outcome frequencies over decided trials."""
+        """Outcome frequencies over decided trials.
+
+        Empirical for sampled runs; for exact runs (``exact`` set) these are
+        the noise-free absorption probabilities, renormalized over decided
+        outcomes.
+        """
+        if self.exact is not None:
+            decided = {
+                k: v for k, v in self.exact.items() if k != EnsembleResult.UNDECIDED
+            }
+            total = sum(decided.values())
+            if total <= 0:
+                return {}
+            return {k: v / total for k, v in sorted(decided.items())}
         return self.ensemble.outcome_distribution()
 
     def frequency(self, outcome: str) -> float:
@@ -75,7 +97,9 @@ class RunResult:
         return self.frequencies.get(outcome, 0.0)
 
     def decided_fraction(self) -> float:
-        """Fraction of trials that produced a definite outcome."""
+        """Fraction of trials (or exact probability mass) that produced an outcome."""
+        if self.exact is not None:
+            return 1.0 - self.exact.get(EnsembleResult.UNDECIDED, 0.0)
         return self.ensemble.decided_fraction()
 
     def _reference(self, target: "Mapping[str, float] | None") -> dict[str, float]:
@@ -154,6 +178,11 @@ class RunResult:
         end undecided (``decided_fraction() < 1``), their cutoff times are
         included in the summary.
         """
+        if self.exact is not None:
+            raise ExperimentError(
+                "exact distribution runs sample no trajectories and have no "
+                "decision times; use a sampling engine for latency statistics"
+            )
         if self.decided_fraction() == 0.0:
             raise ExperimentError(
                 "no trial reached a decision; check the stopping condition"
@@ -210,7 +239,17 @@ class RunResult:
 
     def summary(self) -> str:
         """Multi-line report: ensemble counts, target-vs-measured, TV distance."""
-        lines = [self.ensemble.summary()]
+        if self.exact is not None:
+            info = self.exact_info or {}
+            lines = [
+                f"Exact distribution ({self.engine}, "
+                f"{int(info.get('n_states', 0))} states, "
+                f"{int(info.get('n_transient', 0))} transient)"
+            ]
+            for label, probability in sorted(self.exact.items()):
+                lines.append(f"  {label:<20s}: {probability:8.6f}")
+        else:
+            lines = [self.ensemble.summary()]
         if self.target:
             measured = self.frequencies
             lines.append("")
@@ -220,10 +259,10 @@ class RunResult:
                     f"{outcome:<14s} {self.target.get(outcome, 0.0):8.4f} "
                     f"{measured.get(outcome, 0.0):9.4f}"
                 )
-            lines.append(
-                f"TV distance: {self.total_variation():.4f} "
-                f"({self.ensemble.n_trials} trials)"
+            trials = (
+                "exact" if self.exact is not None else f"{self.ensemble.n_trials} trials"
             )
+            lines.append(f"TV distance: {self.total_variation():.4f} ({trials})")
         return "\n".join(lines)
 
     # -- JSON round trip ---------------------------------------------------------
@@ -245,6 +284,8 @@ class RunResult:
                 if self.expected_outputs is not None
                 else None
             ),
+            "exact": dict(self.exact) if self.exact is not None else None,
+            "exact_info": dict(self.exact_info) if self.exact_info is not None else None,
             "ensemble": {
                 "n_trials": self.ensemble.n_trials,
                 "outcome_counts": dict(self.ensemble.outcome_counts),
@@ -304,4 +345,6 @@ class RunResult:
             outputs=payload["outputs"],
             expected_outputs=payload["expected_outputs"],
             label=payload["label"],
+            exact=payload.get("exact"),
+            exact_info=payload.get("exact_info"),
         )

@@ -9,6 +9,7 @@ sharding, and typed engine options such as the tau-leaping tolerances::
     repro synthesize --probabilities "lysis=0.15,lysogeny=0.85" --gamma 1e3 -o design.json
     repro simulate design.json --trials 500 --working-firings 10
     repro simulate design.json --engine tau-leaping --tau-epsilon 0.01
+    repro simulate design.json --engine fsp --fsp-max-states 200000
     repro settle --module logarithm --inputs "x=16"
     repro engines
     repro figure3 --trials 500 --gammas 1,10,100,1000
@@ -45,7 +46,7 @@ from repro.core.modules import (
 )
 from repro.crn import load_network, save_network
 from repro.errors import ReproError
-from repro.sim import CategoryFiringCondition, TauLeapOptions
+from repro.sim import CategoryFiringCondition, FspOptions, TauLeapOptions
 from repro.sim.registry import registry
 
 __all__ = ["main", "build_parser"]
@@ -108,26 +109,53 @@ def _add_engine_arguments(parser: argparse.ArgumentParser, workers: bool = True)
         help="tau-leaping critical-reaction threshold (requires --engine "
              "tau-leaping; default 10)",
     )
+    parser.add_argument(
+        "--fsp-max-states", type=int, default=None, metavar="N",
+        help="finite-state-projection state budget (requires --engine fsp; "
+             "default 200000)",
+    )
+    parser.add_argument(
+        "--fsp-tolerance", type=float, default=None, metavar="EPS",
+        help="acceptable FSP truncation-error bound (requires --engine fsp; "
+             "default 1e-6)",
+    )
 
 
-def _engine_options_from(args) -> "TauLeapOptions | None":
+def _engine_options_from(args) -> "TauLeapOptions | FspOptions | None":
     """Build the typed ``engine_options`` payload from the CLI flags."""
     epsilon = getattr(args, "tau_epsilon", None)
     n_critical = getattr(args, "tau_n_critical", None)
-    if epsilon is None and n_critical is None:
-        return None
-    if args.engine != "tau-leaping":
+    fsp_max_states = getattr(args, "fsp_max_states", None)
+    fsp_tolerance = getattr(args, "fsp_tolerance", None)
+    if (epsilon is not None or n_critical is not None) and args.engine != "tau-leaping":
         raise argparse.ArgumentTypeError(
             "--tau-epsilon/--tau-n-critical require --engine tau-leaping "
             f"(got --engine {args.engine})"
         )
-    defaults = TauLeapOptions()
-    return TauLeapOptions(
-        epsilon=epsilon if epsilon is not None else defaults.epsilon,
-        critical_threshold=(
-            n_critical if n_critical is not None else defaults.critical_threshold
-        ),
-    )
+    if (fsp_max_states is not None or fsp_tolerance is not None) and args.engine != "fsp":
+        raise argparse.ArgumentTypeError(
+            "--fsp-max-states/--fsp-tolerance require --engine fsp "
+            f"(got --engine {args.engine})"
+        )
+    if epsilon is not None or n_critical is not None:
+        defaults = TauLeapOptions()
+        return TauLeapOptions(
+            epsilon=epsilon if epsilon is not None else defaults.epsilon,
+            critical_threshold=(
+                n_critical if n_critical is not None else defaults.critical_threshold
+            ),
+        )
+    if fsp_max_states is not None or fsp_tolerance is not None:
+        fsp_defaults = FspOptions()
+        return FspOptions(
+            max_states=(
+                fsp_max_states if fsp_max_states is not None else fsp_defaults.max_states
+            ),
+            tolerance=(
+                fsp_tolerance if fsp_tolerance is not None else fsp_defaults.tolerance
+            ),
+        )
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,12 +273,17 @@ def _cmd_simulate(args) -> int:
             engine_options=_engine_options_from(args),
         )
     )
-    print(result.ensemble.summary())
-    distribution = result.frequencies
-    if distribution:
-        rows = [{"outcome": k, "frequency": v} for k, v in distribution.items()]
-        print()
-        print(format_table(rows, floatfmt="{:.4f}"))
+    if result.exact is not None:
+        # Exact solves have no sampled ensemble; print the exact header
+        # (solver scale + probabilities) instead of fabricated trial counts.
+        print(result.summary())
+    else:
+        print(result.ensemble.summary())
+        distribution = result.frequencies
+        if distribution:
+            rows = [{"outcome": k, "frequency": v} for k, v in distribution.items()]
+            print()
+            print(format_table(rows, floatfmt="{:.4f}"))
     return 0
 
 
@@ -290,7 +323,10 @@ def _cmd_engines(args) -> int:
     for row in registry.capability_matrix():
         flags = {
             key: ("yes" if row[key] else "-")
-            for key in ("exact", "approximate", "batched", "events", "deterministic")
+            for key in (
+                "exact", "approximate", "batched", "events", "deterministic",
+                "distribution",
+            )
         }
         table_row = {"engine": row["engine"], **flags, "options": row["options"]}
         if args.verbose:

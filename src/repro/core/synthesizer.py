@@ -97,6 +97,42 @@ class SynthesizedSystem:
         """
         return CategoryFiringCondition("working", working_firings)
 
+    def catalyst_map(self) -> dict[str, str]:
+        """``{outcome label: catalyst species name}`` under this layout."""
+        return {label: self.catalyst_species(label) for label in self.labels}
+
+    def state_classifier(self):
+        """State → outcome classifier for exact (CTMC / FSP) analysis.
+
+        A state is an outcome as soon as one catalyst type uniquely dominates
+        — starting from a catalyst-free state, the first catalyst molecule
+        produced marks the module's decision, so absorption probabilities
+        under this classifier are the exact programmed distribution
+        (``p_i = E_i k_i / Σ_j E_j k_j`` plus any pre-processing dynamics).
+        """
+        from repro.sim.fsp import DominantSpeciesClassifier
+
+        return DominantSpeciesClassifier(self.catalyst_map())
+
+    def exact_distribution(
+        self,
+        inputs: "Mapping[str, int] | None" = None,
+        max_states: int = 200_000,
+    ) -> "object":
+        """Exact outcome probabilities of the design (no sampling noise).
+
+        Delegates to :func:`repro.analysis.ctmc.outcome_probabilities` with
+        :meth:`state_classifier`; the same computation backs
+        ``experiment().simulate(engine="fsp")``.
+        """
+        from repro.analysis.ctmc import outcome_probabilities
+
+        return outcome_probabilities(
+            self.network_with_inputs(inputs),
+            classify=self.state_classifier(),
+            max_states=max_states,
+        )
+
     def classify_outcome(self, trajectory: Trajectory) -> "str | None":
         """Map a finished trajectory to an outcome label (or None if undecided)."""
         detail = trajectory.stop_detail

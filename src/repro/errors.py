@@ -20,6 +20,7 @@ __all__ = [
     "PropensityError",
     "StoppingConditionError",
     "EnsembleError",
+    "FspError",
     "SynthesisError",
     "SpecificationError",
     "ModuleCompositionError",
@@ -83,6 +84,10 @@ class StoppingConditionError(SimulationError):
 
 class EnsembleError(SimulationError):
     """An ensemble (Monte-Carlo) run was mis-configured."""
+
+
+class FspError(SimulationError):
+    """Finite-state-projection analysis failed (state budget, truncation bound)."""
 
 
 # ---------------------------------------------------------------------------

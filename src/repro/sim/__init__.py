@@ -2,7 +2,8 @@
 
 Exact SSA engines (Gillespie direct, first-reaction, Gibson–Bruck
 next-reaction, and a vectorized batched direct method), approximate
-tau-leaping, deterministic mean-field ODE integration, stopping conditions,
+tau-leaping, deterministic mean-field ODE integration, a sparse
+finite-state-projection solver for exact distributions, stopping conditions,
 trajectory records, and Monte-Carlo ensemble runners (sequential, batched
 and multiprocess-sharded with Welford-merged statistics).
 """
@@ -30,6 +31,14 @@ from repro.sim.events import (
     StoppingCondition,
 )
 from repro.sim.first_reaction import FirstReactionSimulator
+from repro.sim.fsp import (
+    AbsorptionResult,
+    DominantSpeciesClassifier,
+    FspEngine,
+    FspOptions,
+    FspResult,
+    StateSpace,
+)
 from repro.sim.next_reaction import NextReactionSimulator
 from repro.sim.ode import OdeEngine, OdeIntegrator, OdeOptions, OdeResult, simulate_ode
 from repro.sim.priority_queue import IndexedPriorityQueue
@@ -53,6 +62,12 @@ __all__ = [
     "OdeOptions",
     "OdeEngine",
     "simulate_ode",
+    "FspEngine",
+    "FspOptions",
+    "FspResult",
+    "AbsorptionResult",
+    "StateSpace",
+    "DominantSpeciesClassifier",
     "EngineInfo",
     "EngineRegistry",
     "register_engine",

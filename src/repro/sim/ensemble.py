@@ -269,9 +269,10 @@ class EnsembleResult:
         lines = [f"Ensemble of {self.n_trials} trials"]
         for label, count in sorted(self.outcome_counts.items()):
             lines.append(f"  {label:<20s}: {count:6d}  ({count / self.n_trials:6.2%})")
-        lines.append(
-            f"  firings: mean {self.n_firings.mean():.1f}  max {int(self.n_firings.max())}"
-        )
+        if self.n_firings.size:
+            lines.append(
+                f"  firings: mean {self.n_firings.mean():.1f}  max {int(self.n_firings.max())}"
+            )
         return "\n".join(lines)
 
 

@@ -1,0 +1,780 @@
+"""Sparse finite-state-projection (FSP) solver for reaction networks.
+
+Monte-Carlo simulation estimates outcome distributions with sampling noise;
+the finite state projection of Munsky & Khammash computes them *exactly* (up
+to a reported truncation bound) by working on the chemical master equation
+directly.  The reachable state space is enumerated breadth-first from the
+initial state, the CME generator is assembled as a sparse CSR matrix, and the
+time-dependent distribution ``p(t)`` is advanced with
+:func:`scipy.sparse.linalg.expm_multiply` over a checkpointed time grid.
+
+Truncation is the heart of the method: states beyond the configured bounds
+(per-species count caps and a hard ``max_states`` budget) are dropped, and
+every transition into a dropped state leaks probability mass out of the
+system.  The missing mass ``1 - Σ p(t)`` is therefore a rigorous upper bound
+on the truncation error — it is reported on every result, and the solver can
+expand the caps adaptively until the bound meets a tolerance.
+
+Two query modes are provided on top of the shared enumeration machinery:
+
+* **transient** (:meth:`FspEngine.solve`) — the full distribution ``p(t)`` at
+  checkpoint times, with per-species marginals and moments;
+* **absorption** (:meth:`FspEngine.outcome_probabilities`) — exact outcome
+  probabilities of a classified CTMC, solving the jump-chain linear system
+  over the transient states (this is the machinery behind
+  :func:`repro.analysis.ctmc.outcome_probabilities`, which delegates here).
+
+The ``fsp`` engine registered from this module is *deterministic*, *exact*
+and *non-trajectory*: it computes distributions, not sample paths, so
+ensembles reject it and :meth:`repro.api.Experiment.simulate` dispatches it
+to the absorption solver instead of the Monte-Carlo runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import expm_multiply, spsolve
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import as_species
+from repro.errors import FspError
+from repro.sim.base import resolve_initial_counts
+from repro.sim.propensity import CompiledNetwork
+from repro.sim.registry import register_engine
+
+__all__ = [
+    "UNDECIDED",
+    "FspOptions",
+    "StateSpace",
+    "AbsorptionResult",
+    "FspResult",
+    "FspEngine",
+    "DominantSpeciesClassifier",
+    "enumerate_states",
+    "build_generator",
+    "absorption_probabilities",
+]
+
+#: Label used for probability mass that never reaches a classified outcome
+#: (dead ends, and mass leaked through the truncation boundary).  Matches the
+#: label :mod:`repro.analysis.ctmc` and the ensemble runners use.
+UNDECIDED = "(undecided)"
+
+
+@dataclass(frozen=True)
+class FspOptions:
+    """Truncation and time-grid knobs of the ``fsp`` engine.
+
+    Attributes
+    ----------
+    max_states:
+        Hard budget on the number of enumerated states.  Enumeration past it
+        either truncates (transitions into un-enumerated states leak mass,
+        tracked by the error bound) or raises, depending on the query.
+    count_caps:
+        Optional per-species count caps ``{species name: max count}``; states
+        exceeding a cap are truncated away.  Caps are the knob the adaptive
+        expansion loop grows.
+    tolerance:
+        Acceptable truncation-error bound.  A transient solve whose final
+        leaked mass exceeds it (after any adaptive expansion) raises
+        :class:`~repro.errors.FspError` when ``strict`` is set.
+    expand:
+        Grow ``count_caps`` geometrically (×2) and re-solve while the error
+        bound exceeds ``tolerance`` and the state budget allows.
+    checkpoints:
+        Number of points on the uniform time grid of a transient solve
+        (including ``t = 0`` and ``t_final``).
+    strict:
+        Raise when the final error bound exceeds ``tolerance``; set to
+        ``False`` to get the truncated result with its reported bound.
+    """
+
+    max_states: int = 200_000
+    count_caps: "Mapping[str, int] | None" = None
+    tolerance: float = 1e-6
+    expand: bool = True
+    checkpoints: int = 21
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_states <= 0:
+            raise FspError(f"max_states must be positive, got {self.max_states}")
+        if self.tolerance < 0:
+            raise FspError(f"tolerance must be non-negative, got {self.tolerance}")
+        if self.checkpoints < 2:
+            raise FspError(f"checkpoints must be at least 2, got {self.checkpoints}")
+
+
+class DominantSpeciesClassifier:
+    """State classifier labelling the (unique) dominant marker species.
+
+    Maps a ``{species name: count}`` state to the outcome label whose marker
+    species has the strictly largest positive count, or ``None`` when no
+    marker is present or the lead is tied.  For the paper's stochastic
+    modules the markers are the catalysts ``d_i``: starting from a state with
+    no catalysts, the first state with a positive catalyst count is the exact
+    decision event, so absorption probabilities under this classifier are the
+    module's programmed distribution.
+
+    A module-level class (rather than a closure) so it pickles into worker
+    processes and serializes into reports.
+    """
+
+    def __init__(self, species_by_label: Mapping[str, str]) -> None:
+        if not species_by_label:
+            raise FspError("species_by_label must not be empty")
+        self.species_by_label = {str(k): str(v) for k, v in species_by_label.items()}
+
+    def __call__(self, state: Mapping[str, int]) -> "str | None":
+        best_label: "str | None" = None
+        best_count = 0
+        tied = False
+        for label, name in self.species_by_label.items():
+            count = int(state.get(name, 0))
+            if count > best_count:
+                best_label, best_count, tied = label, count, False
+            elif count == best_count and count > 0:
+                tied = True
+        if best_label is None or tied:
+            return None
+        return best_label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DominantSpeciesClassifier({self.species_by_label!r})"
+
+
+@dataclass
+class StateSpace:
+    """The truncated reachable state space of a network, with its transitions.
+
+    Attributes
+    ----------
+    compiled:
+        The compiled network the space was enumerated from.
+    states:
+        Enumerated states as a ``(n_states, n_species)`` count matrix; row 0
+        is the initial state.
+    index:
+        ``{state tuple: row}`` lookup.
+    labels:
+        Per-state outcome label (``None`` for transient/unclassified states).
+        All ``None`` when no classifier was given.
+    edge_src / edge_dst / edge_rate:
+        In-set transitions as parallel arrays (``src → dst`` at ``rate``).
+    outflow:
+        Total propensity out of each state, *including* transitions truncated
+        away — the difference between ``outflow`` and the kept edge rates is
+        exactly the leak that bounds the truncation error.
+    truncated:
+        Whether any transition was dropped (count cap or state budget).
+    """
+
+    compiled: CompiledNetwork
+    states: np.ndarray
+    index: dict[tuple[int, ...], int]
+    labels: list["str | None"]
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_rate: np.ndarray
+    outflow: np.ndarray
+    truncated: bool = False
+
+    @property
+    def n_states(self) -> int:
+        return int(self.states.shape[0])
+
+    def species_names(self) -> list[str]:
+        return [s.name for s in self.compiled.species]
+
+    def outcome_labels(self) -> list[str]:
+        """Distinct classifier labels present, sorted."""
+        return sorted({label for label in self.labels if label is not None})
+
+    def leak_rates(self) -> np.ndarray:
+        """Per-state propensity flowing through the truncation boundary."""
+        kept = np.zeros(self.n_states)
+        np.add.at(kept, self.edge_src, self.edge_rate)
+        return np.maximum(self.outflow - kept, 0.0)
+
+
+def _batch_propensities(compiled: CompiledNetwork, counts: np.ndarray) -> np.ndarray:
+    """Propensities of every reaction over a batch of states.
+
+    Vectorized counterpart of :meth:`CompiledNetwork.propensity`: ``counts``
+    is a ``(m, n_species)`` integer matrix, the result a ``(m, n_reactions)``
+    float matrix.  The falling-factorial product used for ``binomial(x, n)``
+    hits a zero factor before any negative one, so states lacking reactants
+    yield exactly zero.
+    """
+    m = counts.shape[0]
+    out = np.empty((m, compiled.n_reactions), dtype=float)
+    for j in range(compiled.n_reactions):
+        h = np.ones(m, dtype=np.int64)
+        for s, n in zip(compiled.reactant_species[j], compiled.reactant_coeffs[j]):
+            x = counts[:, s]
+            if n == 1:
+                h = h * x
+            elif n == 2:
+                h = h * (x * (x - 1) // 2)
+            else:
+                term = np.ones(m, dtype=np.int64)
+                for i in range(n):
+                    term = term * (x - i) // (i + 1)
+                h = h * np.maximum(term, 0)
+        out[:, j] = compiled.rates[j] * h
+    return out
+
+
+def enumerate_states(
+    compiled: CompiledNetwork,
+    initial_counts: np.ndarray,
+    classify: "Callable[[Mapping[str, int]], str | None] | None" = None,
+    count_caps: "Mapping[str, int] | None" = None,
+    max_states: int = 200_000,
+    on_overflow: str = "truncate",
+) -> StateSpace:
+    """Breadth-first enumeration of the (truncated) reachable state space.
+
+    States are explored frontier by frontier with batched propensity
+    evaluation.  ``classify`` marks absorbing states: they are enumerated but
+    not expanded, so their mass accumulates.  Truncation has two sources —
+    per-species ``count_caps`` and the hard ``max_states`` budget; when
+    ``on_overflow`` is ``"raise"`` exceeding the budget raises
+    :class:`~repro.errors.FspError` instead of truncating (the behaviour the
+    exact CTMC analysis wants).
+    """
+    if on_overflow not in ("truncate", "raise"):
+        raise FspError(f"on_overflow must be 'truncate' or 'raise', got {on_overflow!r}")
+    names = [s.name for s in compiled.species]
+    caps = None
+    if count_caps:
+        unknown = set(count_caps) - set(names)
+        if unknown:
+            raise FspError(
+                f"count_caps mention species not in the network: {sorted(unknown)}"
+            )
+        caps = np.array(
+            [int(count_caps.get(name, np.iinfo(np.int64).max)) for name in names],
+            dtype=np.int64,
+        )
+
+    def classify_row(row: np.ndarray) -> "str | None":
+        if classify is None:
+            return None
+        return classify({name: int(c) for name, c in zip(names, row)})
+
+    start = np.asarray(initial_counts, dtype=np.int64)
+    if caps is not None and np.any(start > caps):
+        raise FspError("initial state exceeds the configured count_caps")
+    index: dict[tuple[int, ...], int] = {tuple(int(c) for c in start): 0}
+    labels: list["str | None"] = [classify_row(start)]
+    edge_src: list[np.ndarray] = []
+    edge_dst: list[list[int]] = []
+    edge_rate: list[np.ndarray] = []
+    outflow_chunks: dict[int, float] = {}
+    truncated = False
+
+    frontier = [0] if labels[0] is None else []
+    all_states = [start]
+
+    while frontier:
+        counts = np.stack([all_states[i] for i in frontier])
+        frontier_idx = np.asarray(frontier, dtype=np.int64)
+        propensities = _batch_propensities(compiled, counts)
+        for src, total in zip(frontier_idx, propensities.sum(axis=1)):
+            if total > 0.0:
+                outflow_chunks[int(src)] = float(total)
+        next_frontier: list[int] = []
+        for j in range(compiled.n_reactions):
+            rates_j = propensities[:, j]
+            firing = rates_j > 0.0
+            if not np.any(firing):
+                continue
+            delta = np.zeros(compiled.n_species, dtype=np.int64)
+            for s, d in zip(compiled.change_species[j], compiled.change_deltas[j]):
+                delta[s] = d
+            successors = counts[firing] + delta
+            sources = frontier_idx[firing]
+            kept_rates = rates_j[firing]
+            if caps is not None:
+                within = np.all(successors <= caps, axis=1)
+                if not np.all(within):
+                    truncated = True
+                successors = successors[within]
+                sources = sources[within]
+                kept_rates = kept_rates[within]
+            dst_rows: list[int] = []
+            keep_mask = np.ones(len(successors), dtype=bool)
+            for k, row in enumerate(successors):
+                key = tuple(int(c) for c in row)
+                row_index = index.get(key)
+                if row_index is None:
+                    if len(index) >= max_states:
+                        if on_overflow == "raise":
+                            raise FspError(
+                                f"state space exceeds max_states={max_states}"
+                            )
+                        truncated = True
+                        keep_mask[k] = False
+                        continue
+                    row_index = len(index)
+                    index[key] = row_index
+                    all_states.append(np.asarray(row, dtype=np.int64))
+                    label = classify_row(row)
+                    labels.append(label)
+                    if label is None:
+                        next_frontier.append(row_index)
+                dst_rows.append(row_index)
+            edge_src.append(sources[keep_mask])
+            edge_dst.append(dst_rows)
+            edge_rate.append(kept_rates[keep_mask])
+        frontier = next_frontier
+
+    n_states = len(index)
+    outflow = np.zeros(n_states)
+    for src, total in outflow_chunks.items():
+        outflow[src] = total
+    return StateSpace(
+        compiled=compiled,
+        states=np.stack(all_states) if all_states else np.empty((0, compiled.n_species), dtype=np.int64),
+        index=index,
+        labels=labels,
+        edge_src=(
+            np.concatenate(edge_src) if edge_src else np.empty(0, dtype=np.int64)
+        ).astype(np.int64),
+        edge_dst=np.asarray(
+            [d for chunk in edge_dst for d in chunk], dtype=np.int64
+        ),
+        edge_rate=(
+            np.concatenate(edge_rate) if edge_rate else np.empty(0, dtype=float)
+        ),
+        outflow=outflow,
+        truncated=truncated,
+    )
+
+
+def build_generator(space: StateSpace) -> csr_matrix:
+    """Assemble the (truncated) CME generator ``A`` with ``dp/dt = A p``.
+
+    ``A[dst, src]`` carries the transition rate ``src → dst``; the diagonal
+    carries minus the *total* outflow of each state, including transitions
+    truncated away — so ``1ᵀ A p ≤ 0`` and the lost mass ``1 - Σ p(t)``
+    bounds the truncation error from above.  Classified (absorbing) states
+    have zero outflow and keep their mass.
+    """
+    n = space.n_states
+    rows = np.concatenate([space.edge_dst, np.arange(n, dtype=np.int64)])
+    cols = np.concatenate([space.edge_src, np.arange(n, dtype=np.int64)])
+    data = np.concatenate([space.edge_rate, -space.outflow])
+    return coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+
+
+@dataclass(frozen=True)
+class AbsorptionResult:
+    """Exact absorption probabilities of a classified state space.
+
+    ``probabilities`` maps each outcome label to the probability of absorbing
+    into it, with :data:`UNDECIDED` collecting dead-end and truncation-leak
+    mass.  ``n_states`` / ``n_transient`` describe the linear system solved;
+    ``truncation_error`` is the share of :data:`UNDECIDED` that crossed the
+    truncation boundary (0.0 for a complete state space) — the upper bound on
+    how far each probability may sit below its untruncated value.
+    """
+
+    probabilities: dict[str, float]
+    n_states: int
+    n_transient: int
+    truncation_error: float = 0.0
+
+    def probability(self, label: str) -> float:
+        """Probability of one outcome (0.0 if never reached)."""
+        return self.probabilities.get(label, 0.0)
+
+    def decided(self) -> dict[str, float]:
+        """The distribution conditioned on an outcome being produced."""
+        decided = {k: v for k, v in self.probabilities.items() if k != UNDECIDED}
+        total = sum(decided.values())
+        if total <= 0:
+            raise FspError("no probability mass reaches any outcome")
+        return {k: v / total for k, v in decided.items()}
+
+
+def absorption_probabilities(space: StateSpace) -> AbsorptionResult:
+    """Absorption probabilities of a classified space, by sparse linear solve.
+
+    Absorption probabilities of a CTMC depend only on the jump chain, so the
+    system is built from transition probabilities ``rate / outflow`` (well
+    conditioned under the huge rate separations the paper uses) over the
+    transient states, one right-hand-side column per outcome label plus one
+    for the undecided mass (unlabeled dead ends, and any truncation leak).
+    """
+    n_states = space.n_states
+    labels = space.labels
+    if labels[0] is not None:
+        return AbsorptionResult(
+            probabilities={labels[0]: 1.0}, n_states=n_states, n_transient=0
+        )
+
+    unlabeled = np.array([label is None for label in labels])
+    active = space.outflow > 0.0
+    transient = np.flatnonzero(unlabeled & active)
+    n_transient = int(transient.size)
+    if n_transient == 0 or not active[0]:
+        # The initial state is an unlabeled dead end: nothing ever happens.
+        return AbsorptionResult(
+            probabilities={UNDECIDED: 1.0}, n_states=n_states, n_transient=n_transient
+        )
+
+    rows_of = np.full(n_states, -1, dtype=np.int64)
+    rows_of[transient] = np.arange(n_transient)
+
+    # One RHS column per outcome, one for unlabeled dead ends, and one
+    # tracking truncation-boundary leak separately so the caller can see how
+    # much of the undecided mass is a truncation artefact.
+    leak_column = "(leak)"
+    columns = space.outcome_labels() + [UNDECIDED, leak_column]
+    column_of = {label: k for k, label in enumerate(columns)}
+    dst_column = np.array(
+        [column_of[label] if label is not None else -1 for label in labels],
+        dtype=np.int64,
+    )
+
+    src = space.edge_src
+    live = rows_of[src] >= 0  # edges out of transient states
+    src = src[live]
+    dst = space.edge_dst[live]
+    probability = space.edge_rate[live] / space.outflow[src]
+    src_row = rows_of[src]
+
+    rhs = np.zeros((n_transient, len(columns)))
+    leak = space.leak_rates()[transient] / space.outflow[transient]
+    rhs[:, column_of[leak_column]] += leak
+
+    to_labeled = dst_column[dst] >= 0
+    np.add.at(
+        rhs,
+        (src_row[to_labeled], dst_column[dst[to_labeled]]),
+        probability[to_labeled],
+    )
+    to_dead_end = ~to_labeled & (rows_of[dst] < 0)
+    np.add.at(
+        rhs,
+        (src_row[to_dead_end], np.full(int(to_dead_end.sum()), column_of[UNDECIDED])),
+        probability[to_dead_end],
+    )
+    to_transient = ~to_labeled & (rows_of[dst] >= 0)
+
+    matrix_rows = np.concatenate([src_row[to_transient], np.arange(n_transient)])
+    matrix_cols = np.concatenate([rows_of[dst[to_transient]], np.arange(n_transient)])
+    matrix_data = np.concatenate(
+        [-probability[to_transient], np.ones(n_transient)]
+    )
+    matrix = coo_matrix(
+        (matrix_data, (matrix_rows, matrix_cols)), shape=(n_transient, n_transient)
+    ).tocsr()
+
+    solution = spsolve(matrix, rhs)
+    solution = np.atleast_2d(solution)
+    if solution.shape[0] != n_transient:
+        solution = solution.reshape(n_transient, len(columns))
+
+    start_row = int(rows_of[0])
+    probabilities = {
+        label: float(solution[start_row, column_of[label]]) for label in columns
+    }
+    truncation_error = probabilities.pop(leak_column)
+    probabilities[UNDECIDED] = probabilities.get(UNDECIDED, 0.0) + truncation_error
+    if abs(probabilities.get(UNDECIDED, 0.0)) < 1e-12:
+        probabilities.pop(UNDECIDED, None)
+    return AbsorptionResult(
+        probabilities=probabilities,
+        n_states=n_states,
+        n_transient=n_transient,
+        truncation_error=max(truncation_error, 0.0),
+    )
+
+
+@dataclass
+class FspResult:
+    """Transient solution ``p(t)`` on a checkpointed time grid.
+
+    Attributes
+    ----------
+    times:
+        Checkpoint times (uniform grid including ``t = 0``).
+    probabilities:
+        ``(len(times), n_states)`` matrix; row ``k`` is the distribution at
+        ``times[k]`` over the truncated space.
+    space:
+        The enumerated :class:`StateSpace` (state vectors, labels, edges).
+    """
+
+    times: np.ndarray
+    probabilities: np.ndarray
+    space: StateSpace
+
+    def error_bounds(self) -> np.ndarray:
+        """Truncation-error bound ``1 - Σ p(t)`` at every checkpoint."""
+        return np.maximum(1.0 - self.probabilities.sum(axis=1), 0.0)
+
+    def error_bound(self) -> float:
+        """Truncation-error bound at the final checkpoint."""
+        return float(self.error_bounds()[-1])
+
+    def _time_index(self, time_index: int) -> int:
+        return int(np.arange(len(self.times))[time_index])
+
+    def marginal(self, species: "str | object", time_index: int = -1) -> dict[int, float]:
+        """Marginal distribution ``{count: probability}`` of one species."""
+        sp = as_species(species)
+        try:
+            column = list(self.space.compiled.species).index(sp)
+        except ValueError as exc:
+            raise FspError(f"species {sp.name!r} not in the state space") from exc
+        weights = self.probabilities[self._time_index(time_index)]
+        counts = self.space.states[:, column]
+        marginal: dict[int, float] = {}
+        for value in np.unique(counts):
+            marginal[int(value)] = float(weights[counts == value].sum())
+        return marginal
+
+    def mean(self, species: "str | object", time_index: int = -1) -> float:
+        """Mean count of one species at a checkpoint."""
+        return float(
+            sum(count * p for count, p in self.marginal(species, time_index).items())
+        )
+
+    def state_probability(
+        self, state: Mapping[str, int], time_index: int = -1
+    ) -> float:
+        """Probability of one full state (0.0 if outside the truncated space)."""
+        names = self.space.species_names()
+        key = tuple(int(state.get(name, 0)) for name in names)
+        row = self.space.index.get(key)
+        if row is None:
+            return 0.0
+        return float(self.probabilities[self._time_index(time_index), row])
+
+    def outcome_probabilities(
+        self,
+        classify: "Callable[[Mapping[str, int]], str | None] | None" = None,
+        time_index: int = -1,
+    ) -> dict[str, float]:
+        """Mass per outcome label at a checkpoint.
+
+        With no ``classify``, the labels recorded during enumeration are used
+        (absorbing classified states); otherwise every state is classified on
+        the fly.  Unlabeled mass plus the truncation bound reports as
+        :data:`UNDECIDED`.
+        """
+        weights = self.probabilities[self._time_index(time_index)]
+        names = self.space.species_names()
+        totals: dict[str, float] = {}
+        for row, weight in enumerate(weights):
+            if weight == 0.0:
+                continue
+            if classify is None:
+                label = self.space.labels[row]
+            else:
+                label = classify(
+                    {name: int(c) for name, c in zip(names, self.space.states[row])}
+                )
+            key = UNDECIDED if label is None else str(label)
+            totals[key] = totals.get(key, 0.0) + float(weight)
+        leaked = float(max(1.0 - weights.sum(), 0.0))
+        if leaked > 0.0:
+            totals[UNDECIDED] = totals.get(UNDECIDED, 0.0) + leaked
+        return totals
+
+
+@register_engine(
+    "fsp",
+    exact=True,
+    approximate=False,
+    batched=False,
+    supports_events=False,
+    deterministic=True,
+    computes_distribution=True,
+    options_type=FspOptions,
+    options_param="fsp_options",
+    summary="sparse finite-state-projection exact distribution solver",
+)
+class FspEngine:
+    """Exact distribution engine over the truncated reachable state space.
+
+    Unlike every other engine this one produces no trajectories: it computes
+    the full time-dependent distribution (:meth:`solve`) or exact outcome
+    probabilities (:meth:`outcome_probabilities`).  It is registered as
+    deterministic *and* distribution-computing, so Monte-Carlo ensembles
+    reject it while :meth:`repro.api.Experiment.simulate` routes it to the
+    absorption solver and returns an exact :class:`~repro.api.results.RunResult`.
+
+    The ``seed`` parameter is accepted (engine-protocol compatibility) and
+    ignored — there is nothing random to seed.
+    """
+
+    method_name = "fsp"
+
+    def __init__(
+        self,
+        network: "ReactionNetwork | CompiledNetwork",
+        seed=None,
+        fsp_options: "FspOptions | None" = None,
+    ) -> None:
+        self.compiled = (
+            network
+            if isinstance(network, CompiledNetwork)
+            else CompiledNetwork.compile(network)
+        )
+        self.options = fsp_options or FspOptions()
+
+    @property
+    def network(self) -> ReactionNetwork:
+        """The underlying reaction network."""
+        return self.compiled.network
+
+    # -- queries -----------------------------------------------------------------
+
+    def enumerate(
+        self,
+        initial_state: "Mapping | None" = None,
+        classify: "Callable[[Mapping[str, int]], str | None] | None" = None,
+        on_overflow: str = "truncate",
+        count_caps: "Mapping[str, int] | None" = None,
+    ) -> StateSpace:
+        """Enumerate the truncated reachable state space (shared machinery)."""
+        start = resolve_initial_counts(self.compiled, initial_state)
+        return enumerate_states(
+            self.compiled,
+            start,
+            classify=classify,
+            count_caps=count_caps if count_caps is not None else self.options.count_caps,
+            max_states=self.options.max_states,
+            on_overflow=on_overflow,
+        )
+
+    def solve(
+        self,
+        t_final: float,
+        initial_state: "Mapping | None" = None,
+        times: "Sequence[float] | None" = None,
+    ) -> FspResult:
+        """Solve the truncated CME for ``p(t)`` on a checkpointed time grid.
+
+        The grid is ``linspace(0, t_final, options.checkpoints)`` unless an
+        explicit increasing ``times`` grid (starting at 0) is given.  While
+        the final error bound exceeds ``options.tolerance`` and expansion is
+        enabled, the per-species caps are doubled and the solve repeated;
+        exhausting ``max_states`` (or having no caps to grow) ends the loop,
+        raising under ``options.strict``.
+        """
+        if t_final <= 0:
+            raise FspError(f"t_final must be positive, got {t_final}")
+        if times is not None:
+            grid = np.asarray(list(times), dtype=float)
+            if grid.size < 2 or grid[0] != 0.0 or np.any(np.diff(grid) <= 0):
+                raise FspError("times must be an increasing grid starting at 0.0")
+        else:
+            grid = np.linspace(0.0, float(t_final), self.options.checkpoints)
+
+        options = self.options
+        caps = dict(options.count_caps) if options.count_caps else None
+        result: "FspResult | None" = None
+        while True:
+            space = self.enumerate(
+                initial_state=initial_state, count_caps=caps, on_overflow="truncate"
+            )
+            result = self._transient(space, grid)
+            if result.error_bound() <= options.tolerance or not space.truncated:
+                break
+            if not (options.expand and caps) or space.n_states >= options.max_states:
+                break
+            caps = {name: 2 * cap for name, cap in caps.items()}
+        if options.strict and result.error_bound() > options.tolerance:
+            raise FspError(
+                f"truncation error bound {result.error_bound():.3e} exceeds "
+                f"tolerance {options.tolerance:.3e} at {result.space.n_states} states; "
+                "raise max_states / count_caps, or pass FspOptions(strict=False) "
+                "to accept the truncated result"
+            )
+        return result
+
+    def _transient(self, space: StateSpace, grid: np.ndarray) -> FspResult:
+        """Advance the initial distribution over ``grid`` with expm_multiply."""
+        generator = build_generator(space)
+        p0 = np.zeros(space.n_states)
+        p0[0] = 1.0
+        steps = np.diff(grid)
+        if grid.size > 2 and np.allclose(steps, steps[0], rtol=1e-12, atol=0.0):
+            probabilities = expm_multiply(
+                generator,
+                p0,
+                start=float(grid[0]),
+                stop=float(grid[-1]),
+                num=int(grid.size),
+                endpoint=True,
+            )
+        else:
+            # Non-uniform grid: step checkpoint to checkpoint (p(t+dt) = e^{A dt} p(t)).
+            rows = [p0]
+            current = p0
+            for dt in steps:
+                current = expm_multiply(generator * float(dt), current)
+                rows.append(current)
+            probabilities = np.vstack(rows)
+        # expm_multiply's Krylov arithmetic can leave tiny negative entries.
+        probabilities = np.maximum(probabilities, 0.0)
+        return FspResult(times=grid, probabilities=probabilities, space=space)
+
+    def outcome_probabilities(
+        self,
+        classify: "Callable[[Mapping[str, int]], str | None]",
+        initial_state: "Mapping | None" = None,
+        on_overflow: str = "truncate",
+    ) -> AbsorptionResult:
+        """Exact outcome probabilities with ``classify`` marking absorbing states.
+
+        Solves the jump-chain linear system (no time grid needed — these are
+        the ``t → ∞`` absorption probabilities).  Exceeding the truncation
+        bounds leaks mass into :data:`UNDECIDED` and is reported as the
+        result's ``truncation_error``, which must meet ``options.tolerance``
+        under ``options.strict`` (the default); pass ``on_overflow="raise"``
+        to reject any truncation outright instead.
+        """
+        if classify is None:
+            raise FspError("outcome_probabilities requires a state classifier")
+        space = self.enumerate(
+            initial_state=initial_state, classify=classify, on_overflow=on_overflow
+        )
+        result = absorption_probabilities(space)
+        if self.options.strict and result.truncation_error > self.options.tolerance:
+            raise FspError(
+                f"absorption truncation error {result.truncation_error:.3e} exceeds "
+                f"tolerance {self.options.tolerance:.3e} at {result.n_states} states; "
+                "raise max_states, or pass FspOptions(strict=False) to accept the "
+                "truncated result (the leak reports as undecided mass)"
+            )
+        return result
+
+    # -- engine protocol ----------------------------------------------------------
+
+    def run(self, *args, **kwargs):
+        """The FSP engine computes distributions, not sample trajectories."""
+        from repro.errors import SimulationError
+
+        raise SimulationError(
+            "the 'fsp' engine computes exact distributions, not trajectories; "
+            "use Experiment.simulate(engine='fsp'), FspEngine.solve() or "
+            "FspEngine.outcome_probabilities() instead"
+        )
+
+    def with_options(self, **changes) -> "FspEngine":
+        """A copy of this engine with :class:`FspOptions` fields replaced."""
+        return FspEngine(
+            self.compiled, fsp_options=replace(self.options, **changes)
+        )

@@ -73,6 +73,11 @@ class EngineInfo:
     deterministic:
         Produces the same trajectory every run (mean-field ODE); such engines
         are rejected by Monte-Carlo ensembles, where repetition is pointless.
+    computes_distribution:
+        Computes the exact outcome distribution directly (finite state
+        projection) instead of sampling trajectories;
+        :meth:`repro.api.Experiment.simulate` dispatches such engines to
+        their distribution solver rather than a Monte-Carlo runner.
     options_type:
         Dataclass type accepted through the ``engine_options`` channel, or
         ``None`` when the engine has no tuning knobs.
@@ -90,6 +95,7 @@ class EngineInfo:
     batched: bool = False
     supports_events: bool = True
     deterministic: bool = False
+    computes_distribution: bool = False
     options_type: "type | None" = None
     options_param: "str | None" = None
     summary: str = ""
@@ -131,6 +137,7 @@ class EngineInfo:
             "batched": self.batched,
             "events": self.supports_events,
             "deterministic": self.deterministic,
+            "distribution": self.computes_distribution,
             "options": self.options_type.__name__ if self.options_type else "-",
             "summary": self.summary,
         }
@@ -163,6 +170,7 @@ class EngineRegistry:
         batched: bool = False,
         supports_events: bool = True,
         deterministic: bool = False,
+        computes_distribution: bool = False,
         options_type: "type | None" = None,
         options_param: "str | None" = None,
         summary: str = "",
@@ -183,6 +191,7 @@ class EngineRegistry:
                 batched=batched,
                 supports_events=supports_events,
                 deterministic=deterministic,
+                computes_distribution=computes_distribution,
                 options_type=options_type,
                 options_param=options_param,
                 summary=summary,
@@ -261,6 +270,7 @@ _BUILTIN_ENGINE_MODULES = (
     "repro.sim.tau_leaping",
     "repro.sim.batch",
     "repro.sim.ode",
+    "repro.sim.fsp",
 )
 
 
@@ -281,6 +291,7 @@ def register_engine(
     batched: bool = False,
     supports_events: bool = True,
     deterministic: bool = False,
+    computes_distribution: bool = False,
     options_type: "type | None" = None,
     options_param: "str | None" = None,
     summary: str = "",
@@ -293,6 +304,7 @@ def register_engine(
         batched=batched,
         supports_events=supports_events,
         deterministic=deterministic,
+        computes_distribution=computes_distribution,
         options_type=options_type,
         options_param=options_param,
         summary=summary,

@@ -1,0 +1,162 @@
+"""Cross-engine statistical conformance against the exact FSP oracle.
+
+Every stochastic engine in the registry must reproduce the *exact* outcome
+distribution computed by the finite-state-projection solver, up to sampling
+noise.  The tolerance is not hand-tuned: the test statistic is Pearson's
+chi-squared against the expected outcome counts
+(:func:`repro.analysis.ctmc.expected_outcome_counts` of the FSP-exact
+probabilities), compared with the chi-squared quantile at significance
+``ALPHA``.  Runs are seeded, so a passing threshold is deterministic — the
+significance level only calibrates how much sampling noise the suite
+tolerates, and a genuinely biased engine inflates the statistic linearly in
+the trial count while the threshold stays fixed.
+
+Adding a new stochastic engine to the registry automatically enrolls it here
+(the parametrization is read from the live registry).  See ``docs/testing.md``
+for the methodology and for when FSP beats sampling.
+"""
+
+from __future__ import annotations
+
+import pytest
+from scipy.stats import chi2
+
+from repro.analysis.ctmc import expected_outcome_counts
+from repro.api import Experiment
+from repro.crn import parse_network
+from repro.sim import OutcomeThresholds
+from repro.sim.ensemble import EnsembleResult
+from repro.sim.registry import registry
+
+#: Significance level of the chi-squared conformance threshold.  With seeded
+#: runs the suite is deterministic; 99.9% keeps the threshold meaningful while
+#: leaving essentially no room for systematic engine bias.
+ALPHA = 0.999
+
+#: Trials per engine: enough for every outcome's expected count to clear the
+#: classic chi-squared validity rule of thumb (≥ 5) by a wide margin.
+TRIALS = 300
+
+
+def stochastic_engines() -> list[str]:
+    """Every sampling engine in the registry (exact and approximate)."""
+    return [name for name in registry.names() if not registry.get(name).deterministic]
+
+
+def chi_squared_statistic(ensemble: EnsembleResult, probabilities: dict[str, float]):
+    """Pearson statistic of decided outcome counts vs exact probabilities."""
+    counts = dict(ensemble.outcome_counts)
+    counts.pop(EnsembleResult.UNDECIDED, None)
+    n_decided = sum(counts.values())
+    assert n_decided > 0, "no decided trials"
+    expected = expected_outcome_counts(probabilities, n_decided)
+    statistic = sum(
+        (counts.get(label, 0) - expectation) ** 2 / expectation
+        for label, expectation in expected.items()
+        if expectation > 0
+    )
+    # Every decided outcome must be one the oracle gives positive mass.
+    assert set(counts) <= {k for k, p in probabilities.items() if p > 0}
+    return statistic, len(expected) - 1
+
+
+class RaceToThreshold:
+    """State classifier: first catalyst to reach ``level`` wins (picklable)."""
+
+    def __init__(self, markers: dict[str, str], level: int) -> None:
+        self.markers = markers
+        self.level = level
+
+    def __call__(self, state):
+        for label, marker in self.markers.items():
+            if state.get(marker, 0) >= self.level:
+                return label
+        return None
+
+
+@pytest.fixture(scope="module")
+def example1_oracle():
+    """Example 1 experiment plus its FSP-exact outcome probabilities."""
+    experiment = Experiment.from_distribution(
+        {"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3, scale=100
+    )
+    exact = experiment.simulate(engine="fsp").exact
+    return experiment, exact
+
+
+@pytest.fixture(scope="module")
+def race_oracle():
+    """3-outcome race to a threshold of 5 catalysts, with exact probabilities.
+
+    Unlike Example 1 the exact distribution here is *not* the programmed
+    0.3/0.4/0.3 — depleting input pools bend it toward the majority outcome
+    (≈ 0.237/0.526/0.237) — so agreement genuinely exercises the solver, not
+    just the first-firing formula.
+    """
+    network = parse_network(
+        """
+        init: e1 = 30
+        init: e2 = 40
+        init: e3 = 30
+        e1 ->{1} d1
+        e2 ->{1} d2
+        e3 ->{1} d3
+        """,
+        name="race-to-5",
+    )
+    markers = {"1": "d1", "2": "d2", "3": "d3"}
+    stopping = OutcomeThresholds(
+        {label: (marker, 5) for label, marker in markers.items()}
+    )
+    experiment = (
+        Experiment.from_network(network, stopping=stopping)
+        .classify_states(RaceToThreshold(markers, 5))
+    )
+    exact = experiment.simulate(engine="fsp").exact
+    return experiment, exact
+
+
+@pytest.mark.parametrize("engine", stochastic_engines())
+class TestConformance:
+    def test_example1_module(self, engine, example1_oracle):
+        experiment, exact = example1_oracle
+        result = experiment.simulate(trials=TRIALS, engine=engine, seed=1007)
+        statistic, dof = chi_squared_statistic(result.ensemble, exact)
+        threshold = chi2.ppf(ALPHA, dof)
+        assert statistic < threshold, (
+            f"{engine}: chi2={statistic:.2f} exceeds chi2_{ALPHA}({dof})="
+            f"{threshold:.2f} against FSP-exact {exact}"
+        )
+
+    def test_three_outcome_race(self, engine, race_oracle):
+        experiment, exact = race_oracle
+        result = experiment.simulate(trials=TRIALS, engine=engine, seed=2007)
+        statistic, dof = chi_squared_statistic(result.ensemble, exact)
+        threshold = chi2.ppf(ALPHA, dof)
+        assert statistic < threshold, (
+            f"{engine}: chi2={statistic:.2f} exceeds chi2_{ALPHA}({dof})="
+            f"{threshold:.2f} against FSP-exact {exact}"
+        )
+
+    def test_every_trial_decides(self, engine, race_oracle):
+        """The race network always produces an outcome — no undecided mass."""
+        experiment, exact = race_oracle
+        result = experiment.simulate(trials=50, engine=engine, seed=11)
+        assert result.decided_fraction() == pytest.approx(1.0)
+        assert sum(exact.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_oracle_probabilities_are_exact(race_oracle):
+    """The race oracle itself: nontrivial, normalized, symmetric in 1 ↔ 3."""
+    _experiment, exact = race_oracle
+    assert exact["1"] == pytest.approx(exact["3"], abs=1e-12)
+    assert exact["2"] > 0.4  # majority advantage beyond the programmed 0.4
+    assert sum(exact.values()) == pytest.approx(1.0, abs=1e-12)
+
+
+def test_registry_parametrization_covers_all_samplers():
+    """Guard: the suite enrolls every non-deterministic engine automatically."""
+    engines = stochastic_engines()
+    assert {"direct", "first-reaction", "next-reaction", "tau-leaping",
+            "batch-direct"} <= set(engines)
+    assert "ode" not in engines and "fsp" not in engines

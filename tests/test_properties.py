@@ -8,11 +8,21 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.analysis import hellinger, jensen_shannon, normalize, total_variation
 from repro.core import DistributionSpec, quantize_distribution
 from repro.core.stochastic_module import build_stochastic_module, expected_first_firing_distribution
-from repro.crn import Reaction, State
-from repro.sim import combinations
+from repro.crn import (
+    Reaction,
+    ReactionNetwork,
+    State,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+)
+from repro.sim import CompiledNetwork, combinations, reaction_propensity
 
 # ---------------------------------------------------------------------------
 # strategies
@@ -184,3 +194,100 @@ def test_normalize_produces_distribution(values):
     result = normalize(dict(zip(labels, values)))
     assert sum(result.values()) == pytest.approx(1.0)
     assert all(v >= 0 for v in result.values())
+
+
+# ---------------------------------------------------------------------------
+# compiled-network propensities vs the reference implementation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw):
+    """A small random mass-action network with a random initial state."""
+    n_reactions = draw(st.integers(min_value=1, max_value=5))
+    reactions = []
+    for i in range(n_reactions):
+        reactants = draw(side_strategy)
+        products = draw(side_strategy)
+        if not reactants and not products:
+            products = {"a": 1}
+        rate = draw(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+        reactions.append(
+            Reaction(
+                reactants,
+                products,
+                rate=rate,
+                name=f"r{i}",
+                category=draw(st.sampled_from(["", "working", "misc"])),
+            )
+        )
+    initial = draw(counts_strategy)
+    return ReactionNetwork(reactions, initial_state=initial, name="random-net")
+
+
+@settings(max_examples=100, deadline=None)
+@given(network=random_networks(), counts=counts_strategy)
+def test_compiled_propensities_match_reference(network, counts):
+    """CompiledNetwork's flat-array fast path equals reaction_propensity.
+
+    The compiled evaluator, the per-reaction ``all_propensities`` vector and
+    the FSP solver's batched evaluator must all agree with the plain
+    per-reaction reference on every (network, state) pair.
+    """
+    from repro.sim.fsp import _batch_propensities
+
+    compiled = CompiledNetwork.compile(network)
+    state = State({s.name: counts.get(s.name, 0) for s in compiled.species})
+    vector = state.to_vector(compiled.species)
+    reference = [
+        reaction_propensity(reaction, state) for reaction in network.reactions
+    ]
+    for j, expected in enumerate(reference):
+        assert compiled.propensity(j, vector) == pytest.approx(expected, rel=1e-12)
+    assert compiled.all_propensities(vector) == pytest.approx(reference, rel=1e-12)
+    batched = _batch_propensities(compiled, np.asarray([vector], dtype=np.int64))
+    assert batched[0] == pytest.approx(reference, rel=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(network=random_networks(), counts=counts_strategy)
+def test_propensities_are_nonnegative_and_zero_without_reactants(network, counts):
+    compiled = CompiledNetwork.compile(network)
+    state = State({s.name: counts.get(s.name, 0) for s in compiled.species})
+    vector = state.to_vector(compiled.species)
+    for j, reaction in enumerate(network.reactions):
+        propensity = compiled.propensity(j, vector)
+        assert propensity >= 0.0
+        if not state.can_fire(reaction):
+            assert propensity == 0.0
+
+
+# ---------------------------------------------------------------------------
+# serialization round trips
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(network=random_networks())
+def test_network_dict_round_trip_preserves_structure(network):
+    """serialize → parse keeps stoichiometry, rates, names and initial state."""
+    rebuilt = network_from_dict(network_to_dict(network))
+    assert len(rebuilt.reactions) == len(network.reactions)
+    for original, restored in zip(network.reactions, rebuilt.reactions):
+        assert restored == original  # reactants, products, rate, name, category
+        assert restored.net_change() == original.net_change()
+        assert restored.rate == original.rate
+    assert rebuilt.initial_state.to_dict() == network.initial_state.to_dict()
+    assert {s.name for s in rebuilt.species} == {s.name for s in network.species}
+
+
+@settings(max_examples=50, deadline=None)
+@given(network=random_networks())
+def test_network_json_round_trip_is_stable(network):
+    """JSON text round trips exactly (floats survive via repr) and re-serializes
+    to the same canonical text."""
+    text = network_to_json(network)
+    rebuilt = network_from_json(text)
+    assert network_to_json(rebuilt) == text
+    # A second hop changes nothing (idempotent fixed point).
+    assert network_from_json(network_to_json(rebuilt)) == rebuilt
