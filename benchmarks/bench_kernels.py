@@ -1,0 +1,246 @@
+"""A6 — Kernel backend layer: per-trial SSA speedup over the template engine.
+
+PR 1's batched engine vectorized one algorithm; the kernel layer
+(:mod:`repro.sim.kernels`) attacks the per-event cost of *every* per-trial
+engine: preallocated columnar buffers, chunked random blocks and compiled
+stopping plans replace Python object dispatch inside the firing loop.  This
+harness times a full outcome-classification ensemble of the Example-1
+stochastic module (γ = 10³, scale 100, outcome declared after 10 working
+firings) on the ``direct`` engine across backends:
+
+* ``backend="python"`` — the object-level template loop (the PR-3 baseline);
+* ``backend="numpy"``  — the interpreted array-kernel reference;
+* ``backend="numba"``  — the JIT backend, when numba is installed;
+
+plus ``batch-direct`` for context, and checks that
+
+* the numpy backend is ≥ 3× faster than the python baseline at the full
+  10,000-trial size (the acceptance bar for the kernel layer);
+* every backend reproduces the programmed (0.3, 0.4, 0.3) distribution;
+* seeded runs are bit-identical between the numpy and numba backends (when
+  numba is available) and across worker counts.
+
+Full-size runs append to ``BENCH_kernels.json`` at the repository root so
+the perf trajectory of the hot path is recorded across PRs (smoke runs skip
+the file — their numbers are not comparable and would dirty the tree on
+every CI-style invocation).
+
+Run directly for a wall-clock report (CI uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke] [--trials N]
+
+or through pytest-benchmark with the other harnesses::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `import _config` under direct run
+
+import numpy as np
+
+from _config import report, trials
+
+from repro.analysis import format_table, total_variation
+from repro.api import Experiment
+from repro.core import synthesize_distribution
+from repro.sim import EnsembleRunner, SimulationOptions, numba_available
+
+TARGET = {"1": 0.3, "2": 0.4, "3": 0.3}
+FULL_TRIALS = 10_000
+SMOKE_TRIALS = 1_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _runner(backend: str) -> EnsembleRunner:
+    """An Example-1 outcome ensemble on the direct engine, pinned to a backend."""
+    system = synthesize_distribution(TARGET, gamma=1e3, scale=100)
+    return EnsembleRunner(
+        system.network_with_inputs(None),
+        engine="direct",
+        stopping=system.stopping_condition(10),
+        options=SimulationOptions(record_firings=False, backend=backend),
+        outcome_classifier=system.classify_outcome,
+    )
+
+
+def measure(n_trials: int, seed: int = 2007) -> list[dict[str, object]]:
+    """Time the ensemble once per backend; one row per backend."""
+    backends = ["python", "numpy"] + (["numba"] if numba_available() else [])
+    rows: list[dict[str, object]] = []
+    for backend in backends:
+        runner = _runner(backend)
+        runner.run(min(200, n_trials), seed=seed + 1)  # warm caches / JIT
+        start = time.perf_counter()
+        result = runner.run(n_trials, seed=seed)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "backend": backend,
+                "engine": "direct",
+                "seconds": elapsed,
+                "trials/s": n_trials / elapsed,
+                "tv_vs_target": total_variation(result.outcome_distribution(), TARGET),
+            }
+        )
+    # batch-direct for context: the lock-step engine the kernel layer complements.
+    system = synthesize_distribution(TARGET, gamma=1e3, scale=100)
+    batch = EnsembleRunner(
+        system.network_with_inputs(None),
+        engine="batch-direct",
+        stopping=system.stopping_condition(10),
+        options=SimulationOptions(record_firings=False),
+        outcome_classifier=system.classify_outcome,
+    )
+    start = time.perf_counter()
+    result = batch.run(n_trials, seed=seed)
+    elapsed = time.perf_counter() - start
+    rows.append(
+        {
+            "backend": "numpy",
+            "engine": "batch-direct",
+            "seconds": elapsed,
+            "trials/s": n_trials / elapsed,
+            "tv_vs_target": total_variation(result.outcome_distribution(), TARGET),
+        }
+    )
+    baseline = rows[0]["seconds"]
+    for row in rows:
+        row["speedup"] = baseline / row["seconds"]
+    return rows
+
+
+def check_determinism(n_trials: int = 400, seed: int = 97) -> dict[str, bool]:
+    """Bit-identity of seeded runs across backends and worker counts."""
+    system = synthesize_distribution(TARGET, gamma=1e3, scale=100)
+    experiment = Experiment.from_system(system)
+    checks: dict[str, bool] = {}
+
+    numpy_1w = experiment.simulate(
+        trials=n_trials, seed=seed, backend="numpy", workers=1, chunk_size=100
+    )
+    numpy_2w = experiment.simulate(
+        trials=n_trials, seed=seed, backend="numpy", workers=2, chunk_size=100
+    )
+    checks["workers_invariant"] = bool(
+        numpy_1w.ensemble.outcome_counts == numpy_2w.ensemble.outcome_counts
+        and np.array_equal(numpy_1w.ensemble.final_counts, numpy_2w.ensemble.final_counts)
+        and np.array_equal(numpy_1w.ensemble.final_times, numpy_2w.ensemble.final_times)
+    )
+    assert checks["workers_invariant"], "numpy backend results depend on worker count"
+
+    if numba_available():
+        numba_run = experiment.simulate(
+            trials=n_trials, seed=seed, backend="numba", workers=1, chunk_size=100
+        )
+        checks["numba_bit_identical"] = bool(
+            numpy_1w.ensemble.outcome_counts == numba_run.ensemble.outcome_counts
+            and np.array_equal(
+                numpy_1w.ensemble.final_counts, numba_run.ensemble.final_counts
+            )
+            and np.array_equal(
+                numpy_1w.ensemble.final_times, numba_run.ensemble.final_times
+            )
+        )
+        assert checks["numba_bit_identical"], "numpy and numba backends diverged"
+    return checks
+
+
+def record(rows, checks, n_trials: int) -> None:
+    """Append this run to BENCH_kernels.json (the hot-path perf trajectory)."""
+    history = []
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            history = []
+    numpy_row = next(
+        r for r in rows if r["backend"] == "numpy" and r["engine"] == "direct"
+    )
+    entry = {
+        "benchmark": "bench_kernels",
+        "trials": n_trials,
+        "numba_available": numba_available(),
+        "numpy_speedup_vs_python": round(float(numpy_row["speedup"]), 3),
+        "rows": [
+            {
+                "engine": r["engine"],
+                "backend": r["backend"],
+                "seconds": round(float(r["seconds"]), 4),
+                "trials_per_s": round(float(r["trials/s"]), 1),
+                "speedup_vs_python": round(float(r["speedup"]), 3),
+                "tv_vs_target": round(float(r["tv_vs_target"]), 4),
+            }
+            for r in rows
+        ],
+        "determinism": checks,
+    }
+    history.append(entry)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def run_report(n_trials: int, full_assertions: bool) -> list[dict[str, object]]:
+    """Measure, report, record and apply the acceptance checks."""
+    rows = measure(n_trials)
+    display = [
+        {"path": f"{r['engine']} [{r['backend']}]", **{k: r[k] for k in
+         ("seconds", "trials/s", "speedup", "tv_vs_target")}}
+        for r in rows
+    ]
+    report(
+        f"A6: kernel backends ({n_trials} trials of the Example-1 module, direct SSA)",
+        format_table(display, floatfmt="{:.3g}"),
+    )
+    for row in rows:
+        assert row["tv_vs_target"] < 0.1, (
+            f"{row['engine']}[{row['backend']}]: TV {row['tv_vs_target']:.3f}"
+        )
+    numpy_row = next(
+        r for r in rows if r["backend"] == "numpy" and r["engine"] == "direct"
+    )
+    if full_assertions:
+        assert numpy_row["speedup"] >= 3.0, (
+            f"numpy kernel speedup {numpy_row['speedup']:.2f}x < 3x over the "
+            f"python template at {n_trials} trials"
+        )
+    else:
+        assert numpy_row["speedup"] > 1.0, (
+            f"numpy kernel slower than the python template "
+            f"({numpy_row['speedup']:.2f}x)"
+        )
+    checks = check_determinism()
+    if full_assertions:
+        record(rows, checks, n_trials)
+    return rows
+
+
+def test_kernel_backend_speedup(benchmark):
+    """pytest-benchmark entry point (full-size unless REPRO_TRIALS shrinks it)."""
+    n_trials = max(trials(10.0, minimum=FULL_TRIALS // 10), SMOKE_TRIALS)
+    rows = benchmark.pedantic(
+        run_report, args=(n_trials, n_trials >= FULL_TRIALS), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = rows
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=None,
+                        help=f"ensemble size (default {FULL_TRIALS})")
+    parser.add_argument("--smoke", "--quick", dest="smoke", action="store_true",
+                        help=f"CI smoke mode: {SMOKE_TRIALS} trials, soft speedup check")
+    args = parser.parse_args(argv)
+    n_trials = args.trials or (SMOKE_TRIALS if args.smoke else FULL_TRIALS)
+    run_report(n_trials, full_assertions=not args.smoke and n_trials >= FULL_TRIALS)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

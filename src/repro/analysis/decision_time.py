@@ -63,6 +63,7 @@ def decision_time_statistics(
     engine: str = "direct",
     workers: int = 1,
     engine_options=None,
+    backend: str = "auto",
 ) -> DecisionTimeStats:
     """Measure the decision latency of a synthesized system.
 
@@ -85,6 +86,7 @@ def decision_time_statistics(
         workers=workers,
         seed=seed,
         engine_options=engine_options,
+        backend=backend,
     )
     try:
         times = result.decision_times()

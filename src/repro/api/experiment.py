@@ -45,7 +45,7 @@ from repro.core.synthesizer import (
 )
 from repro.crn.network import ReactionNetwork
 from repro.errors import ExperimentError
-from repro.sim.base import SimulationOptions
+from repro.sim.base import SimulationOptions, merge_options
 from repro.sim.ensemble import ParallelEnsembleRunner
 from repro.sim.events import StoppingCondition
 from repro.api.results import RunResult
@@ -212,11 +212,13 @@ class Experiment:
         return self._replace(options=options)
 
     def configure(self, **option_fields: Any) -> "Experiment":
-        """Override individual :class:`SimulationOptions` fields fluently."""
+        """Override individual :class:`SimulationOptions` fields fluently.
+
+        Unknown field names raise (via :func:`repro.sim.base.merge_options`)
+        instead of being silently dropped.
+        """
         base = self.options or self._default_options()
-        return self._replace(
-            options=SimulationOptions(**{**base.__dict__, **option_fields})
-        )
+        return self._replace(options=merge_options(base, option_fields))
 
     def targeting(self, target: "Mapping[str, float]") -> "Experiment":
         """Attach a reference distribution (for raw-network experiments)."""
@@ -288,6 +290,7 @@ class Experiment:
         engine_options: "Any | None" = None,
         keep_trajectories: bool = False,
         chunk_size: int = 512,
+        backend: str = "auto",
     ) -> RunResult:
         """Run the Monte-Carlo ensemble and return a :class:`RunResult`.
 
@@ -312,6 +315,14 @@ class Experiment:
             Keep the raw per-trial trajectories on the result.
         chunk_size:
             Trials per parallel shard.
+        backend:
+            Simulation-kernel backend (``"auto"`` / ``"python"`` /
+            ``"numpy"`` / ``"numba"``; see the ``backends`` column of
+            ``repro engines``).  ``"auto"`` picks the fastest available
+            backend the engine supports; seeded results are bit-identical
+            between the ``numpy`` and ``numba`` backends.  Overrides the
+            ``backend`` field of the experiment's
+            :class:`~repro.sim.base.SimulationOptions` when not ``"auto"``.
 
         Notes
         -----
@@ -325,11 +336,18 @@ class Experiment:
 
         info = registry.get(engine)
         if info.computes_distribution:
+            if backend != "auto":
+                raise ExperimentError(
+                    f"engine {engine!r} computes the exact distribution and has "
+                    f"no kernel backends; drop backend={backend!r}"
+                )
             return self._solve_exact(
                 info, trials=trials, engine=engine, engine_options=engine_options
             )
         network, stopping, classifier = self._resolved()
         options = self.options or self._default_options()
+        if backend != "auto":
+            options = merge_options(options, {"backend": backend})
         # Always run the chunked schedule (inline when workers == 1): random
         # streams are keyed by chunk bounds and global trial indices, so a
         # fixed (seed, trials, chunk_size) gives bit-identical results at any
@@ -360,6 +378,7 @@ class Experiment:
         return RunResult(
             ensemble=ensemble,
             engine=engine,
+            backend=options.backend,
             trials=trials,
             seed=seed,
             workers=workers,
@@ -453,18 +472,25 @@ class Experiment:
         engine: str = "direct",
         seed: "int | None" = None,
         engine_options: "Any | None" = None,
+        backend: str = "auto",
     ):
         """Simulate a single trajectory (no ensemble) and return it.
 
         Accepts any registered engine, including the deterministic ``"ode"``
-        mean-field baseline that ensembles reject.
+        mean-field baseline that ensembles reject.  ``backend`` selects the
+        simulation-kernel backend for engines that support one.
         """
         from repro.sim.ensemble import make_simulator
+        from repro.sim.kernels.backend import validate_backend_request
+        from repro.sim.registry import registry
 
         network, stopping, classifier = self._resolved()
+        if backend != "auto":
+            validate_backend_request(backend, registry.get(engine).backends, engine)
         simulator = make_simulator(
             network, engine=engine, seed=seed, engine_options=engine_options
         )
-        return simulator.run(
-            stopping=stopping, options=self.options or self._default_options()
-        )
+        options = self.options or self._default_options()
+        if backend != "auto":
+            options = merge_options(options, {"backend": backend})
+        return simulator.run(stopping=stopping, options=options)

@@ -36,8 +36,9 @@ class RunResult:
     ensemble:
         The raw :class:`~repro.sim.ensemble.EnsembleResult` (final counts,
         outcome counts, streaming moments, optional trajectories).
-    engine / trials / seed / workers:
-        How the run was executed.
+    engine / backend / trials / seed / workers:
+        How the run was executed (``backend`` is the simulation-kernel
+        backend requested for the run — ``"auto"`` unless overridden).
     inputs:
         Programmed input quantities (``Experiment.program``).
     target:
@@ -61,6 +62,7 @@ class RunResult:
 
     ensemble: EnsembleResult
     engine: str = "direct"
+    backend: str = "auto"
     trials: int = 0
     seed: "int | None" = None
     workers: int = 1
@@ -273,6 +275,7 @@ class RunResult:
             "schema": _SCHEMA,
             "label": self.label,
             "engine": self.engine,
+            "backend": self.backend,
             "trials": self.trials,
             "seed": self.seed,
             "workers": self.workers,
@@ -337,6 +340,7 @@ class RunResult:
         return cls(
             ensemble=ensemble,
             engine=payload["engine"],
+            backend=str(payload.get("backend", "auto")),
             trials=int(payload["trials"]),
             seed=payload["seed"],
             workers=int(payload["workers"]),

@@ -100,6 +100,15 @@ def _add_engine_arguments(parser: argparse.ArgumentParser, workers: bool = True)
             help="shard trials across N worker processes (default 1)",
         )
     parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "python", "numpy", "numba"],
+        help="simulation-kernel backend (default auto: fastest available the "
+             "engine supports; 'python' is the object-level template, 'numba' "
+             "JIT-compiles the kernels and falls back to numpy when numba is "
+             "not installed — see the backends column of 'repro engines')",
+    )
+    parser.add_argument(
         "--tau-epsilon", type=float, default=None, metavar="EPS",
         help="tau-leaping error-control parameter (requires --engine tau-leaping; "
              "default 0.03)",
@@ -271,6 +280,7 @@ def _cmd_simulate(args) -> int:
             workers=args.workers,
             seed=args.seed,
             engine_options=_engine_options_from(args),
+            backend=args.backend,
         )
     )
     if result.exact is not None:
@@ -308,6 +318,7 @@ def _cmd_settle(args) -> int:
         seed=args.seed,
         engine=args.engine,
         engine_options=_engine_options_from(args),
+        backend=args.backend,
     )
     print(f"module      : {module.name}   ({module.description})")
     print(f"inputs      : {inputs}")
@@ -328,7 +339,12 @@ def _cmd_engines(args) -> int:
                 "distribution",
             )
         }
-        table_row = {"engine": row["engine"], **flags, "options": row["options"]}
+        table_row = {
+            "engine": row["engine"],
+            **flags,
+            "backends": row["backends"],
+            "options": row["options"],
+        }
         if args.verbose:
             table_row["summary"] = row["summary"]
         rows.append(table_row)
@@ -344,6 +360,7 @@ def _cmd_figure3(args) -> int:
         seed=args.seed,
         engine=args.engine,
         engine_options=_engine_options_from(args),
+        backend=args.backend,
     )
     rows = [
         {
@@ -371,6 +388,7 @@ def _cmd_figure5(args) -> int:
         include_synthetic=not args.skip_synthetic,
         engine=args.engine,
         engine_options=_engine_options_from(args),
+        backend=args.backend,
     )
     print(result.summary())
     return 0
@@ -387,6 +405,7 @@ def _cmd_example1(args) -> int:
         workers=args.workers,
         seed=args.seed,
         engine_options=_engine_options_from(args),
+        backend=args.backend,
     )
     print()
     print(result.summary())
@@ -406,6 +425,7 @@ def _cmd_example2(args) -> int:
         workers=args.workers,
         seed=args.seed,
         engine_options=_engine_options_from(args),
+        backend=args.backend,
     )
     print()
     print(f"inputs: X1={args.x1}, X2={args.x2}")

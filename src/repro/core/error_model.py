@@ -153,6 +153,7 @@ def estimate_error_rate(
     engine: str = "direct",
     max_steps: int = 200_000,
     engine_options=None,
+    backend: str = "auto",
 ) -> ErrorEstimate:
     """Estimate the stochastic-module error probability at one γ.
 
@@ -178,7 +179,9 @@ def estimate_error_rate(
     )
     simulator = make_simulator(network, engine=engine, engine_options=engine_options)
     stopping = CategoryFiringCondition("working", declare_after)
-    options = SimulationOptions(record_firings=True, max_steps=max_steps)
+    options = SimulationOptions(
+        record_firings=True, max_steps=max_steps, backend=backend
+    )
 
     n_errors = 0
     n_undecided = 0

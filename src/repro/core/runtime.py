@@ -74,6 +74,7 @@ def settle_module(
     horizon: "float | None" = None,
     max_steps: int = 2_000_000,
     engine_options=None,
+    backend: str = "auto",
 ) -> SettleResult:
     """Run a module once and return its settled output quantities.
 
@@ -94,8 +95,15 @@ def settle_module(
     engine_options:
         Typed options for the selected engine (e.g.
         :class:`~repro.sim.tau_leaping.TauLeapOptions`).
+    backend:
+        Simulation-kernel backend for engines that support one.
     """
     prepared = module.with_input_quantities(dict(inputs or {}))
+    if backend != "auto":
+        from repro.sim.kernels.backend import validate_backend_request
+        from repro.sim.registry import registry
+
+        validate_backend_request(backend, registry.get(engine).backends, engine)
     simulator = make_simulator(
         prepared.network, engine=engine, seed=seed, engine_options=engine_options
     )
@@ -103,6 +111,7 @@ def settle_module(
         max_time=horizon if horizon is not None else default_horizon(module),
         max_steps=max_steps,
         record_firings=False,
+        backend=backend,
     )
     trajectory = simulator.run(options=options)
     final = trajectory.final_state.to_dict()

@@ -98,6 +98,7 @@ def simulate_synthetic_moi(
     max_steps: int = 500_000,
     workers: int = 1,
     engine_options=None,
+    backend: str = "auto",
 ) -> ProportionEstimate:
     """Estimate P(cI2 threshold reached) for the synthetic model at one MOI.
 
@@ -113,6 +114,7 @@ def simulate_synthetic_moi(
             seed=seed,
             workers=workers,
             engine_options=engine_options,
+            backend=backend,
         )
     )
     successes = result.ensemble.outcome_counts.get(LYSOGENY, 0)
@@ -130,6 +132,7 @@ def run_figure5_experiment(
     surrogate: "NaturalLambdaSurrogate | None" = None,
     model: "SyntheticLambdaModel | None" = None,
     engine_options=None,
+    backend: str = "auto",
 ) -> Figure5Result:
     """Run the Figure-5 MOI sweep and return the comparison dataset.
 
@@ -158,6 +161,7 @@ def run_figure5_experiment(
                 seed=seed + 10 * offset,
                 engine=engine,
                 engine_options=engine_options,
+                backend=backend,
             )
         if include_synthetic:
             synthetic_estimate = simulate_synthetic_moi(
@@ -167,6 +171,7 @@ def run_figure5_experiment(
                 seed=seed + 10 * offset + 5,
                 engine=engine,
                 engine_options=engine_options,
+                backend=backend,
             )
         points.append(
             Figure5Point(

@@ -105,11 +105,18 @@ class NaturalLambdaSurrogate:
         seed: "int | None" = None,
         engine: str = "direct",
         engine_options=None,
+        backend: str = "auto",
     ) -> ProportionEstimate:
         """Fraction of trials reaching the cI2 threshold at one MOI (with CI)."""
         result = Experiment.from_network(
             self.network_for_moi(moi), stopping=self.threshold_condition()
-        ).simulate(trials=n_trials, engine=engine, seed=seed, engine_options=engine_options)
+        ).simulate(
+            trials=n_trials,
+            engine=engine,
+            seed=seed,
+            engine_options=engine_options,
+            backend=backend,
+        )
         successes = result.ensemble.outcome_counts.get(LYSOGENY, 0)
         decided = successes + result.ensemble.outcome_counts.get(LYSIS, 0)
         return wilson_interval(successes, max(decided, 1))

@@ -6,9 +6,21 @@ tau-leaping, deterministic mean-field ODE integration, a sparse
 finite-state-projection solver for exact distributions, stopping conditions,
 trajectory records, and Monte-Carlo ensemble runners (sequential, batched
 and multiprocess-sharded with Welford-merged statistics).
+
+The per-trial engines execute on a pluggable kernel-backend layer
+(:mod:`repro.sim.kernels`): preallocated columnar buffers, chunked random
+blocks and compiled stopping plans, with a ``python`` template fallback, an
+always-available ``numpy`` reference backend and an optional, bit-identical
+``numba`` JIT backend — selected via ``SimulationOptions.backend`` /
+``Experiment.simulate(backend=...)`` / the CLI ``--backend`` flag.
 """
 
-from repro.sim.base import SimulationOptions, StochasticSimulator, resolve_initial_counts
+from repro.sim.base import (
+    SimulationOptions,
+    StochasticSimulator,
+    merge_options,
+    resolve_initial_counts,
+)
 from repro.sim.batch import BatchDirectEngine, BatchResult
 from repro.sim.dependency import DependencyStats, dependency_graph, dependency_stats
 from repro.sim.direct import DirectMethodSimulator
@@ -31,6 +43,16 @@ from repro.sim.events import (
     StoppingCondition,
 )
 from repro.sim.first_reaction import FirstReactionSimulator
+from repro.sim.kernels import (
+    KernelBackend,
+    KernelNetwork,
+    RandomBlocks,
+    StoppingPlan,
+    TrajectoryBuffers,
+    available_backends,
+    compile_stopping_plan,
+    numba_available,
+)
 from repro.sim.fsp import (
     AbsorptionResult,
     DominantSpeciesClassifier,
@@ -47,7 +69,7 @@ from repro.sim.propensity import CompiledNetwork, combinations, reaction_propens
 from repro.sim.rng import derive_seed, make_rng, spawn_children, spawn_children_range
 from repro.sim.stats import RunningMoments
 from repro.sim.tau_leaping import TauLeapingSimulator, TauLeapOptions
-from repro.sim.trajectory import FiringRecord, StopReason, Trajectory
+from repro.sim.trajectory import FiringLog, FiringRecord, StopReason, Trajectory
 
 __all__ = [
     "SimulationOptions",
@@ -88,7 +110,17 @@ __all__ = [
     "AnyCondition",
     "AllCondition",
     "Trajectory",
+    "FiringLog",
     "FiringRecord",
+    "KernelBackend",
+    "KernelNetwork",
+    "RandomBlocks",
+    "StoppingPlan",
+    "TrajectoryBuffers",
+    "available_backends",
+    "compile_stopping_plan",
+    "merge_options",
+    "numba_available",
     "StopReason",
     "engine_names",
     "BatchDirectEngine",

@@ -5,15 +5,32 @@ it cites Gillespie's SSA as [6] and the Gibson–Bruck next-reaction method as
 [7].  Every per-trial engine here (direct, first-reaction, next-reaction,
 tau-leaping) follows the same template: initialize counts from the network's
 initial state, repeatedly pick the next reaction event, apply it, record it,
-and check the stopping rules.  :class:`StochasticSimulator` implements that
-template; engines only implement event selection (:meth:`_prepare` and
-:meth:`_next_event`).  The batched engine (:mod:`repro.sim.batch`) replaces
-the per-event loop with lock-step vectorized steps but reuses the options
-and initial-state semantics defined here.
+and check the stopping rules.
+
+:class:`StochasticSimulator` implements that template twice over:
+
+* the **kernel path** — when the engine declares an array kernel
+  (:attr:`kernel_name`) and the stopping condition compiles into a
+  :class:`~repro.sim.kernels.plan.StoppingPlan`, the whole firing loop runs
+  inside a pluggable :class:`~repro.sim.kernels.backend.KernelBackend`
+  (``numpy`` reference or optional ``numba`` JIT) over preallocated
+  columnar buffers and chunked random blocks;
+* the **python template** — the original object-level loop (engines
+  implement :meth:`_prepare` / :meth:`_next_event` / :meth:`_after_fire`),
+  kept as the ``backend="python"`` baseline and as the fallback for
+  stopping conditions that cannot be compiled (``PredicateCondition``,
+  ``AllCondition``, third-party subclasses).
+
+Backend selection flows through :attr:`SimulationOptions.backend`
+(``"auto"`` prefers the fastest available kernel backend the engine
+supports).  The batched engine (:mod:`repro.sim.batch`) replaces the
+per-event loop with lock-step vectorized steps but reuses the options and
+initial-state semantics defined here.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -27,7 +44,12 @@ from repro.sim.propensity import CompiledNetwork
 from repro.sim.rng import make_rng
 from repro.sim.trajectory import StopReason, Trajectory
 
-__all__ = ["SimulationOptions", "StochasticSimulator", "resolve_initial_counts"]
+__all__ = [
+    "SimulationOptions",
+    "StochasticSimulator",
+    "merge_options",
+    "resolve_initial_counts",
+]
 
 
 def resolve_initial_counts(
@@ -71,6 +93,13 @@ class SimulationOptions:
         Keep sampled state snapshots.
     snapshot_stride:
         Record every ``snapshot_stride``-th state when ``record_states`` is on.
+    backend:
+        Simulation-kernel backend: ``"auto"`` (default — the fastest
+        available backend the engine supports, falling back to the python
+        template when the stopping condition cannot be compiled),
+        ``"python"`` (object-level template), ``"numpy"`` (array-kernel
+        reference) or ``"numba"`` (JIT; auto-falls back to numpy when numba
+        is not installed).
     """
 
     max_time: float = math.inf
@@ -78,16 +107,58 @@ class SimulationOptions:
     record_firings: bool = True
     record_states: bool = False
     snapshot_stride: int = 1
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if not isinstance(self.max_steps, (int, np.integer)) or isinstance(
+            self.max_steps, bool
+        ):
+            raise SimulationError(
+                f"max_steps must be an integer, got {self.max_steps!r}"
+            )
         if self.max_steps <= 0:
             raise SimulationError(f"max_steps must be positive, got {self.max_steps}")
-        if self.max_time <= 0:
+        if math.isnan(self.max_time) or self.max_time <= 0:
             raise SimulationError(f"max_time must be positive, got {self.max_time}")
+        if not isinstance(self.snapshot_stride, (int, np.integer)) or isinstance(
+            self.snapshot_stride, bool
+        ):
+            raise SimulationError(
+                f"snapshot_stride must be an integer, got {self.snapshot_stride!r}"
+            )
         if self.snapshot_stride <= 0:
             raise SimulationError(
                 f"snapshot_stride must be positive, got {self.snapshot_stride}"
             )
+        from repro.sim.kernels.backend import BACKEND_NAMES
+
+        if self.backend != "auto" and self.backend not in BACKEND_NAMES:
+            raise SimulationError(
+                f"unknown kernel backend {self.backend!r}; "
+                f"expected 'auto' or one of {list(BACKEND_NAMES)}"
+            )
+
+
+def merge_options(
+    options: "SimulationOptions | None", overrides: dict
+) -> SimulationOptions:
+    """Overlay keyword overrides onto a base :class:`SimulationOptions`.
+
+    Unknown keys raise a :class:`SimulationError` naming the valid fields
+    (they used to be swallowed silently by a ``**{**opts.__dict__, ...}``
+    merge); the merged object re-runs field validation via
+    :func:`dataclasses.replace`.
+    """
+    base = options or SimulationOptions()
+    if not overrides:
+        return base
+    valid = {f.name for f in dataclasses.fields(SimulationOptions)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise SimulationError(
+            f"unknown simulation option(s) {unknown}; valid fields: {sorted(valid)}"
+        )
+    return dataclasses.replace(base, **overrides)
 
 
 class StochasticSimulator:
@@ -106,6 +177,10 @@ class StochasticSimulator:
 
     #: human-readable algorithm name, overridden by engines
     method_name = "base"
+    #: kernel this engine dispatches to on the kernel backends (None = template only)
+    kernel_name: "str | None" = None
+    #: backends this engine supports (mirrored into the registry's EngineInfo)
+    supported_backends: tuple = ("python",)
 
     def __init__(
         self,
@@ -121,6 +196,8 @@ class StochasticSimulator:
                 f"expected a ReactionNetwork or CompiledNetwork, got {type(network).__name__}"
             )
         self._default_rng = make_rng(seed)
+        self._kernel_buffers = None
+        self._plan_cache: "tuple | None" = None
 
     @property
     def network(self) -> ReactionNetwork:
@@ -146,6 +223,81 @@ class StochasticSimulator:
     ) -> None:
         """Called after a firing has been applied (engines update caches here)."""
 
+    # -- kernel dispatch ---------------------------------------------------------
+
+    def _stopping_plan(self, stopping: "StoppingCondition | None"):
+        """Compile (and cache, per condition instance) the kernel stopping plan."""
+        from repro.sim.kernels.plan import compile_stopping_plan
+
+        cached = self._plan_cache
+        if cached is not None and cached[0] is stopping:
+            return cached[1]
+        plan = compile_stopping_plan(stopping, self.compiled)
+        self._plan_cache = (stopping, plan)
+        return plan
+
+    def _resolve_backend(self, opts: SimulationOptions, plan):
+        """The kernel backend for this run, or ``None`` for the python template."""
+        from repro.sim.kernels.backend import resolve_run_backend
+
+        return resolve_run_backend(
+            requested=opts.backend,
+            kernel_name=self.kernel_name,
+            engine_backends=self.supported_backends,
+            plan=plan,
+            engine_name=self.method_name,
+        )
+
+    def _run_with_kernel(
+        self,
+        backend,
+        plan,
+        counts: np.ndarray,
+        opts: SimulationOptions,
+        rng: np.random.Generator,
+    ) -> Trajectory:
+        """Execute the whole firing loop on a kernel backend."""
+        from repro.sim.kernels.backend import KernelJob
+        from repro.sim.kernels.blocks import RandomBlocks
+        from repro.sim.kernels.buffers import TrajectoryBuffers
+
+        compiled = self.compiled
+        knet = compiled.kernel_network()
+        buffers = self._kernel_buffers
+        if buffers is None:
+            buffers = TrajectoryBuffers(compiled.n_species)
+            self._kernel_buffers = buffers
+        buffers.reset()
+        blocks = RandomBlocks(rng, initial=max(64, min(2 * knet.n_reactions, 4096)))
+        job = KernelJob(
+            knet=knet,
+            counts=counts,
+            plan=plan,
+            buffers=buffers,
+            blocks=blocks,
+            max_time=opts.max_time,
+            max_steps=opts.max_steps,
+            record_firings=opts.record_firings,
+            record_states=opts.record_states,
+            snapshot_stride=opts.snapshot_stride,
+        )
+        outcome = backend.run(self.kernel_name, job)
+        stop_reason, stop_detail = outcome.stop_reason(plan, self.method_name)
+        times, fired = buffers.finalize_events()
+        snapshot_times, snapshots = buffers.finalize_snapshots()
+        return Trajectory(
+            times=times,
+            reaction_indices=fired,
+            final_state=compiled.counts_to_state(counts),
+            final_time=float(outcome.final_time),
+            stop_reason=stop_reason,
+            stop_detail=stop_detail,
+            species_order=compiled.species,
+            snapshot_times=snapshot_times,
+            state_snapshots=snapshots,
+            firing_counts=outcome.firing_counts,
+        )
+
     # -- template ----------------------------------------------------------------
 
     def run(
@@ -168,16 +320,13 @@ class StochasticSimulator:
             Optional domain stopping condition (see :mod:`repro.sim.events`).
         options:
             A :class:`SimulationOptions`; individual fields can also be passed
-            as keyword arguments (``max_time=...``, ``record_states=True``...).
+            as keyword arguments (``max_time=...``, ``record_states=True``,
+            ``backend="numpy"`` ...).  Unknown keywords raise.
         seed:
             Random seed or generator for this run; defaults to the simulator's
             own stream.
         """
-        opts = options or SimulationOptions()
-        if option_overrides:
-            opts = SimulationOptions(
-                **{**opts.__dict__, **option_overrides}  # dataclass fields only
-            )
+        opts = merge_options(options, option_overrides)
         rng = self._default_rng if seed is None else make_rng(seed)
         compiled = self.compiled
         counts = resolve_initial_counts(compiled, initial_state)
@@ -204,6 +353,11 @@ class StochasticSimulator:
                     times, fired, counts, time, stop_reason, stop_detail,
                     firing_counts, snapshot_times, snapshots,
                 )
+
+        plan = self._stopping_plan(stopping)
+        backend = self._resolve_backend(opts, plan)
+        if backend is not None:
+            return self._run_with_kernel(backend, plan, counts, opts, rng)
 
         self._prepare(counts, rng)
 

@@ -39,7 +39,7 @@ import numpy as np
 from repro.crn.network import ReactionNetwork
 from repro.crn.state import State
 from repro.errors import SimulationError
-from repro.sim.base import SimulationOptions, resolve_initial_counts
+from repro.sim.base import SimulationOptions, merge_options, resolve_initial_counts
 from repro.sim.events import (
     AnyCondition,
     CategoryFiringCondition,
@@ -130,6 +130,8 @@ class BatchDirectEngine:
     """
 
     method_name = "batch-direct"
+    #: the batch loop is array-native; there is no object-level template here.
+    supported_backends = ("numpy", "numba")
 
     def __init__(
         self,
@@ -145,18 +147,10 @@ class BatchDirectEngine:
                 f"expected a ReactionNetwork or CompiledNetwork, got {type(network).__name__}"
             )
         self._default_rng = make_rng(seed)
-        compiled = self.compiled
-        # Dense (n_reactions, n_species) state-change matrix: applying the
-        # chosen reactions of a whole batch becomes one fancy-indexed add.
-        self._deltas = np.zeros((compiled.n_reactions, compiled.n_species), dtype=np.int64)
-        for j in range(compiled.n_reactions):
-            for s, delta in zip(compiled.change_species[j], compiled.change_deltas[j]):
-                self._deltas[j, s] = delta
-        self._rates = np.asarray(compiled.rates, dtype=float)
-        self._reactants = [
-            tuple(zip(compiled.reactant_species[j], compiled.reactant_coeffs[j]))
-            for j in range(compiled.n_reactions)
-        ]
+        # Shared dense arrays (state-change matrix, padded reactant structure)
+        # come from the kernel layer; applying the chosen reactions of a whole
+        # batch is one fancy-indexed add over knet.delta_matrix.
+        self._knet = self.compiled.kernel_network()
 
     @property
     def network(self) -> ReactionNetwork:
@@ -165,30 +159,19 @@ class BatchDirectEngine:
 
     # -- vectorized propensities --------------------------------------------------
 
-    def _propensity_matrix(self, counts: np.ndarray) -> np.ndarray:
-        """Propensities of every reaction for every count row.
+    def _matrix_backend(self, requested: str):
+        """The kernel backend evaluating the propensity matrix this run.
 
-        ``counts`` has shape ``(k, n_species)``; the result has shape
-        ``(k, n_reactions)``.  For each reaction the combinatorial factor
-        ``h(X) = Π binomial(X_s, n_s)`` is evaluated as a falling-factorial
-        product over the whole column at once; for non-negative integer
-        counts the product self-zeroes whenever ``X_s < n_s`` (some factor
-        hits zero), so no clamping is needed.
+        ``auto`` prefers the numba backend when numba is installed (the
+        matrix build is the only per-step Python-loop cost left in the batch
+        engine); the numpy reference is bit-identical, so backend choice
+        never changes seeded results.
         """
-        matrix = np.empty((counts.shape[0], len(self._reactants)), dtype=float)
-        for j, reactants in enumerate(self._reactants):
-            column = np.full(counts.shape[0], self._rates[j])
-            for s, n in reactants:
-                c = counts[:, s].astype(float)
-                if n == 1:
-                    column *= c
-                elif n == 2:
-                    column *= c * (c - 1.0) * 0.5
-                else:
-                    for i in range(n):
-                        column *= (c - i) / (i + 1.0)
-            matrix[:, j] = column
-        return matrix
+        from repro.sim.kernels.backend import resolve_matrix_backend
+
+        return resolve_matrix_backend(
+            requested, self.supported_backends, self.method_name
+        )
 
     # -- batched simulation --------------------------------------------------------
 
@@ -212,9 +195,8 @@ class BatchDirectEngine:
         """
         if n_trials <= 0:
             raise SimulationError(f"n_trials must be positive, got {n_trials}")
-        opts = options or SimulationOptions(record_firings=False)
-        if option_overrides:
-            opts = SimulationOptions(**{**opts.__dict__, **option_overrides})
+        opts = merge_options(options or SimulationOptions(record_firings=False),
+                             option_overrides)
         if opts.record_firings or opts.record_states:
             raise SimulationError(
                 "batch-direct keeps per-reaction totals only; pass "
@@ -222,6 +204,8 @@ class BatchDirectEngine:
                 "or use a per-trial engine for full firing logs"
             )
         rng = self._default_rng if seed is None else make_rng(seed)
+        backend = self._matrix_backend(opts.backend)
+        knet = self._knet
         compiled = self.compiled
         n_reactions = compiled.n_reactions
 
@@ -248,7 +232,7 @@ class BatchDirectEngine:
 
         while active.any():
             idx = np.flatnonzero(active)
-            propensities = self._propensity_matrix(counts[idx])
+            propensities = backend.propensity_matrix(knet, counts[idx])
             totals = propensities.sum(axis=1)
 
             dead = totals <= 0.0
@@ -294,7 +278,7 @@ class BatchDirectEngine:
                 chosen[zero_picked] = np.argmax(propensities[zero_picked], axis=1)
 
             times[idx] = new_times
-            counts[idx] += self._deltas[chosen]
+            counts[idx] += knet.delta_matrix[chosen]
             firings[idx, chosen] += 1
             steps[idx] += 1
 

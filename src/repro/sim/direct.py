@@ -28,9 +28,20 @@ __all__ = ["DirectMethodSimulator"]
     summary="Gillespie direct method with incremental propensity updates",
 )
 class DirectMethodSimulator(StochasticSimulator):
-    """Exact SSA via Gillespie's direct method with incremental propensity updates."""
+    """Exact SSA via Gillespie's direct method with incremental propensity updates.
+
+    The object-level ``_next_event`` / ``_after_fire`` hooks below implement
+    the ``python`` template backend; with compilable stopping conditions the
+    run dispatches to the ``direct`` kernel on the numpy/numba backends
+    instead (see :mod:`repro.sim.kernels`), which executes the same
+    algorithm — incremental dependent updates, full re-sum of the propensity
+    vector, CDF-inversion selection with the largest-propensity fallback —
+    over preallocated buffers and chunked random draws.
+    """
 
     method_name = "direct"
+    kernel_name = "direct"
+    supported_backends = ("python", "numpy", "numba")
 
     def _prepare(self, counts: np.ndarray, rng: np.random.Generator) -> None:
         compiled = self.compiled

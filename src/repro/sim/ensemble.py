@@ -36,6 +36,7 @@ from repro.crn.species import Species, as_species
 from repro.errors import EnsembleError
 from repro.sim.base import SimulationOptions
 from repro.sim.events import StoppingCondition
+from repro.sim.kernels.backend import validate_backend_request
 from repro.sim.propensity import CompiledNetwork
 from repro.sim.registry import registry
 from repro.sim.rng import derive_seed, spawn_children_range
@@ -333,10 +334,14 @@ class EnsembleRunner:
             )
         info.validate_options(engine_options)
         self.engine = engine
+        options = options or SimulationOptions(record_firings=False)
+        # Fail fast on a backend the engine does not support (the same check
+        # the per-run dispatch performs, surfaced before any trials run).
+        validate_backend_request(options.backend, info.backends, engine)
         self.engine_info = info
         self.engine_options = engine_options
         self.stopping = stopping
-        self.options = options or SimulationOptions(record_firings=False)
+        self.options = options
         self.outcome_classifier = outcome_classifier or self._default_classifier
 
     @staticmethod

@@ -27,6 +27,8 @@ class FirstReactionSimulator(StochasticSimulator):
     """Exact SSA via the first-reaction method (reference implementation)."""
 
     method_name = "first-reaction"
+    kernel_name = "first-reaction"
+    supported_backends = ("python", "numpy", "numba")
 
     def _next_event(self, time, counts, rng):
         compiled = self.compiled

@@ -600,6 +600,7 @@ class FspResult:
     supports_events=False,
     deterministic=True,
     computes_distribution=True,
+    backends=(),
     options_type=FspOptions,
     options_param="fsp_options",
     summary="sparse finite-state-projection exact distribution solver",

@@ -1,0 +1,298 @@
+"""The pluggable kernel-backend abstraction and backend resolution policy.
+
+A *kernel* is the inner firing loop of one SSA algorithm, operating on the
+flat arrays of a :class:`~repro.sim.kernels.network.KernelNetwork`: it
+consumes pre-drawn randomness from :class:`~repro.sim.kernels.blocks
+.RandomBlocks`, records events into :class:`~repro.sim.kernels.buffers
+.TrajectoryBuffers`, and checks a compiled :class:`~repro.sim.kernels.plan
+.StoppingPlan` — no Python object dispatch inside the loop.
+
+A *backend* supplies the kernels:
+
+``python``
+    Not a :class:`KernelBackend` at all — the name selects the original
+    object-level template in :class:`~repro.sim.base.StochasticSimulator`
+    (kept both as the fallback for conditions that cannot be compiled into a
+    plan and as the PR-3 performance baseline).
+``numpy``
+    The reference implementation (:mod:`.numpy_backend`): interpreted loops
+    over Python-native views with numpy buffers; always available.
+``numba``
+    JIT-compiled kernels (:mod:`.numba_backend`); imported lazily and only
+    if the ``numba`` package is installed.  Requesting it without numba
+    falls back to ``numpy`` with a warning.  Both backends consume the same
+    :class:`RandomBlocks` stream with an identical operation order, so their
+    seeded outputs are bit-identical.
+
+Backend resolution (``resolve_run_backend``) turns a requested name —
+usually ``"auto"`` from :attr:`SimulationOptions.backend` — plus the
+engine's declared support into the backend object to use (or ``None`` for
+the python template).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.kernels.blocks import RandomBlocks
+from repro.sim.kernels.buffers import TrajectoryBuffers
+from repro.sim.kernels.network import KernelNetwork
+from repro.sim.kernels.plan import StoppingPlan
+from repro.sim.trajectory import StopReason
+
+__all__ = [
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "KernelJob",
+    "KernelOutcome",
+    "available_backends",
+    "numba_available",
+    "get_backend",
+    "resolve_run_backend",
+    "resolve_matrix_backend",
+    "validate_backend_request",
+    "STOP_EXHAUSTED",
+    "STOP_MAX_TIME",
+    "STOP_MAX_STEPS",
+    "STOP_CONDITION",
+    "STOP_INVALID",
+]
+
+#: Every selectable backend name, in increasing preference order for "auto".
+BACKEND_NAMES = ("python", "numpy", "numba")
+
+# Kernel stop codes (shared by every backend implementation).
+STOP_EXHAUSTED = 0
+STOP_MAX_TIME = 1
+STOP_MAX_STEPS = 2
+STOP_CONDITION = 3
+STOP_INVALID = 4
+
+_STOP_REASONS = {
+    STOP_EXHAUSTED: StopReason.EXHAUSTED,
+    STOP_MAX_TIME: StopReason.MAX_TIME,
+    STOP_MAX_STEPS: StopReason.MAX_STEPS,
+    STOP_CONDITION: StopReason.CONDITION,
+}
+
+
+@dataclass
+class KernelJob:
+    """Everything one kernel invocation needs, bundled.
+
+    ``counts`` is mutated in place (it carries the final state out);
+    ``buffers`` and ``blocks`` are driven by the kernel directly.
+    """
+
+    knet: KernelNetwork
+    counts: np.ndarray
+    plan: StoppingPlan
+    buffers: TrajectoryBuffers
+    blocks: RandomBlocks
+    max_time: float
+    max_steps: int
+    record_firings: bool
+    record_states: bool
+    snapshot_stride: int
+
+
+@dataclass
+class KernelOutcome:
+    """What a kernel reports back: why it stopped and the run totals."""
+
+    stop_code: int
+    clause_index: int
+    final_time: float
+    steps: int
+    firing_counts: np.ndarray
+
+    def stop_reason(self, plan: StoppingPlan, method_name: str) -> "tuple[str, str]":
+        """Map the stop code to ``(StopReason, stop_detail)``."""
+        if self.stop_code == STOP_INVALID:
+            raise SimulationError(
+                f"{method_name}: invalid (non-finite) waiting time in kernel loop"
+            )
+        reason = _STOP_REASONS[self.stop_code]
+        detail = plan.labels[self.clause_index] if self.stop_code == STOP_CONDITION else ""
+        return reason, detail
+
+
+class KernelBackend:
+    """Base class for kernel providers.
+
+    Subclasses set :attr:`name`, implement :meth:`run` for each kernel name
+    in :attr:`kernel_names`, and provide :meth:`propensity_matrix` (used by
+    the batched engine and tau-leaping).
+    """
+
+    name: str = "abstract"
+    #: kernel names this backend implements ("direct", "first-reaction", ...).
+    kernel_names: frozenset = frozenset()
+
+    def supports(self, kernel_name: str) -> bool:
+        return kernel_name in self.kernel_names
+
+    def run(self, kernel_name: str, job: KernelJob) -> KernelOutcome:
+        raise NotImplementedError
+
+    def propensity_matrix(self, knet: KernelNetwork, counts: np.ndarray) -> np.ndarray:
+        """Propensities of every reaction for every count row."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# backend registry / resolution
+# ---------------------------------------------------------------------------
+
+_numpy_backend: "KernelBackend | None" = None
+_numba_backend: "KernelBackend | None | bool" = None  # False = probed, unavailable
+
+
+def _load_numpy() -> KernelBackend:
+    global _numpy_backend
+    if _numpy_backend is None:
+        from repro.sim.kernels.numpy_backend import NumpyKernelBackend
+
+        _numpy_backend = NumpyKernelBackend()
+    return _numpy_backend
+
+
+def _load_numba() -> "KernelBackend | None":
+    global _numba_backend
+    if _numba_backend is None:
+        from repro.sim.kernels.numba_backend import load_numba_backend
+
+        _numba_backend = load_numba_backend() or False
+    return _numba_backend or None
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT backend can be loaded in this environment."""
+    return _load_numba() is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names usable right now (``numba`` only if importable)."""
+    names = ["python", "numpy"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)
+
+
+def get_backend(name: str) -> "KernelBackend | None":
+    """Resolve a backend name to its object (``python`` resolves to ``None``).
+
+    Requesting ``numba`` in an environment without numba warns and returns
+    the numpy backend — the documented auto-fallback.
+    """
+    if name == "python":
+        return None
+    if name == "numpy":
+        return _load_numpy()
+    if name == "numba":
+        backend = _load_numba()
+        if backend is None:
+            warnings.warn(
+                "numba backend requested but numba is not installed; "
+                "falling back to the numpy backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _load_numpy()
+        return backend
+    raise SimulationError(
+        f"unknown kernel backend {name!r}; available: {list(BACKEND_NAMES)}"
+    )
+
+
+def validate_backend_request(
+    requested: str, engine_backends: "tuple[str, ...]", engine_name: str
+) -> None:
+    """Reject a backend name the engine does not declare (``auto`` always passes)."""
+    if requested == "auto":
+        return
+    if requested not in BACKEND_NAMES:
+        raise SimulationError(
+            f"unknown kernel backend {requested!r}; available: {list(BACKEND_NAMES)}"
+        )
+    if requested not in engine_backends:
+        supported = ", ".join(engine_backends) if engine_backends else "none"
+        raise SimulationError(
+            f"engine {engine_name!r} does not support backend {requested!r} "
+            f"(supported: {supported})"
+        )
+
+
+def resolve_run_backend(
+    requested: str,
+    kernel_name: "str | None",
+    engine_backends: tuple,
+    plan: "StoppingPlan | None",
+    engine_name: str,
+) -> "KernelBackend | None":
+    """Pick the backend for one run; ``None`` means the python template.
+
+    ``auto`` prefers the fastest available backend the engine supports but
+    silently falls back to the python template when the stopping condition
+    could not be compiled (``plan is None``).  An explicit ``numpy`` /
+    ``numba`` request with an uncompilable condition is an error instead —
+    silently degrading an explicit request would misreport what ran.
+    """
+    validate_backend_request(requested, engine_backends, engine_name)
+    if requested == "python" or kernel_name is None:
+        if requested in ("numpy", "numba"):
+            raise SimulationError(
+                f"engine {engine_name!r} has no array kernel; use backend='python'"
+            )
+        return None
+    if requested == "auto":
+        if plan is None:
+            return None
+        if "numba" in engine_backends and numba_available():
+            backend = _load_numba()
+            if backend is not None and backend.supports(kernel_name):
+                return backend
+        if "numpy" in engine_backends:
+            backend = _load_numpy()
+            if backend.supports(kernel_name):
+                return backend
+        return None
+    # explicit numpy / numba request
+    if plan is None:
+        raise SimulationError(
+            f"backend {requested!r} cannot run this stopping condition "
+            "(it is not compilable into a kernel stopping plan); "
+            "use backend='python' or a plan-compatible condition "
+            "(species/outcome thresholds, firing counts, any-of combinations)"
+        )
+    backend = get_backend(requested)
+    if not backend.supports(kernel_name):
+        raise SimulationError(
+            f"backend {backend.name!r} does not implement the {kernel_name!r} kernel"
+        )
+    return backend
+
+
+def resolve_matrix_backend(
+    requested: str, engine_backends: "tuple[str, ...]", engine_name: str
+) -> KernelBackend:
+    """Backend whose :meth:`~KernelBackend.propensity_matrix` should be used.
+
+    For the array-native engines (batch-direct) there is no python template:
+    ``auto`` resolves to numba when available, else numpy, and explicit
+    requests are validated against the engine's declared backends (with the
+    usual numba→numpy fallback when numba is not installed).
+    """
+    validate_backend_request(requested, engine_backends, engine_name)
+    if requested == "auto":
+        if "numba" in engine_backends and numba_available():
+            backend = _load_numba()
+            if backend is not None:
+                return backend
+        return _load_numpy()
+    backend = get_backend(requested)
+    return backend if backend is not None else _load_numpy()

@@ -1,0 +1,90 @@
+"""Preallocated, growable columnar buffers for trajectory recording.
+
+The per-trial engines used to append every firing to Python lists and convert
+to arrays at the end of the run; the kernel layer records straight into
+preallocated ndarrays instead.  :class:`TrajectoryBuffers` owns three
+columnar stores — firing times, fired-reaction indices, and the optional
+state-snapshot matrix — with amortized doubling growth and cheap reset, so a
+simulator can reuse one buffer set across every trial of an ensemble without
+reallocating.
+
+Kernels write by cursor (``times[n_events] = t``); the driver truncates with
+:meth:`finalize_events` / :meth:`finalize_snapshots`, which *copy* the filled
+prefix so the returned arrays do not pin the (reused, overallocated) buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TrajectoryBuffers"]
+
+#: Default initial event capacity (doubles as needed; reset keeps the grown size).
+DEFAULT_EVENT_CAPACITY = 1024
+#: Default initial snapshot capacity.
+DEFAULT_SNAPSHOT_CAPACITY = 256
+
+
+class TrajectoryBuffers:
+    """Columnar event/snapshot storage shared across runs of one simulator."""
+
+    def __init__(
+        self,
+        n_species: int,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+        snapshot_capacity: int = DEFAULT_SNAPSHOT_CAPACITY,
+    ) -> None:
+        self.n_species = int(n_species)
+        self.times = np.empty(event_capacity, dtype=np.float64)
+        self.reactions = np.empty(event_capacity, dtype=np.int64)
+        self.snapshot_times = np.empty(snapshot_capacity, dtype=np.float64)
+        self.snapshots = np.empty((snapshot_capacity, self.n_species), dtype=np.int64)
+        self.n_events = 0
+        self.n_snapshots = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind the cursors for a new run (capacity is kept)."""
+        self.n_events = 0
+        self.n_snapshots = 0
+
+    @property
+    def event_capacity(self) -> int:
+        return self.times.shape[0]
+
+    @property
+    def snapshot_capacity(self) -> int:
+        return self.snapshot_times.shape[0]
+
+    def grow_events(self) -> None:
+        """Double the event columns, preserving the filled prefix."""
+        new_cap = max(1, self.event_capacity) * 2
+        times = np.empty(new_cap, dtype=np.float64)
+        reactions = np.empty(new_cap, dtype=np.int64)
+        times[: self.n_events] = self.times[: self.n_events]
+        reactions[: self.n_events] = self.reactions[: self.n_events]
+        self.times = times
+        self.reactions = reactions
+
+    def grow_snapshots(self) -> None:
+        """Double the snapshot matrix, preserving the filled prefix."""
+        new_cap = max(1, self.snapshot_capacity) * 2
+        snapshot_times = np.empty(new_cap, dtype=np.float64)
+        snapshots = np.empty((new_cap, self.n_species), dtype=np.int64)
+        snapshot_times[: self.n_snapshots] = self.snapshot_times[: self.n_snapshots]
+        snapshots[: self.n_snapshots] = self.snapshots[: self.n_snapshots]
+        self.snapshot_times = snapshot_times
+        self.snapshots = snapshots
+
+    # -- extraction ------------------------------------------------------------
+
+    def finalize_events(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The recorded ``(times, reaction_indices)`` columns, copied to size."""
+        n = self.n_events
+        return self.times[:n].copy(), self.reactions[:n].copy()
+
+    def finalize_snapshots(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The recorded ``(snapshot_times, snapshots)`` rows, copied to size."""
+        n = self.n_snapshots
+        return self.snapshot_times[:n].copy(), self.snapshots[:n].copy()

@@ -1,0 +1,186 @@
+"""Compiling stopping conditions into kernel-checkable clause tables.
+
+The template engines call :meth:`StoppingCondition.check` — a Python method
+— after every firing.  A kernel cannot afford (and a JIT-compiled kernel
+cannot express) that call, so the condition object is compiled *once per
+run* into a :class:`StoppingPlan`: an ordered table of primitive clauses
+over the count vector and the per-reaction firing totals, checked inline by
+the kernels with a handful of scalar comparisons.
+
+Clause kinds (checked in order; the first satisfied clause wins, exactly
+matching the scalar ``check`` iteration order):
+
+====  =========================================================
+kind  predicate
+====  =========================================================
+0     ``counts[target] >= level``
+1     ``counts[target] <= level``
+2     ``sum(firing_counts[members]) >= level``   (CSR member list)
+3     ``firing_counts[target] >= level``
+====  =========================================================
+
+:func:`compile_stopping_plan` handles every condition the paper's
+experiments use — :class:`~repro.sim.events.SpeciesThreshold`,
+:class:`~repro.sim.events.OutcomeThresholds`,
+:class:`~repro.sim.events.FiringCountCondition`,
+:class:`~repro.sim.events.CategoryFiringCondition` and
+:class:`~repro.sim.events.AnyCondition` combinations of them — and returns
+``None`` for anything else (``PredicateCondition``, ``AllCondition``,
+third-party subclasses), which routes the run to the object-level
+``python`` backend instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.events import (
+    AnyCondition,
+    CategoryFiringCondition,
+    FiringCountCondition,
+    OutcomeThresholds,
+    SpeciesThreshold,
+    StoppingCondition,
+)
+from repro.sim.propensity import CompiledNetwork
+
+__all__ = ["StoppingPlan", "compile_stopping_plan"]
+
+KIND_COUNT_GE = 0
+KIND_COUNT_LE = 1
+KIND_FIRING_SUM = 2
+KIND_FIRING_ONE = 3
+
+
+@dataclass
+class StoppingPlan:
+    """An ordered clause table plus the label reported per clause."""
+
+    kinds: np.ndarray       # int64 (n_clauses,)
+    targets: np.ndarray     # int64 (n_clauses,) species column or reaction index
+    levels: np.ndarray      # int64 (n_clauses,)
+    member_ptr: np.ndarray  # int64 (n_clauses + 1,) CSR pointers (kind 2 only)
+    member_idx: np.ndarray  # int64 (nnz,) reaction indices for kind-2 clauses
+    labels: tuple[str, ...]
+    _py: "tuple | None" = field(default=None, repr=False)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.labels)
+
+    def py_clauses(self) -> tuple:
+        """Plain-Python ``(kind, target, level, members)`` rows for the numpy backend."""
+        if self._py is None:
+            rows = []
+            for i in range(self.n_clauses):
+                members = tuple(
+                    int(m)
+                    for m in self.member_idx[self.member_ptr[i] : self.member_ptr[i + 1]]
+                )
+                rows.append(
+                    (int(self.kinds[i]), int(self.targets[i]), int(self.levels[i]), members)
+                )
+            self._py = tuple(rows)
+        return self._py
+
+    @classmethod
+    def empty(cls) -> "StoppingPlan":
+        return cls(
+            kinds=np.empty(0, dtype=np.int64),
+            targets=np.empty(0, dtype=np.int64),
+            levels=np.empty(0, dtype=np.int64),
+            member_ptr=np.zeros(1, dtype=np.int64),
+            member_idx=np.empty(0, dtype=np.int64),
+            labels=(),
+        )
+
+
+def _clauses_for(
+    condition: StoppingCondition, compiled: CompiledNetwork
+) -> "list[tuple[int, int, int, tuple[int, ...], str]] | None":
+    """Flatten one condition into ``(kind, target, level, members, label)`` rows.
+
+    Matches on *exact* type, not ``isinstance``: a user subclass may
+    override ``check()`` with different semantics, and compiling it to the
+    base class's clause table would silently change behavior — subclasses
+    must fall back to the object-level template instead.
+    """
+    if type(condition) is SpeciesThreshold:
+        if condition._index is None:
+            condition.reset(compiled)
+        kind = KIND_COUNT_GE if condition.comparison == ">=" else KIND_COUNT_LE
+        return [(kind, condition._index, condition.threshold, (), condition.label)]
+
+    if type(condition) is OutcomeThresholds:
+        if not condition._resolved:
+            condition.reset(compiled)
+        return [
+            (KIND_COUNT_GE, column, level, (), label)
+            for label, column, level in condition._resolved
+        ]
+
+    if type(condition) is FiringCountCondition:
+        return [
+            (
+                KIND_FIRING_SUM,
+                -1,
+                condition.count,
+                tuple(condition.reaction_indices),
+                condition.label,
+            )
+        ]
+
+    if type(condition) is CategoryFiringCondition:
+        if not condition._members:
+            condition.reset(compiled)
+        return [
+            (KIND_FIRING_ONE, index, condition.count, (), name)
+            for index, name in condition._members
+        ]
+
+    if type(condition) is AnyCondition:
+        rows: list = []
+        for child in condition.conditions:
+            child_rows = _clauses_for(child, compiled)
+            if child_rows is None:
+                return None
+            rows.extend(child_rows)
+        return rows
+
+    return None
+
+
+def compile_stopping_plan(
+    stopping: "StoppingCondition | None", compiled: CompiledNetwork
+) -> "StoppingPlan | None":
+    """Compile ``stopping`` into a :class:`StoppingPlan`, or ``None``.
+
+    ``None`` (no condition) compiles to the empty plan; an *unsupported*
+    condition returns ``None``, signalling the caller to use the object-level
+    ``python`` backend.  The condition must already be usable against
+    ``compiled`` (``reset`` is invoked on demand for index resolution).
+    """
+    if stopping is None:
+        return StoppingPlan.empty()
+    rows = _clauses_for(stopping, compiled)
+    if rows is None:
+        return None
+    kinds = np.array([r[0] for r in rows], dtype=np.int64)
+    targets = np.array([r[1] for r in rows], dtype=np.int64)
+    levels = np.array([r[2] for r in rows], dtype=np.int64)
+    member_ptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        member_ptr[i + 1] = member_ptr[i] + len(row[3])
+    member_idx = np.array(
+        [m for row in rows for m in row[3]], dtype=np.int64
+    )
+    return StoppingPlan(
+        kinds=kinds,
+        targets=targets,
+        levels=levels,
+        member_ptr=member_ptr,
+        member_idx=member_idx,
+        labels=tuple(r[4] for r in rows),
+    )

@@ -30,9 +30,16 @@ __all__ = ["NextReactionSimulator"]
     summary="Gibson-Bruck next-reaction method (indexed priority queue)",
 )
 class NextReactionSimulator(StochasticSimulator):
-    """Exact SSA via the Gibson–Bruck next-reaction method."""
+    """Exact SSA via the Gibson–Bruck next-reaction method.
+
+    The indexed priority queue is inherently object-level, so this engine
+    has a ``numpy`` kernel (buffered loop, chunked random draws, queue kept)
+    but no ``numba`` variant.
+    """
 
     method_name = "next-reaction"
+    kernel_name = "next-reaction"
+    supported_backends = ("python", "numpy")
 
     def _prepare(self, counts: np.ndarray, rng: np.random.Generator) -> None:
         compiled = self.compiled

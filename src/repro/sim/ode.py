@@ -161,6 +161,7 @@ class OdeOptions:
     approximate=True,
     supports_events=False,
     deterministic=True,
+    backends=(),
     options_type=OdeOptions,
     options_param="ode_options",
     summary="deterministic mean-field (reaction-rate equation) integration",

@@ -148,6 +148,20 @@ class CompiledNetwork:
 
     # -- basic queries -------------------------------------------------------
 
+    def kernel_network(self):
+        """The dense :class:`~repro.sim.kernels.network.KernelNetwork` view.
+
+        Built once and cached: every kernel backend, the batched engine and
+        tau-leaping share the same padded arrays for this network.
+        """
+        cached = getattr(self, "_kernel_network", None)
+        if cached is None:
+            from repro.sim.kernels.network import KernelNetwork
+
+            cached = KernelNetwork.from_compiled(self)
+            self._kernel_network = cached
+        return cached
+
     @property
     def n_reactions(self) -> int:
         return len(self.reactant_species)
@@ -161,12 +175,36 @@ class CompiledNetwork:
         return {s: i for i, s in enumerate(self.species)}
 
     def initial_counts(self) -> np.ndarray:
-        """The network's initial state as a count vector."""
-        return self.network.initial_state.to_vector(self.species)
+        """The network's initial state as a count vector (fresh copy).
+
+        The vector is computed once and cached — the ensemble runners resolve
+        it at the top of every trial, and the ``State`` walk is measurable at
+        that call rate.
+        """
+        cached = getattr(self, "_initial_counts", None)
+        if cached is None:
+            cached = self.network.initial_state.to_vector(self.species)
+            self._initial_counts = cached
+        return cached.copy()
 
     def counts_to_state(self, counts: Sequence[int]) -> State:
-        """Convert a count vector back into a :class:`State`."""
-        return State.from_vector([int(c) for c in counts], self.species)
+        """Convert a count vector back into a :class:`State`.
+
+        Hot path (once per simulated trajectory): the species are known-good
+        :class:`Species` objects in compiled order, so this skips the generic
+        ``State.from_vector`` validation and fills the count dict directly.
+        """
+        state = State()
+        filled = state._counts
+        for species, count in zip(self.species, counts):
+            count = int(count)
+            if count < 0:
+                raise PropensityError(
+                    f"negative count {count} for species {species.name!r}"
+                )
+            if count:
+                filled[species] = count
+        return state
 
     # -- propensity evaluation --------------------------------------------------
 

@@ -78,6 +78,12 @@ class EngineInfo:
         projection) instead of sampling trajectories;
         :meth:`repro.api.Experiment.simulate` dispatches such engines to
         their distribution solver rather than a Monte-Carlo runner.
+    backends:
+        Kernel backends the engine supports (``"python"`` object template,
+        ``"numpy"`` array kernels, ``"numba"`` JIT) — the values accepted by
+        ``SimulationOptions.backend`` / ``Experiment.simulate(backend=...)``
+        / the CLI ``--backend`` flag.  Empty for engines the backend layer
+        does not apply to (``ode``, ``fsp``).
     options_type:
         Dataclass type accepted through the ``engine_options`` channel, or
         ``None`` when the engine has no tuning knobs.
@@ -96,6 +102,7 @@ class EngineInfo:
     supports_events: bool = True
     deterministic: bool = False
     computes_distribution: bool = False
+    backends: tuple = ("python",)
     options_type: "type | None" = None
     options_param: "str | None" = None
     summary: str = ""
@@ -138,6 +145,7 @@ class EngineInfo:
             "events": self.supports_events,
             "deterministic": self.deterministic,
             "distribution": self.computes_distribution,
+            "backends": ",".join(self.backends) if self.backends else "-",
             "options": self.options_type.__name__ if self.options_type else "-",
             "summary": self.summary,
         }
@@ -171,11 +179,17 @@ class EngineRegistry:
         supports_events: bool = True,
         deterministic: bool = False,
         computes_distribution: bool = False,
+        backends: "tuple | None" = None,
         options_type: "type | None" = None,
         options_param: "str | None" = None,
         summary: str = "",
     ) -> "Callable[[type], type]":
-        """Class decorator registering an engine under ``name``."""
+        """Class decorator registering an engine under ``name``.
+
+        ``backends`` defaults to the class's ``supported_backends`` attribute
+        (the convention the kernel-backed engines follow), falling back to
+        the python template alone.
+        """
 
         def decorator(cls: type) -> type:
             if name in self._engines:
@@ -183,6 +197,9 @@ class EngineRegistry:
                     f"engine {name!r} is already registered "
                     f"(to {self._engines[name].cls.__name__})"
                 )
+            resolved_backends = backends
+            if resolved_backends is None:
+                resolved_backends = getattr(cls, "supported_backends", ("python",))
             self._engines[name] = EngineInfo(
                 name=name,
                 cls=cls,
@@ -192,6 +209,7 @@ class EngineRegistry:
                 supports_events=supports_events,
                 deterministic=deterministic,
                 computes_distribution=computes_distribution,
+                backends=tuple(resolved_backends),
                 options_type=options_type,
                 options_param=options_param,
                 summary=summary,
@@ -292,6 +310,7 @@ def register_engine(
     supports_events: bool = True,
     deterministic: bool = False,
     computes_distribution: bool = False,
+    backends: "tuple | None" = None,
     options_type: "type | None" = None,
     options_param: "str | None" = None,
     summary: str = "",
@@ -305,6 +324,7 @@ def register_engine(
         supports_events=supports_events,
         deterministic=deterministic,
         computes_distribution=computes_distribution,
+        backends=backends,
         options_type=options_type,
         options_param=options_param,
         summary=summary,

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.base import SimulationOptions, StochasticSimulator
+from repro.sim.base import SimulationOptions, StochasticSimulator, merge_options
 from repro.sim.direct import DirectMethodSimulator
 from repro.sim.events import StoppingCondition
 from repro.sim.registry import register_engine
@@ -72,6 +72,10 @@ class TauLeapingSimulator(StochasticSimulator):
     """
 
     method_name = "tau-leaping"
+    # The leap loop is already array-vectorized internally (it evaluates whole
+    # propensity vectors via the kernel layer's dense arrays); the per-event
+    # kernel backends do not apply to it.
+    supported_backends = ("python",)
 
     def __init__(self, network, seed=None, leap_options: "TauLeapOptions | None" = None):
         super().__init__(network, seed=seed)
@@ -87,11 +91,14 @@ class TauLeapingSimulator(StochasticSimulator):
         seed=None,
         **option_overrides,
     ) -> Trajectory:
-        opts = options or SimulationOptions()
-        if option_overrides:
-            opts = SimulationOptions(**{**opts.__dict__, **option_overrides})
+        opts = merge_options(options, option_overrides)
+        if opts.backend not in ("auto", "python"):
+            from repro.sim.kernels.backend import validate_backend_request
+
+            validate_backend_request(opts.backend, self.supported_backends, self.method_name)
         rng = self._default_rng if seed is None else make_rng(seed)
         compiled = self.compiled
+        knet = compiled.kernel_network()
 
         if initial_state is None:
             counts = compiled.initial_counts().astype(np.int64)
@@ -114,6 +121,12 @@ class TauLeapingSimulator(StochasticSimulator):
         exact_helper = DirectMethodSimulator(compiled, seed=rng)
 
         while True:
+            # NOTE: stays on the exact-integer propensity path (not the
+            # kernel layer's float evaluator): tau-leaping has only the
+            # ``python`` backend, whose seeded trajectories are the
+            # documented reproduction pin for archived runs — an ulp-level
+            # change in a propensity perturbs the Poisson draws and
+            # diverges the whole trajectory.
             propensities = compiled.all_propensities(counts)
             total = float(propensities.sum())
             if total <= 0.0:
@@ -136,11 +149,8 @@ class TauLeapingSimulator(StochasticSimulator):
                     stop_reason = StopReason.MAX_TIME
                     break
                 firings = rng.poisson(propensities * tau)
-                new_counts = counts.copy()
-                for j in range(compiled.n_reactions):
-                    if firings[j]:
-                        for s, delta in zip(compiled.change_species[j], compiled.change_deltas[j]):
-                            new_counts[s] += delta * firings[j]
+                # One dense matrix-vector product applies every leap firing.
+                new_counts = counts + firings.astype(np.int64) @ knet.delta_matrix
                 if np.any(new_counts < 0):
                     # Leap overshot a reactant pool: halve tau by retrying with
                     # exact steps this round (simple and robust).
@@ -199,6 +209,9 @@ class TauLeapingSimulator(StochasticSimulator):
             return math.inf
 
         # Mean and variance of the change of each species per unit time.
+        # (Accumulated reaction-by-reaction, not as a matrix product: the
+        # summation order is part of the seeded-reproducibility contract —
+        # see the propensity note in run().)
         mu = np.zeros(compiled.n_species)
         sigma2 = np.zeros(compiled.n_species)
         for j in range(compiled.n_reactions):

@@ -5,19 +5,26 @@ fired at which time), the final state, why the run stopped, and â€” optionally â
 sampled state snapshots.  Recording every intermediate state is expensive and
 rarely needed, so snapshotting is opt-in via ``record_states`` or a sampling
 interval on the simulator.
+
+Storage is *columnar*: the firing log is the pair of parallel ndarrays
+``times`` / ``reaction_indices`` (filled straight from the kernel layer's
+preallocated buffers â€” see :mod:`repro.sim.kernels.buffers`), never a list
+of event objects.  Record-style access is still available as lightweight
+views: :attr:`Trajectory.firings` is a sequence over the columns whose items
+are :class:`FiringRecord` values built on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.crn.species import Species, as_species
 from repro.crn.state import State
 
-__all__ = ["StopReason", "FiringRecord", "Trajectory"]
+__all__ = ["StopReason", "FiringRecord", "FiringLog", "Trajectory"]
 
 
 class StopReason:
@@ -38,6 +45,37 @@ class FiringRecord:
     reaction_index: int
 
 
+class FiringLog:
+    """Record-style *view* over a trajectory's columnar firing log.
+
+    Supports ``len``, iteration, integer indexing (negative indices
+    included) and slicing; items are :class:`FiringRecord` values
+    materialized on demand, so keeping the log columnar costs nothing for
+    callers that still want per-event objects.
+    """
+
+    __slots__ = ("_times", "_reactions")
+
+    def __init__(self, times: np.ndarray, reactions: np.ndarray) -> None:
+        self._times = times
+        self._reactions = reactions
+
+    def __len__(self) -> int:
+        return int(len(self._reactions))
+
+    def __iter__(self) -> Iterator[FiringRecord]:
+        for t, r in zip(self._times, self._reactions):
+            yield FiringRecord(float(t), int(r))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return FiringLog(self._times[index], self._reactions[index])
+        return FiringRecord(float(self._times[index]), int(self._reactions[index]))
+
+    def __repr__(self) -> str:
+        return f"FiringLog(n={len(self)})"
+
+
 @dataclass
 class Trajectory:
     """The result of a single stochastic simulation run.
@@ -45,7 +83,8 @@ class Trajectory:
     Attributes
     ----------
     times / reaction_indices:
-        Parallel arrays of firing times and fired-reaction indices.
+        Parallel arrays of firing times and fired-reaction indices (the
+        columnar firing log; :attr:`firings` wraps them as records).
     final_state:
         Molecular counts when the run stopped.
     final_time:
@@ -79,6 +118,15 @@ class Trajectory:
     def n_firings(self) -> int:
         """Total number of reaction firings in the run."""
         return int(len(self.reaction_indices))
+
+    @property
+    def firings(self) -> FiringLog:
+        """The firing log as a sequence of :class:`FiringRecord` views."""
+        return FiringLog(self.times, self.reaction_indices)
+
+    def firing(self, index: int) -> FiringRecord:
+        """One firing of the log as a :class:`FiringRecord`."""
+        return self.firings[index]
 
     def count_firings(self, reaction_index: int) -> int:
         """How many times reaction ``reaction_index`` fired."""

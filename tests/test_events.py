@@ -146,3 +146,116 @@ class TestCombinators:
             AnyCondition([])
         with pytest.raises(StoppingConditionError):
             AllCondition([])
+
+
+# ---------------------------------------------------------------------------
+# end-to-end stopping edge cases (satellite coverage for the kernel layer PR)
+# ---------------------------------------------------------------------------
+
+
+class TestStoppingEdgeCasesEndToEnd:
+    """Integration edge cases: t=0 triggers, final-firing triggers, and
+    stop_detail propagation into Trajectory / EnsembleResult — exercised on
+    the python template, the kernel backends, and the batched engine."""
+
+    PER_TRIAL_BACKENDS = ("python", "numpy")
+
+    @pytest.mark.parametrize("backend", PER_TRIAL_BACKENDS)
+    def test_condition_already_true_at_t0(self, backend):
+        from repro.crn import parse_network
+        from repro.sim import StopReason, make_simulator
+
+        net = parse_network("x ->{1} 0\ninit: x = 5")
+        trajectory = make_simulator(net, engine="direct", seed=1).run(
+            stopping=SpeciesThreshold("x", 5), backend=backend
+        )
+        assert trajectory.stop_reason == StopReason.CONDITION
+        assert trajectory.stop_detail == "x>=5"
+        assert trajectory.n_firings == 0 and trajectory.final_time == 0.0
+
+    def test_condition_already_true_at_t0_batched(self):
+        from repro.crn import parse_network
+        from repro.sim import StopReason, make_simulator
+
+        net = parse_network("x ->{1} 0\ninit: x = 5")
+        batch = make_simulator(net, engine="batch-direct", seed=1).run_batch(
+            8, stopping=SpeciesThreshold("x", 5)
+        )
+        assert all(reason == StopReason.CONDITION for reason in batch.stop_reasons)
+        assert all(detail == "x>=5" for detail in batch.stop_details)
+        assert batch.firing_counts.sum() == 0
+        assert np.all(batch.final_times == 0.0)
+
+    @pytest.mark.parametrize("backend", PER_TRIAL_BACKENDS)
+    def test_condition_triggering_on_the_final_firing(self, backend):
+        # Every molecule decays; the <=0 threshold becomes true exactly on
+        # the last possible firing — the run must stop on CONDITION, not
+        # EXHAUSTED, with the full event count.
+        from repro.crn import parse_network
+        from repro.sim import StopReason, make_simulator
+
+        net = parse_network("x ->{1} 0\ninit: x = 5")
+        trajectory = make_simulator(net, engine="direct", seed=3).run(
+            stopping=SpeciesThreshold("x", 0, comparison="<=", label="gone"),
+            backend=backend,
+        )
+        assert trajectory.stop_reason == StopReason.CONDITION
+        assert trajectory.stop_detail == "gone"
+        assert trajectory.n_firings == 5
+        assert trajectory.final_time == pytest.approx(trajectory.times[-1])
+
+    def test_condition_triggering_on_the_final_firing_batched(self):
+        from repro.crn import parse_network
+        from repro.sim import StopReason, make_simulator
+
+        net = parse_network("x ->{1} 0\ninit: x = 5")
+        batch = make_simulator(net, engine="batch-direct", seed=3).run_batch(
+            16, stopping=SpeciesThreshold("x", 0, comparison="<=", label="gone")
+        )
+        assert all(reason == StopReason.CONDITION for reason in batch.stop_reasons)
+        assert all(detail == "gone" for detail in batch.stop_details)
+        assert np.all(batch.firing_counts.sum(axis=1) == 5)
+
+    @pytest.mark.parametrize("backend", PER_TRIAL_BACKENDS)
+    def test_stop_detail_propagates_into_ensemble_outcomes(self, backend):
+        # The default ensemble classifier labels trials by stop_detail; the
+        # outcome thresholds' label must therefore flow end to end.
+        from repro.api import Experiment
+        from repro.crn import parse_network
+
+        net = parse_network(
+            """
+            init: e1 = 10
+            init: e2 = 10
+            e1 ->{1} d1
+            e2 ->{1} d2
+            """
+        )
+        stopping = OutcomeThresholds({"one": ("d1", 2), "two": ("d2", 2)})
+        result = Experiment.from_network(net, stopping=stopping).simulate(
+            trials=60, seed=9, backend=backend
+        )
+        counts = result.ensemble.outcome_counts
+        assert set(counts) <= {"one", "two"}
+        assert sum(counts.values()) == 60
+        assert counts.get("one", 0) > 0 and counts.get("two", 0) > 0
+
+    def test_stop_detail_propagates_with_batched_engine(self):
+        from repro.api import Experiment
+        from repro.crn import parse_network
+
+        net = parse_network(
+            """
+            init: e1 = 10
+            init: e2 = 10
+            e1 ->{1} d1
+            e2 ->{1} d2
+            """
+        )
+        stopping = OutcomeThresholds({"one": ("d1", 2), "two": ("d2", 2)})
+        result = Experiment.from_network(net, stopping=stopping).simulate(
+            trials=60, seed=9, engine="batch-direct"
+        )
+        counts = result.ensemble.outcome_counts
+        assert set(counts) <= {"one", "two"}
+        assert sum(counts.values()) == 60
