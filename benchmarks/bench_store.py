@@ -1,0 +1,147 @@
+"""A7 — Content-addressed result store: warm cache vs re-simulation.
+
+PRs 3–4 made every engine bit-identical across worker counts and backends,
+so a simulation is a pure function of its canonical fingerprint — and the
+result store (``repro.store``) can answer a repeated experiment from disk
+instead of re-running it.  This harness quantifies that trade on the paper's
+Example-1 module at 10,000 trials:
+
+* **cold** — ``Experiment.simulate(store=...)`` on an empty store (simulates
+  and persists the artifact);
+* **warm** — the identical call again (fingerprint → cache hit → the stored
+  result, byte-identical to the cold run).
+
+The smoke assertion (CI): the warm-cache lookup is **≥ 100× faster** than
+re-simulating the ensemble, and the returned JSON is byte-identical.  A
+second section demonstrates campaign resume: an engine × seed grid run
+through ``CampaignRunner``, then re-run — the resumed campaign computes
+nothing and finishes in milliseconds.
+
+Run directly for a wall-clock report (CI uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `import _config` under direct run
+
+from _config import report
+
+from repro.analysis import format_table
+from repro.api import Experiment
+from repro.store import Campaign, CampaignRunner, ResultStore
+
+#: The Example-1 workload: 10k trials of the (0.3, 0.4, 0.3) module.
+TRIALS = 10_000
+SEED = 2007
+ENGINE = "direct"
+
+#: CI assertion: serving the warm cache must beat re-simulating by this much.
+MIN_SPEEDUP = 100.0
+
+
+def example1() -> Experiment:
+    return Experiment.from_distribution({"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3)
+
+
+def bench_cache(root: Path, engine: str = ENGINE) -> dict:
+    """Time one cold miss and the steady-state warm hit for one engine."""
+    store = ResultStore(root / f"store-{engine}")
+    experiment = example1()
+    kwargs = dict(trials=TRIALS, engine=engine, seed=SEED, store=store)
+
+    start = time.perf_counter()
+    cold = experiment.simulate(**kwargs)
+    cold_s = time.perf_counter() - start
+
+    warm_s = float("inf")
+    for _ in range(3):  # steady state: ignore first-read filesystem effects
+        start = time.perf_counter()
+        warm = experiment.simulate(**kwargs)
+        warm_s = min(warm_s, time.perf_counter() - start)
+
+    assert cold.to_json() == warm.to_json(), "cache hit is not byte-identical"
+    return {
+        "engine": engine,
+        "trials": TRIALS,
+        "cold (s)": cold_s,
+        "warm (s)": warm_s,
+        "speedup": cold_s / warm_s,
+        "artifact (KB)": store.stats()["bytes"] / 1024.0,
+    }
+
+
+def bench_campaign(root: Path) -> list[dict]:
+    """Time a fresh campaign vs resuming it against the same store."""
+    store = ResultStore(root / "campaign-store")
+    campaign = Campaign.grid(
+        "bench",
+        example1(),
+        trials=2_000,
+        engines=("direct", "batch-direct"),
+        seeds=(1, 2),
+    )
+    runner = CampaignRunner(store)
+
+    start = time.perf_counter()
+    first = runner.run(campaign)
+    first_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = runner.run(campaign)
+    resumed_s = time.perf_counter() - start
+
+    assert len(first.computed_keys()) == 4 and resumed.computed_keys() == []
+    return [
+        {"run": "fresh", "cells": 4, "computed": 4, "time (s)": first_s},
+        {"run": "resumed", "cells": 4, "computed": 0, "time (s)": resumed_s},
+    ]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", "--quick", action="store_true", dest="smoke",
+        help="CI mode: cache benchmark + ≥100x assertion only",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        rows = [bench_cache(root)]
+        if not args.smoke:
+            rows.append(bench_cache(root, engine="batch-direct"))
+        body = format_table(rows, floatfmt="{:.4g}")
+
+        row = rows[0]
+        verdict = (
+            f"\nwarm-cache lookup is {row['speedup']:.0f}x faster than "
+            f"re-simulating the {TRIALS}-trial Example-1 ensemble "
+            f"(threshold: {MIN_SPEEDUP:.0f}x)"
+        )
+        if not args.smoke:
+            campaign_rows = bench_campaign(root)
+            body += "\n\n" + format_table(campaign_rows, floatfmt="{:.4g}")
+            verdict += "\ncampaign resume recomputed nothing"
+        report("Result store: warm cache vs re-simulation", body + verdict)
+
+        if row["speedup"] < MIN_SPEEDUP:
+            print(
+                f"FAIL: speedup {row['speedup']:.1f}x below the "
+                f"{MIN_SPEEDUP:.0f}x threshold",
+                file=sys.stderr,
+            )
+            return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,12 @@ Fett, Bruck & Riedel, DAC 2007.  The library provides:
   CTMC outcome probabilities, curve fitting, sweeps and reporting;
 * :mod:`repro.lambda_phage` — the Section-3 lambda bacteriophage application
   (the Figure-4 synthetic model, the natural-model surrogate, and the
-  Figure-5 experiment).
+  Figure-5 experiment);
+* :mod:`repro.store` — content-addressed result store (experiments are
+  fingerprinted; identical runs are served from disk bit-identically) and
+  the cache-aware, resumable campaign runner;
+* :mod:`repro.service` / :mod:`repro.client` — the ``repro serve`` HTTP
+  experiment service over a store, and its stdlib client.
 
 Quickstart (the fluent facade is the front door)::
 
@@ -61,14 +66,21 @@ from repro.sim import (
     run_ensemble,
 )
 from repro.api import Experiment, RunResult
+from repro.store import Campaign, CampaignRunner, ResultStore
+from repro.client import ServiceClient
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     # api (the fluent facade)
     "Experiment",
     "RunResult",
+    # store & service
+    "ResultStore",
+    "Campaign",
+    "CampaignRunner",
+    "ServiceClient",
     # crn
     "Species",
     "Reaction",

@@ -38,6 +38,12 @@ class ExperimentMeasure:
         Callable mapping ``(value, RunResult)`` to the row dictionary.
         Default: one ``p[label]`` column per outcome plus ``tv_distance``
         when the experiment knows its target.
+    store:
+        Optional :class:`~repro.store.ResultStore` (or directory path)
+        threaded into every point's ``simulate(store=...)`` call — repeated
+        sweeps (and overlapping grids) are then served from the
+        content-addressed cache instead of re-simulating.  In multiprocess
+        sweeps each worker writes its own artifacts to the shared directory.
     simulate_kwargs:
         Passed to :meth:`~repro.api.Experiment.simulate` at every point
         (``trials=``, ``engine=``, ``seed=``, ``workers=`` ...).
@@ -47,11 +53,14 @@ class ExperimentMeasure:
         self,
         builder: "Callable[[object], object]",
         row: "Callable[[object, object], Mapping[str, object]] | None" = None,
+        store: object = None,
         **simulate_kwargs: object,
     ) -> None:
         self.builder = builder
         self.row = row
-        self.simulate_kwargs = simulate_kwargs
+        self.simulate_kwargs = dict(simulate_kwargs)
+        if store is not None:
+            self.simulate_kwargs["store"] = store
 
     def __call__(self, value: object) -> dict[str, object]:
         result = self.builder(value).simulate(**self.simulate_kwargs)
@@ -148,17 +157,23 @@ class ParameterSweep:
         values: Iterable[object],
         builder: "Callable[[object], object]",
         row: "Callable[[object, object], Mapping[str, object]] | None" = None,
+        store: object = None,
         **simulate_kwargs: object,
     ) -> "ParameterSweep":
         """Sweep a grid of facade experiments.
 
         ``builder(value)`` returns the :class:`repro.api.Experiment` for one
         grid point; ``simulate_kwargs`` configure every point's
-        :meth:`~repro.api.Experiment.simulate` call.  See
+        :meth:`~repro.api.Experiment.simulate` call, and ``store`` makes the
+        sweep cache-aware (see :class:`ExperimentMeasure`).  See
         :class:`ExperimentMeasure` for the row format and picklability rules
         (``run(workers=N)`` works when ``builder`` and ``row`` pickle).
         """
-        return cls(parameter, values, ExperimentMeasure(builder, row=row, **simulate_kwargs))
+        return cls(
+            parameter,
+            values,
+            ExperimentMeasure(builder, row=row, store=store, **simulate_kwargs),
+        )
 
     def run(
         self,

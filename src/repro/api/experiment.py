@@ -291,6 +291,7 @@ class Experiment:
         keep_trajectories: bool = False,
         chunk_size: int = 512,
         backend: str = "auto",
+        store: "Any | None" = None,
     ) -> RunResult:
         """Run the Monte-Carlo ensemble and return a :class:`RunResult`.
 
@@ -323,6 +324,15 @@ class Experiment:
             between the ``numpy`` and ``numba`` backends.  Overrides the
             ``backend`` field of the experiment's
             :class:`~repro.sim.base.SimulationOptions` when not ``"auto"``.
+        store:
+            A :class:`~repro.store.ResultStore` (or its directory path).
+            The experiment is canonically fingerprinted; a cache hit returns
+            the persisted result *bit-identically* (its canonical JSON equals
+            the cold run's) without simulating, a miss simulates and persists.
+            ``workers`` is not part of the fingerprint — results are
+            worker-count invariant, so any sharding hits the same entry.
+            Incompatible with ``keep_trajectories`` (trajectories are not
+            persisted).
 
         Notes
         -----
@@ -332,6 +342,64 @@ class Experiment:
         field carries the probabilities (``trials`` only scales the nominal
         outcome counts; ``workers`` / ``seed`` are ignored).
         """
+        if store is not None:
+            if keep_trajectories:
+                raise ExperimentError(
+                    "keep_trajectories=True cannot be combined with store=: "
+                    "trajectories are not persisted, so a cache hit could not "
+                    "return them"
+                )
+            from repro.store import ResultStore, experiment_to_payload, fingerprint_payload
+
+            store = ResultStore.coerce(store)
+            payload = experiment_to_payload(
+                self,
+                trials=trials,
+                engine=engine,
+                seed=seed,
+                chunk_size=chunk_size,
+                backend=backend,
+                engine_options=engine_options,
+            )
+            key = fingerprint_payload(payload)
+            cached = store.load_run(key)
+            if cached is not None:
+                return cached
+            result = self._execute(
+                trials=trials,
+                engine=engine,
+                workers=workers,
+                seed=seed,
+                engine_options=engine_options,
+                keep_trajectories=keep_trajectories,
+                chunk_size=chunk_size,
+                backend=backend,
+            )
+            store.put(key, result, descriptor=payload)
+            return result
+        return self._execute(
+            trials=trials,
+            engine=engine,
+            workers=workers,
+            seed=seed,
+            engine_options=engine_options,
+            keep_trajectories=keep_trajectories,
+            chunk_size=chunk_size,
+            backend=backend,
+        )
+
+    def _execute(
+        self,
+        trials: int,
+        engine: str,
+        workers: int,
+        seed: "int | None",
+        engine_options: "Any | None",
+        keep_trajectories: bool,
+        chunk_size: int,
+        backend: str,
+    ) -> RunResult:
+        """The uncached simulate path (see :meth:`simulate` for semantics)."""
         from repro.sim.registry import registry
 
         info = registry.get(engine)

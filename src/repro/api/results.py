@@ -22,9 +22,51 @@ from repro.errors import ExperimentError
 from repro.sim.ensemble import EnsembleResult
 from repro.sim.stats import RunningMoments
 
-__all__ = ["RunResult"]
+__all__ = [
+    "RunResult",
+    "ensemble_to_payload",
+    "ensemble_from_payload",
+]
 
 _SCHEMA = "repro.run-result/v1"
+
+
+def ensemble_to_payload(ensemble: EnsembleResult) -> dict:
+    """JSON-compatible payload of an :class:`EnsembleResult` (sans trajectories).
+
+    The result store persists bare ensembles with this shape, and
+    :meth:`RunResult.to_payload` embeds it under its ``"ensemble"`` key.
+    """
+    return {
+        "n_trials": ensemble.n_trials,
+        "outcome_counts": dict(ensemble.outcome_counts),
+        "species": [s.name for s in ensemble.species],
+        "final_counts": ensemble.final_counts.tolist(),
+        "final_times": ensemble.final_times.tolist(),
+        "n_firings": ensemble.n_firings.tolist(),
+    }
+
+
+def ensemble_from_payload(raw: Mapping) -> EnsembleResult:
+    """Rebuild an :class:`EnsembleResult` from :func:`ensemble_to_payload` output.
+
+    Trajectories are not round-tripped; streaming moments are recomputed
+    from the final-count matrix.
+    """
+    final_counts = np.asarray(raw["final_counts"], dtype=np.int64)
+    if final_counts.size == 0:
+        final_counts = final_counts.reshape(0, len(raw["species"]))
+    return EnsembleResult(
+        n_trials=int(raw["n_trials"]),
+        outcome_counts={str(k): int(v) for k, v in raw["outcome_counts"].items()},
+        final_counts=final_counts,
+        species=tuple(as_species(name) for name in raw["species"]),
+        final_times=np.asarray(raw["final_times"], dtype=float),
+        n_firings=np.asarray(raw["n_firings"], dtype=np.int64),
+        moments=(
+            RunningMoments.from_samples(final_counts) if final_counts.size else None
+        ),
+    )
 
 
 @dataclass
@@ -269,10 +311,20 @@ class RunResult:
 
     # -- JSON round trip ---------------------------------------------------------
 
-    def to_json(self, path: "str | Path | None" = None, indent: int = 2) -> str:
-        """Serialize the result (sans trajectories) to JSON; optionally write it."""
-        payload = {
+    def to_payload(self) -> dict:
+        """The result as a JSON-compatible dictionary (sans trajectories).
+
+        This is exactly what :meth:`to_json` serializes; the result store
+        persists this payload verbatim, so a cache hit re-serializes to the
+        same canonical JSON the cold run produced.  ``version`` records the
+        library version that wrote the payload — the store rejects artifacts
+        written by an incompatible schema.
+        """
+        from repro import __version__
+
+        return {
             "schema": _SCHEMA,
+            "version": __version__,
             "label": self.label,
             "engine": self.engine,
             "backend": self.backend,
@@ -289,56 +341,25 @@ class RunResult:
             ),
             "exact": dict(self.exact) if self.exact is not None else None,
             "exact_info": dict(self.exact_info) if self.exact_info is not None else None,
-            "ensemble": {
-                "n_trials": self.ensemble.n_trials,
-                "outcome_counts": dict(self.ensemble.outcome_counts),
-                "species": [s.name for s in self.ensemble.species],
-                "final_counts": self.ensemble.final_counts.tolist(),
-                "final_times": self.ensemble.final_times.tolist(),
-                "n_firings": self.ensemble.n_firings.tolist(),
-            },
+            "ensemble": ensemble_to_payload(self.ensemble),
         }
-        text = json.dumps(payload, indent=indent)
+
+    def to_json(self, path: "str | Path | None" = None, indent: int = 2) -> str:
+        """Serialize the result (sans trajectories) to JSON; optionally write it."""
+        text = json.dumps(self.to_payload(), indent=indent)
         if path is not None:
             Path(path).write_text(text, encoding="utf-8")
         return text
 
     @classmethod
-    def from_json(cls, source: "str | Path") -> "RunResult":
-        """Rebuild a :class:`RunResult` from :meth:`to_json` output (text or path).
-
-        Trajectories are not round-tripped; streaming moments are recomputed
-        from the final-count matrix.
-        """
-        text = source
-        if isinstance(source, Path):
-            text = source.read_text(encoding="utf-8")
-        elif isinstance(source, str) and not source.lstrip().startswith("{"):
-            text = Path(source).read_text(encoding="utf-8")
-        payload = json.loads(text)
+    def from_payload(cls, payload: Mapping) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_payload` output."""
         if payload.get("schema") != _SCHEMA:
             raise ExperimentError(
                 f"unrecognized result schema {payload.get('schema')!r}; expected {_SCHEMA!r}"
             )
-        raw = payload["ensemble"]
-        final_counts = np.asarray(raw["final_counts"], dtype=np.int64)
-        if final_counts.size == 0:
-            final_counts = final_counts.reshape(0, len(raw["species"]))
-        ensemble = EnsembleResult(
-            n_trials=int(raw["n_trials"]),
-            outcome_counts={str(k): int(v) for k, v in raw["outcome_counts"].items()},
-            final_counts=final_counts,
-            species=tuple(as_species(name) for name in raw["species"]),
-            final_times=np.asarray(raw["final_times"], dtype=float),
-            n_firings=np.asarray(raw["n_firings"], dtype=np.int64),
-            moments=(
-                RunningMoments.from_samples(final_counts)
-                if final_counts.size
-                else None
-            ),
-        )
         return cls(
-            ensemble=ensemble,
+            ensemble=ensemble_from_payload(payload["ensemble"]),
             engine=payload["engine"],
             backend=str(payload.get("backend", "auto")),
             trials=int(payload["trials"]),
@@ -352,3 +373,17 @@ class RunResult:
             exact=payload.get("exact"),
             exact_info=payload.get("exact_info"),
         )
+
+    @classmethod
+    def from_json(cls, source: "str | Path") -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_json` output (text or path).
+
+        Trajectories are not round-tripped; streaming moments are recomputed
+        from the final-count matrix.
+        """
+        text = source
+        if isinstance(source, Path):
+            text = source.read_text(encoding="utf-8")
+        elif isinstance(source, str) and not source.lstrip().startswith("{"):
+            text = Path(source).read_text(encoding="utf-8")
+        return cls.from_payload(json.loads(text))

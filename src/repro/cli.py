@@ -12,6 +12,7 @@ sharding, and typed engine options such as the tau-leaping tolerances::
     repro simulate design.json --engine fsp --fsp-max-states 200000
     repro settle --module logarithm --inputs "x=16"
     repro engines
+    repro serve --store results/ --port 8080
     repro figure3 --trials 500 --gammas 1,10,100,1000
     repro figure5 --trials 100 --moi 1,2,4,8
     repro example1
@@ -19,7 +20,10 @@ sharding, and typed engine options such as the tau-leaping tolerances::
 
 Every subcommand prints a plain-text report (tables / ASCII charts); the
 ``synthesize`` command additionally writes the design as JSON so it can be fed
-back to ``simulate``.
+back to ``simulate``.  Simulating subcommands accept ``--store DIR`` to cache
+results content-addressed on disk (a repeated run with identical parameters is
+served from the store instead of re-simulated), and ``repro serve`` exposes
+the same store over HTTP (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -130,6 +134,15 @@ def _add_engine_arguments(parser: argparse.ArgumentParser, workers: bool = True)
     )
 
 
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    """``--store`` for subcommands that execute through ``Experiment.simulate``."""
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed result store directory: an identical run is "
+             "served from cache instead of re-simulated (see 'repro serve')",
+    )
+
+
 def _engine_options_from(args) -> "TauLeapOptions | FspOptions | None":
     """Build the typed ``engine_options`` payload from the CLI flags."""
     epsilon = getattr(args, "tau_epsilon", None)
@@ -197,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--working-firings", type=int, default=10,
                      help="working firings that declare an outcome (default 10)")
     _add_engine_arguments(sim)
+    _add_store_argument(sim)
 
     settle = subparsers.add_parser(
         "settle", help="run a deterministic functional module to completion"
@@ -237,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex1.add_argument("--trials", type=int, default=500)
     ex1.add_argument("--seed", type=int, default=2007)
     _add_engine_arguments(ex1)
+    _add_store_argument(ex1)
 
     ex2 = subparsers.add_parser("example2", help="run the paper's Example 2 end to end")
     ex2.add_argument("--trials", type=int, default=300)
@@ -244,6 +259,24 @@ def build_parser() -> argparse.ArgumentParser:
     ex2.add_argument("--x2", type=int, default=4)
     ex2.add_argument("--seed", type=int, default=2007)
     _add_engine_arguments(ex2)
+    _add_store_argument(ex2)
+
+    srv = subparsers.add_parser(
+        "serve",
+        help="serve simulations over HTTP from a content-addressed result store",
+    )
+    srv.add_argument("--store", default="repro-store", metavar="DIR",
+                     help="result-store directory (default ./repro-store)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="listen port; 0 picks an ephemeral port and prints it "
+                          "(default 8080)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="ensemble worker processes per cache-miss simulation "
+                          "(default 1)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress per-request access logging")
 
     return parser
 
@@ -281,6 +314,7 @@ def _cmd_simulate(args) -> int:
             seed=args.seed,
             engine_options=_engine_options_from(args),
             backend=args.backend,
+            store=args.store,
         )
     )
     if result.exact is not None:
@@ -406,6 +440,7 @@ def _cmd_example1(args) -> int:
         seed=args.seed,
         engine_options=_engine_options_from(args),
         backend=args.backend,
+        store=args.store,
     )
     print()
     print(result.summary())
@@ -426,10 +461,24 @@ def _cmd_example2(args) -> int:
         seed=args.seed,
         engine_options=_engine_options_from(args),
         backend=args.backend,
+        store=args.store,
     )
     print()
     print(f"inputs: X1={args.x1}, X2={args.x2}")
     print(result.summary())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quiet=args.quiet,
+    )
     return 0
 
 
@@ -438,6 +487,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "settle": _cmd_settle,
     "engines": _cmd_engines,
+    "serve": _cmd_serve,
     "figure3": _cmd_figure3,
     "figure5": _cmd_figure5,
     "example1": _cmd_example1,

@@ -20,6 +20,7 @@ __all__ = [
     "PropensityError",
     "StoppingConditionError",
     "EnsembleError",
+    "EmptyMergeError",
     "FspError",
     "SynthesisError",
     "SpecificationError",
@@ -29,6 +30,10 @@ __all__ = [
     "FitError",
     "CTMCError",
     "ExperimentError",
+    "StoreError",
+    "FingerprintError",
+    "CampaignError",
+    "ServiceError",
 ]
 
 
@@ -86,6 +91,15 @@ class EnsembleError(SimulationError):
     """An ensemble (Monte-Carlo) run was mis-configured."""
 
 
+class EmptyMergeError(EnsembleError, ValueError):
+    """Merging an empty collection of ensemble shards was requested.
+
+    Inherits :class:`ValueError` so generic callers (campaign aggregation,
+    user code validating its own shard lists) can catch the conventional
+    built-in type, while ``except ReproError`` continues to work.
+    """
+
+
 class FspError(SimulationError):
     """Finite-state-projection analysis failed (state budget, truncation bound)."""
 
@@ -135,3 +149,33 @@ class CTMCError(AnalysisError):
 
 class ExperimentError(ReproError):
     """The fluent experiment facade (:mod:`repro.api`) was misused."""
+
+
+# ---------------------------------------------------------------------------
+# Store & service errors
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """The content-addressed result store (:mod:`repro.store`) failed.
+
+    Raised for malformed or incompatible artifacts (schema/version mismatch),
+    broken indexes and invalid store operations.
+    """
+
+
+class FingerprintError(StoreError):
+    """An experiment could not be canonically fingerprinted.
+
+    Typically a component has no stable serialized form — a lambda
+    classifier, a :class:`~repro.sim.events.PredicateCondition`, or a
+    third-party stopping condition without a ``to_descriptor`` method.
+    """
+
+
+class CampaignError(StoreError):
+    """A campaign (:mod:`repro.store.campaign`) was mis-configured."""
+
+
+class ServiceError(ReproError):
+    """The experiment service (:mod:`repro.service` / :mod:`repro.client`) failed."""

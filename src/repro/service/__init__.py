@@ -1,0 +1,10 @@
+"""The ``repro serve`` experiment service (stdlib HTTP, JSON in/out).
+
+:class:`ResultService` exposes the content-addressed result store over HTTP
+so many callers share one warm cache; :func:`serve` is the CLI entry point.
+The matching client lives in :mod:`repro.client`.
+"""
+
+from repro.service.server import ResultService, serve
+
+__all__ = ["ResultService", "serve"]

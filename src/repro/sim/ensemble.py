@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.crn.network import ReactionNetwork
 from repro.crn.species import Species, as_species
-from repro.errors import EnsembleError
+from repro.errors import EmptyMergeError, EnsembleError
 from repro.sim.base import SimulationOptions
 from repro.sim.events import StoppingCondition
 from repro.sim.kernels.backend import validate_backend_request
@@ -169,7 +169,10 @@ class EnsembleResult:
         """
         shards = list(shards)
         if not shards:
-            raise EnsembleError("cannot merge an empty list of ensemble shards")
+            raise EmptyMergeError(
+                "cannot merge an empty list of ensemble shards; run at least "
+                "one trial (or one campaign cell) before aggregating"
+            )
         species = shards[0].species
         if any(shard.species != species for shard in shards):
             raise EnsembleError("cannot merge ensembles over different species orders")

@@ -33,6 +33,7 @@ __all__ = [
     "PredicateCondition",
     "AnyCondition",
     "AllCondition",
+    "condition_from_descriptor",
 ]
 
 
@@ -56,6 +57,21 @@ class StoppingCondition:
     ) -> "str | None":
         """Return a detail string to stop the run, or ``None`` to continue."""
         raise NotImplementedError
+
+    def to_descriptor(self) -> dict:
+        """A canonical JSON-compatible description of this condition.
+
+        The result store (:mod:`repro.store`) hashes descriptors into
+        experiment fingerprints and the experiment service ships them over
+        the wire; :func:`condition_from_descriptor` rebuilds the condition.
+        Conditions wrapping arbitrary callables (``PredicateCondition``, and
+        third-party subclasses that do not override this method) have no
+        stable serialized form and raise.
+        """
+        raise StoppingConditionError(
+            f"{type(self).__name__} has no canonical descriptor; implement "
+            "to_descriptor() to make it fingerprintable/servable"
+        )
 
 
 class SpeciesThreshold(StoppingCondition):
@@ -109,6 +125,15 @@ class SpeciesThreshold(StoppingCondition):
             return self.label
         return None
 
+    def to_descriptor(self) -> dict:
+        return {
+            "type": "species-threshold",
+            "species": self.species.name,
+            "threshold": self.threshold,
+            "comparison": self.comparison,
+            "label": self.label,
+        }
+
 
 class OutcomeThresholds(StoppingCondition):
     """Stop when any of several labelled species thresholds is reached.
@@ -146,6 +171,15 @@ class OutcomeThresholds(StoppingCondition):
                 return label
         return None
 
+    def to_descriptor(self) -> dict:
+        return {
+            "type": "outcome-thresholds",
+            "thresholds": {
+                label: [species.name, level]
+                for label, (species, level) in self.thresholds.items()
+            },
+        }
+
 
 class FiringCountCondition(StoppingCondition):
     """Stop when specific reactions have fired a total of ``count`` times.
@@ -174,6 +208,14 @@ class FiringCountCondition(StoppingCondition):
         if total >= self.count:
             return self.label
         return None
+
+    def to_descriptor(self) -> dict:
+        return {
+            "type": "firing-count",
+            "reaction_indices": list(self.reaction_indices),
+            "count": self.count,
+            "label": self.label,
+        }
 
 
 class CategoryFiringCondition(StoppingCondition):
@@ -211,6 +253,13 @@ class CategoryFiringCondition(StoppingCondition):
                 return name
         return None
 
+    def to_descriptor(self) -> dict:
+        return {
+            "type": "category-firing",
+            "category": self.category,
+            "count": self.count,
+        }
+
 
 class PredicateCondition(StoppingCondition):
     """Adapt an arbitrary callable ``f(time, state_dict) -> str | None``.
@@ -247,6 +296,12 @@ class AnyCondition(StoppingCondition):
                 return detail
         return None
 
+    def to_descriptor(self) -> dict:
+        return {
+            "type": "any",
+            "conditions": [c.to_descriptor() for c in self.conditions],
+        }
+
 
 class AllCondition(StoppingCondition):
     """Stop only when every child condition triggers simultaneously (logical AND)."""
@@ -268,3 +323,54 @@ class AllCondition(StoppingCondition):
                 return None
             details.append(detail)
         return " & ".join(details)
+
+    def to_descriptor(self) -> dict:
+        return {
+            "type": "all",
+            "conditions": [c.to_descriptor() for c in self.conditions],
+        }
+
+
+def condition_from_descriptor(data: "dict | None") -> "StoppingCondition | None":
+    """Rebuild a stopping condition from a :meth:`~StoppingCondition.to_descriptor`.
+
+    ``None`` passes through (no stopping condition).  Unknown ``type`` tags
+    raise :class:`StoppingConditionError` — the inverse of the descriptor
+    protocol only covers the built-in serializable conditions.
+    """
+    if data is None:
+        return None
+    kind = data.get("type")
+    if kind == "species-threshold":
+        return SpeciesThreshold(
+            data["species"],
+            int(data["threshold"]),
+            comparison=str(data.get("comparison", ">=")),
+            label=str(data.get("label", "")),
+        )
+    if kind == "outcome-thresholds":
+        return OutcomeThresholds(
+            {
+                str(label): (str(species), int(level))
+                for label, (species, level) in data["thresholds"].items()
+            }
+        )
+    if kind == "firing-count":
+        return FiringCountCondition(
+            [int(i) for i in data["reaction_indices"]],
+            int(data["count"]),
+            label=str(data.get("label", "")),
+        )
+    if kind == "category-firing":
+        return CategoryFiringCondition(str(data["category"]), int(data["count"]))
+    if kind == "any":
+        return AnyCondition(
+            [condition_from_descriptor(c) for c in data["conditions"]]
+        )
+    if kind == "all":
+        return AllCondition(
+            [condition_from_descriptor(c) for c in data["conditions"]]
+        )
+    raise StoppingConditionError(
+        f"unknown stopping-condition descriptor type {kind!r}"
+    )

@@ -1,0 +1,56 @@
+"""Content-addressed result store + campaign orchestration.
+
+Determinism (worker-count and backend bit-identity, PRs 3–4) makes every
+simulation a pure function of its serialized inputs, so results are
+*content-addressable*:
+
+* :mod:`repro.store.fingerprint` — canonical JSON + SHA-256 content keys;
+* :mod:`repro.store.serialize` — experiments ⇄ JSON payloads (the unit that
+  is hashed, shipped to workers, and POSTed to the service);
+* :mod:`repro.store.store` — :class:`ResultStore`, the on-disk artifact
+  store with index, cache lookup, eviction/GC and campaign manifests;
+* :mod:`repro.store.campaign` — :class:`Campaign` grids scheduled by the
+  cache-aware, resumable :class:`CampaignRunner`.
+
+Quickstart::
+
+    from repro import Experiment
+    from repro.store import ResultStore
+
+    store = ResultStore("results/")
+    exp = Experiment.from_distribution({"a": 0.5, "b": 0.5})
+    cold = exp.simulate(trials=1000, seed=1, store=store)   # computes + stores
+    warm = exp.simulate(trials=1000, seed=1, store=store)   # cache hit
+    assert cold.to_json() == warm.to_json()                 # bit-identical
+"""
+
+from repro.store.campaign import (
+    Campaign,
+    CampaignCell,
+    CampaignProgress,
+    CampaignResult,
+    CampaignRunner,
+    CellOutcome,
+)
+from repro.store.fingerprint import canonical_json, fingerprint_payload
+from repro.store.serialize import (
+    compute_payload,
+    experiment_from_payload,
+    experiment_to_payload,
+)
+from repro.store.store import ResultStore
+
+__all__ = [
+    "ResultStore",
+    "Campaign",
+    "CampaignCell",
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignRunner",
+    "CellOutcome",
+    "canonical_json",
+    "fingerprint_payload",
+    "experiment_to_payload",
+    "experiment_from_payload",
+    "compute_payload",
+]

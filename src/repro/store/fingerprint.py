@@ -1,0 +1,65 @@
+"""Canonical fingerprints: the content address of an experiment.
+
+PRs 3–4 made every engine bit-identical across worker counts and kernel
+backends, which turns a simulation into a *pure function* of its inputs: the
+same (network, programmed inputs, stopping condition, options, engine, seed,
+trials, chunking) always yields the same :class:`~repro.api.results.RunResult`.
+This module defines the canonical serialized form of those inputs and hashes
+it, so results can be cached in a :class:`~repro.store.store.ResultStore` and
+looked up by content instead of being recomputed.
+
+The contract:
+
+* :func:`canonical_json` — deterministic JSON: sorted keys, no whitespace,
+  ``allow_nan=False`` (non-finite floats must be encoded by the caller; the
+  experiment serializer maps ``max_time = inf`` to ``None``).
+* :func:`fingerprint_payload` — SHA-256 of the canonical JSON, hex-encoded.
+  The ``version`` key is excluded from the hash: payloads record the library
+  version that wrote them for *compatibility checks*, but a patch release
+  that does not change the schema must keep hitting the same cache entries.
+* ``workers`` never appears in a payload: results are worker-count invariant
+  by construction, so the worker count is an execution knob, not part of the
+  experiment's identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.errors import FingerprintError
+
+__all__ = ["canonical_json", "fingerprint_payload"]
+
+#: Keys stripped before hashing — informational metadata, not identity.
+_UNHASHED_KEYS = ("version",)
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize a JSON-compatible object deterministically.
+
+    Sorted keys and compact separators make the text independent of dict
+    insertion order; ``allow_nan=False`` rejects NaN/inf (which have no
+    canonical JSON form) instead of emitting non-standard tokens.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise FingerprintError(
+            f"payload is not canonically serializable: {exc}"
+        ) from exc
+
+
+def fingerprint_payload(payload: Mapping) -> str:
+    """SHA-256 content address of an experiment payload (hex digest).
+
+    ``version`` is dropped before hashing (see module docstring); everything
+    else — including the ``schema`` tag, so schema revisions migrate to new
+    addresses — is hashed in canonical form.
+    """
+    hashed = {k: v for k, v in dict(payload).items() if k not in _UNHASHED_KEYS}
+    digest = hashlib.sha256(canonical_json(hashed).encode("utf-8"))
+    return digest.hexdigest()

@@ -1,0 +1,475 @@
+"""Content-addressed on-disk store for simulation results.
+
+Every artifact is addressed by the SHA-256 fingerprint of the experiment
+payload that produced it (:mod:`repro.store.fingerprint`), so the store is a
+*memo table for the simulator*: ask for a key, get back the exact result a
+previous run persisted — bit-identically, because engines are deterministic
+in their payload and the payload JSON is stored verbatim.
+
+Layout (all JSON, all human-inspectable)::
+
+    <root>/
+      index.json                     # key -> {kind, label, engine, size, ...}
+      artifacts/<k[:2]>/<key>.json   # artifact envelopes, sharded by prefix
+      campaigns/<id>.json            # campaign manifests
+
+Artifact envelopes carry ``schema`` and ``version`` fields; artifacts whose
+schema does not match the store's raise :class:`~repro.errors.StoreError`
+(the version in the message says which library wrote them).  Writes are
+atomic (temp file + ``os.replace``) and serialized through an internal lock,
+so the threaded HTTP service can share one store instance; the index
+self-heals from the artifact files when an entry is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import StoreError
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "INDEX_SCHEMA",
+    "CAMPAIGN_SCHEMA",
+    "ResultStore",
+]
+
+#: Schema tags of the store's on-disk documents.  Bump on incompatible
+#: changes; artifacts written under a different tag are rejected on read.
+ARTIFACT_SCHEMA = "repro.store.artifact/v1"
+INDEX_SCHEMA = "repro.store.index/v1"
+CAMPAIGN_SCHEMA = "repro.store.campaign/v1"
+
+#: Schema tag of bare-ensemble payloads (RunResult/FspResult carry their own).
+ENSEMBLE_SCHEMA = "repro.ensemble-result/v1"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Content-addressed artifact store with an index, cache API and GC.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first use).
+    max_artifacts / max_bytes:
+        Optional standing limits applied by :meth:`gc` when called without
+        arguments (and by :meth:`put` after every write when set), evicting
+        least-recently-used artifacts first.
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        max_artifacts: "int | None" = None,
+        max_bytes: "int | None" = None,
+    ) -> None:
+        self.root = Path(root)
+        self.max_artifacts = max_artifacts
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        # LRU stamps recorded by reads; folded into the index by put()/gc()
+        # so the hot read path never rewrites index.json.
+        self._recent_access: dict[str, float] = {}
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # The lock cannot pickle; campaign/sweep workers get a fresh one.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        state["_recent_access"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    @classmethod
+    def coerce(cls, store: "ResultStore | str | Path") -> "ResultStore":
+        """Accept a store instance or a directory path."""
+        if isinstance(store, cls):
+            return store
+        if isinstance(store, (str, Path)):
+            return cls(store)
+        raise StoreError(
+            f"expected a ResultStore or a directory path, got {type(store).__name__}"
+        )
+
+    # -- paths -------------------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _artifact_path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise StoreError(f"malformed artifact key {key!r} (expected hex digest)")
+        return self.root / "artifacts" / key[:2] / f"{key}.json"
+
+    def _campaign_path(self, campaign_id: str) -> Path:
+        safe = str(campaign_id)
+        if not safe or any(c not in "0123456789abcdef-" for c in safe):
+            raise StoreError(f"malformed campaign id {campaign_id!r}")
+        return self.root / "campaigns" / f"{safe}.json"
+
+    # -- index -------------------------------------------------------------------
+
+    def _load_index(self) -> dict:
+        try:
+            raw = json.loads(self._index_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return {"schema": INDEX_SCHEMA, "artifacts": {}}
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt store index {self._index_path}: {exc}") from exc
+        if raw.get("schema") != INDEX_SCHEMA:
+            raise StoreError(
+                f"store index schema {raw.get('schema')!r} is incompatible with "
+                f"{INDEX_SCHEMA!r} (written by version {raw.get('version')!r})"
+            )
+        return raw
+
+    def _merge_access_locked(self, index: dict) -> None:
+        """Fold read-side LRU stamps into the index (caller holds the lock)."""
+        artifacts = index["artifacts"]
+        for key, stamp in self._recent_access.items():
+            entry = artifacts.get(key)
+            if entry is not None:
+                entry["access"] = max(float(entry.get("access", 0.0)), stamp)
+        self._recent_access.clear()
+
+    def _reconcile_locked(self, index: dict) -> None:
+        """Register artifact files a lost index update dropped (self-heal)."""
+        artifacts = index["artifacts"]
+        artifacts_dir = self.root / "artifacts"
+        if not artifacts_dir.is_dir():
+            return
+        for path in artifacts_dir.glob("*/*.json"):
+            if path.stem not in artifacts:
+                stat = path.stat()
+                artifacts[path.stem] = {
+                    "kind": None,
+                    "label": None,
+                    "engine": None,
+                    "size": stat.st_size,
+                    "created": stat.st_mtime,
+                    "access": stat.st_mtime,
+                }
+
+    def _write_index(self, index: dict) -> None:
+        from repro import __version__
+
+        index["schema"] = INDEX_SCHEMA
+        index["version"] = __version__
+        _atomic_write(self._index_path, json.dumps(index, indent=2, sort_keys=True))
+
+    # -- artifact API ------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        result: Any,
+        descriptor: "Mapping | None" = None,
+    ) -> dict:
+        """Persist a result under ``key`` and return its envelope.
+
+        ``result`` may be a :class:`~repro.api.results.RunResult`, a bare
+        :class:`~repro.sim.ensemble.EnsembleResult` or an
+        :class:`~repro.sim.fsp.FspResult`; the envelope records which, plus
+        the library version and the experiment ``descriptor`` (provenance).
+        Re-putting an existing key overwrites idempotently (content-addressed
+        keys make the payload identical anyway).
+        """
+        from repro import __version__
+
+        kind, payload = _result_to_payload(result)
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "version": __version__,
+            "key": key,
+            "kind": kind,
+            "label": _label_of(result),
+            "engine": getattr(result, "engine", None),
+            "descriptor": dict(descriptor) if descriptor is not None else None,
+            "payload": payload,
+        }
+        text = json.dumps(envelope, indent=2)
+        with self._lock:
+            path = self._artifact_path(key)
+            _atomic_write(path, text)
+            index = self._load_index()
+            self._merge_access_locked(index)
+            now = time.time()
+            index["artifacts"][key] = {
+                "kind": kind,
+                "label": envelope["label"],
+                "engine": envelope["engine"],
+                "size": len(text),
+                "created": now,
+                "access": now,
+            }
+            self._write_index(index)
+            if self.max_artifacts is not None or self.max_bytes is not None:
+                self._gc_locked(index, self.max_artifacts, self.max_bytes)
+        return envelope
+
+    def get_envelope(self, key: str) -> "dict | None":
+        """The raw artifact envelope for ``key``, or ``None`` on a miss.
+
+        Reads validate the envelope schema (rejecting artifacts written by an
+        incompatible library with a :class:`StoreError` naming the writing
+        version).  The artifact file is the sole source of truth on this
+        path — the index is not touched, so concurrent readers only contend
+        on the in-memory LRU stamp (folded into ``index.json`` by the next
+        :meth:`put` / :meth:`gc`).
+        """
+        path = self._artifact_path(key)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt artifact {path}: {exc}") from exc
+        if envelope.get("schema") != ARTIFACT_SCHEMA:
+            raise StoreError(
+                f"artifact {key[:12]}… has schema {envelope.get('schema')!r}, "
+                f"incompatible with {ARTIFACT_SCHEMA!r} (written by repro "
+                f"version {envelope.get('version')!r}); evict it or migrate "
+                "the store"
+            )
+        with self._lock:
+            self._recent_access[key] = time.time()
+        return envelope
+
+    def get(self, key: str) -> Any:
+        """Load and reconstruct the result stored under ``key`` (or ``None``)."""
+        envelope = self.get_envelope(key)
+        if envelope is None:
+            return None
+        return _result_from_payload(envelope.get("kind"), envelope["payload"])
+
+    def load_run(self, key: str):
+        """A cached :class:`~repro.api.results.RunResult`, or ``None`` on a miss.
+
+        Raises :class:`StoreError` when the key holds a different artifact
+        kind — a fingerprint collision between result kinds means the caller
+        mixed key namespaces, which should never pass silently.
+        """
+        envelope = self.get_envelope(key)
+        if envelope is None:
+            return None
+        if envelope.get("kind") != "run-result":
+            raise StoreError(
+                f"artifact {key[:12]}… holds a {envelope.get('kind')!r}, "
+                "not a run-result"
+            )
+        return _result_from_payload("run-result", envelope["payload"])
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` is present (no access-stamp update, no validation)."""
+        return self._artifact_path(key).exists()
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self.has(key)
+
+    def keys(self) -> list[str]:
+        """All stored artifact keys (sorted)."""
+        with self._lock:
+            index = self._load_index()
+            known = set(index["artifacts"])
+        artifacts_dir = self.root / "artifacts"
+        if artifacts_dir.is_dir():
+            for path in artifacts_dir.glob("*/*.json"):
+                known.add(path.stem)
+        return sorted(known)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def evict(self, key: str) -> bool:
+        """Remove one artifact; returns whether anything was deleted."""
+        with self._lock:
+            path = self._artifact_path(key)
+            existed = path.exists()
+            if existed:
+                path.unlink()
+            self._recent_access.pop(key, None)
+            index = self._load_index()
+            if key in index["artifacts"]:
+                del index["artifacts"][key]
+                self._write_index(index)
+        return existed
+
+    def gc(
+        self,
+        max_artifacts: "int | None" = None,
+        max_bytes: "int | None" = None,
+    ) -> list[str]:
+        """Evict least-recently-used artifacts down to the given limits.
+
+        Limits default to the store's standing ``max_artifacts``/``max_bytes``;
+        with neither set anywhere, nothing is evicted.  Returns the evicted
+        keys, oldest first.
+        """
+        with self._lock:
+            index = self._load_index()
+            return self._gc_locked(
+                index,
+                self.max_artifacts if max_artifacts is None else max_artifacts,
+                self.max_bytes if max_bytes is None else max_bytes,
+            )
+
+    def _gc_locked(
+        self, index: dict, max_artifacts: "int | None", max_bytes: "int | None"
+    ) -> list[str]:
+        self._reconcile_locked(index)
+        self._merge_access_locked(index)
+        artifacts = index["artifacts"]
+        ordered = sorted(artifacts, key=lambda k: artifacts[k].get("access", 0))
+        evicted: list[str] = []
+        total_bytes = sum(int(e.get("size", 0)) for e in artifacts.values())
+        while ordered and (
+            (max_artifacts is not None and len(ordered) > max_artifacts)
+            or (max_bytes is not None and total_bytes > max_bytes)
+        ):
+            key = ordered.pop(0)
+            total_bytes -= int(artifacts[key].get("size", 0))
+            del artifacts[key]
+            path = self._artifact_path(key)
+            if path.exists():
+                path.unlink()
+            evicted.append(key)
+        if evicted:
+            self._write_index(index)
+        return evicted
+
+    def stats(self) -> dict:
+        """Aggregate store statistics (artifact count, bytes, campaigns)."""
+        with self._lock:
+            index = self._load_index()
+            self._reconcile_locked(index)
+            artifacts = index["artifacts"]
+            return {
+                "root": str(self.root),
+                "artifacts": len(artifacts),
+                "bytes": sum(int(e.get("size", 0)) for e in artifacts.values()),
+                "campaigns": len(self.campaign_ids()),
+            }
+
+    # -- campaign manifests ------------------------------------------------------
+
+    def save_campaign(self, manifest: Mapping) -> dict:
+        """Persist a campaign manifest (keyed by its ``id`` field)."""
+        from repro import __version__
+
+        document = dict(manifest)
+        if not document.get("id"):
+            raise StoreError("campaign manifest has no 'id' field")
+        document["schema"] = CAMPAIGN_SCHEMA
+        document["version"] = __version__
+        with self._lock:
+            _atomic_write(
+                self._campaign_path(document["id"]),
+                json.dumps(document, indent=2, sort_keys=True),
+            )
+        return document
+
+    def load_campaign(self, campaign_id: str) -> "dict | None":
+        """Load a campaign manifest by id, or ``None`` when absent."""
+        path = self._campaign_path(campaign_id)
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt campaign manifest {path}: {exc}") from exc
+        if manifest.get("schema") != CAMPAIGN_SCHEMA:
+            raise StoreError(
+                f"campaign manifest {campaign_id!r} has schema "
+                f"{manifest.get('schema')!r}, incompatible with "
+                f"{CAMPAIGN_SCHEMA!r} (written by repro version "
+                f"{manifest.get('version')!r})"
+            )
+        return manifest
+
+    def campaign_ids(self) -> list[str]:
+        """Ids of all persisted campaign manifests (sorted)."""
+        campaigns_dir = self.root / "campaigns"
+        if not campaigns_dir.is_dir():
+            return []
+        return sorted(path.stem for path in campaigns_dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+
+# ---------------------------------------------------------------------------
+# result object <-> (kind, payload)
+# ---------------------------------------------------------------------------
+
+
+def _result_to_payload(result: Any) -> "tuple[str, dict]":
+    from repro.api.results import RunResult, ensemble_to_payload
+    from repro.sim.ensemble import EnsembleResult
+    from repro.sim.fsp import FspResult
+
+    if isinstance(result, RunResult):
+        return "run-result", result.to_payload()
+    if isinstance(result, FspResult):
+        return "fsp-result", result.to_payload()
+    if isinstance(result, EnsembleResult):
+        from repro import __version__
+
+        payload = {"schema": ENSEMBLE_SCHEMA, "version": __version__}
+        payload.update(ensemble_to_payload(result))
+        return "ensemble-result", payload
+    raise StoreError(
+        f"cannot store a {type(result).__name__}; expected RunResult, "
+        "EnsembleResult or FspResult"
+    )
+
+
+def _result_from_payload(kind: "str | None", payload: Mapping) -> Any:
+    from repro.api.results import RunResult, ensemble_from_payload
+    from repro.sim.fsp import FspResult
+
+    if kind == "run-result":
+        return RunResult.from_payload(payload)
+    if kind == "fsp-result":
+        return FspResult.from_payload(payload)
+    if kind == "ensemble-result":
+        if payload.get("schema") != ENSEMBLE_SCHEMA:
+            raise StoreError(
+                f"unrecognized ensemble payload schema {payload.get('schema')!r}; "
+                f"expected {ENSEMBLE_SCHEMA!r}"
+            )
+        return ensemble_from_payload(payload)
+    raise StoreError(f"unknown artifact kind {kind!r}")
+
+
+def _label_of(result: Any) -> "str | None":
+    label = getattr(result, "label", None)
+    return str(label) if label is not None else None

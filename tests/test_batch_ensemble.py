@@ -262,6 +262,15 @@ class TestEnsembleResultMerge:
         with pytest.raises(EnsembleError):
             EnsembleResult.merge([])
 
+    def test_merge_empty_raises_value_error(self):
+        # Regression: an empty shard list must fail with a *clear* ValueError
+        # (campaign aggregation and user code catch the built-in type), not
+        # an opaque IndexError from shards[0].
+        with pytest.raises(ValueError, match="empty list of ensemble shards"):
+            EnsembleResult.merge([])
+        with pytest.raises(ValueError, match="empty list of ensemble shards"):
+            EnsembleResult.merge(iter(()))
+
 
 class TestRunningMoments:
     def test_welford_matches_numpy(self):

@@ -12,7 +12,15 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert "repro" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "repro" in out
+
+    def test_version_flag_reports_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert repro.__version__ in capsys.readouterr().out
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -25,9 +33,24 @@ class TestParser:
     def test_parser_lists_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("synthesize", "simulate", "settle", "engines", "figure3",
-                        "figure5", "example1", "example2"):
+        for command in ("synthesize", "simulate", "settle", "engines", "serve",
+                        "figure3", "figure5", "example1", "example2"):
             assert command in text
+
+
+class TestStoreFlag:
+    def test_example1_store_caches_run(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        store_dir = str(tmp_path / "cli-store")
+        args = ["example1", "--trials", "40", "--seed", "5", "--store", store_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert len(ResultStore(store_dir).keys()) == 1
+        assert main(args) == 0  # second run served from the store
+        second = capsys.readouterr().out
+        assert len(ResultStore(store_dir).keys()) == 1
+        assert first == second
 
 
 class TestSynthesizeAndSimulate:

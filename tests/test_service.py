@@ -1,0 +1,191 @@
+"""Tests for the ``repro serve`` HTTP service and its client."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.api import Experiment
+from repro.client import ServiceClient
+from repro.errors import ServiceError
+from repro.service import ResultService
+from repro.sim.registry import registry
+from repro.store import Campaign, CampaignRunner
+
+
+@pytest.fixture
+def experiment() -> Experiment:
+    return Experiment.from_distribution({"1": 0.3, "2": 0.7}, gamma=100)
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = ResultService(tmp_path / "store", port=0, quiet=True).start()
+    yield service
+    service.stop()
+
+
+@pytest.fixture
+def client(service) -> ServiceClient:
+    return ServiceClient(service.url, timeout=60.0)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == repro.__version__
+        assert health["artifacts"] == 0
+
+    def test_engines_matches_registry(self, client):
+        rows = client.engines()
+        assert [row["engine"] for row in rows] == registry.names()
+
+    def test_unknown_routes_404(self, service):
+        client = ServiceClient(service.url)
+        for path in ("/nope", "/results/" + "ab" * 32, "/campaigns/" + "de" * 8):
+            with pytest.raises(ServiceError, match="404"):
+                client._request(path)
+
+    def test_post_requires_experiment_payload(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError, match="serialized experiment"):
+            client._request("/simulate", body={"experiment": {"bogus": True}})
+
+    def test_callable_refs_rejected_over_the_wire(self, service, client, experiment):
+        # A wire payload naming an importable callable must not be resolved
+        # server-side (it would execute arbitrary installed code).
+        from repro.store import experiment_to_payload
+
+        payload = experiment_to_payload(experiment, trials=10, engine="direct", seed=1)
+        payload["classifier"] = {"type": "callable", "ref": "os:system"}
+        with pytest.raises(ServiceError, match="rejected"):
+            client._request("/simulate", body={"experiment": payload})
+
+    def test_malformed_json_is_400(self, service):
+        request = urllib.request.Request(
+            service.url + "/simulate",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_unreachable_service(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+    def test_busy_port_raises_clean_service_error(self, service, tmp_path):
+        # Binding a port already in use must surface as a ReproError (the CLI
+        # prints it as a one-line `error: ...`), not a raw OSError traceback.
+        with pytest.raises(ServiceError, match="cannot bind"):
+            ResultService(tmp_path / "other-store", port=service.port)
+
+
+class TestSimulateRoundTrip:
+    def test_miss_then_hit_bit_identical(self, client, experiment):
+        first = client.simulate_entry(
+            experiment, trials=60, engine="batch-direct", seed=3
+        )
+        second = client.simulate_entry(
+            experiment, trials=60, engine="batch-direct", seed=3
+        )
+        assert not first.cached and second.cached
+        assert first.key == second.key
+        assert first.result.to_json() == second.result.to_json()
+        # raw artifact payloads are byte-identical too
+        assert json.dumps(first.artifact["payload"]) == json.dumps(
+            second.artifact["payload"]
+        )
+
+    def test_hit_miss_counters(self, client, experiment):
+        client.simulate(experiment, trials=30, seed=1)
+        client.simulate(experiment, trials=30, seed=1)
+        health = client.healthz()
+        assert health["misses"] == 1 and health["hits"] == 1
+
+    def test_get_result_by_key(self, client, experiment):
+        entry = client.simulate_entry(experiment, trials=30, seed=5)
+        fetched = client.result(entry.key)
+        assert fetched.to_json() == entry.result.to_json()
+
+    def test_served_result_matches_local_store_run(self, service, client, experiment):
+        served = client.simulate(experiment, trials=50, seed=8, engine="direct")
+        local = experiment.simulate(
+            trials=50, seed=8, engine="direct", store=service.store
+        )
+        assert local.to_json() == served.to_json()
+        assert client.healthz()["artifacts"] == 1  # one shared cache entry
+
+    def test_exact_engine_served(self, client, experiment):
+        entry = client.simulate_entry(experiment, trials=100, engine="fsp")
+        assert entry.result.exact is not None
+        assert entry.result.frequencies == pytest.approx({"1": 0.3, "2": 0.7})
+
+    def test_campaign_endpoints(self, service, client, experiment):
+        campaign = Campaign.grid("served", experiment, trials=30, seeds=(1, 2))
+        result = CampaignRunner(service.store).run(campaign)
+        assert client.campaigns() == [result.campaign_id]
+        manifest = client.campaign(result.campaign_id)
+        assert manifest["name"] == "served"
+        assert len(manifest["cells"]) == 2
+
+
+class TestServeCli:
+    def test_serve_round_trip_via_subprocess(self, tmp_path):
+        """End-to-end: `repro serve` on an ephemeral port + client miss→hit."""
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(tmp_path / "store"), "--port", "0", "--quiet",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            assert match, f"unexpected serve banner: {line!r}"
+            url = match.group(1)
+            client = ServiceClient(url, timeout=120.0)
+            deadline = time.time() + 30.0
+            while True:
+                try:
+                    assert client.healthz()["status"] == "ok"
+                    break
+                except ServiceError:
+                    if time.time() > deadline:
+                        raise
+                    time.sleep(0.1)
+            experiment = Experiment.from_distribution({"a": 0.5, "b": 0.5}, gamma=50)
+            first = client.simulate_entry(experiment, trials=40, seed=2)
+            second = client.simulate_entry(experiment, trials=40, seed=2)
+            assert not first.cached and second.cached
+            assert first.result.to_json() == second.result.to_json()
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)

@@ -1,0 +1,436 @@
+"""Tests for the content-addressed result store (fingerprint, cache, GC)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.api import Experiment
+from repro.crn import parse_network
+from repro.errors import (
+    ExperimentError,
+    FingerprintError,
+    StoreError,
+    StoppingConditionError,
+)
+from repro.sim import SimulationOptions
+from repro.sim.ensemble import EnsembleRunner
+from repro.sim.events import (
+    AllCondition,
+    AnyCondition,
+    CategoryFiringCondition,
+    FiringCountCondition,
+    OutcomeThresholds,
+    PredicateCondition,
+    SpeciesThreshold,
+    StoppingCondition,
+    condition_from_descriptor,
+)
+from repro.sim.fsp import FspEngine, FspOptions, FspResult
+from repro.sim.registry import registry
+from repro.store import (
+    ResultStore,
+    canonical_json,
+    compute_payload,
+    experiment_to_payload,
+    fingerprint_payload,
+)
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def experiment() -> Experiment:
+    return Experiment.from_distribution({"1": 0.3, "2": 0.4, "3": 0.3}, gamma=100)
+
+
+def payload_of(experiment, **kwargs):
+    kwargs.setdefault("trials", 50)
+    kwargs.setdefault("engine", "direct")
+    kwargs.setdefault("seed", 11)
+    return experiment_to_payload(experiment, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# canonical fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json(
+            {"a": [2, 3], "b": 1}
+        )
+
+    def test_canonical_json_rejects_nonfinite(self):
+        with pytest.raises(FingerprintError):
+            canonical_json({"x": float("inf")})
+
+    def test_fingerprint_stable_across_calls(self, experiment):
+        first = fingerprint_payload(payload_of(experiment, seed=1))
+        second = fingerprint_payload(payload_of(experiment, seed=1))
+        assert first == second
+        assert len(first) == 64 and set(first) <= set("0123456789abcdef")
+
+    def test_fingerprint_excludes_version(self, experiment):
+        payload = payload_of(experiment, seed=1)
+        rewritten = dict(payload, version="0.0.0-other")
+        assert fingerprint_payload(payload) == fingerprint_payload(rewritten)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"trials": 51},
+            {"seed": 2},
+            {"engine": "batch-direct"},
+            {"backend": "numpy"},
+            {"chunk_size": 64},
+        ],
+    )
+    def test_fingerprint_sensitive_to_simulate_args(self, experiment, change):
+        base = fingerprint_payload(payload_of(experiment, seed=1))
+        varied = fingerprint_payload(payload_of(experiment, **{"seed": 1, **change}))
+        assert base != varied
+
+    def test_fingerprint_sensitive_to_inputs(self):
+        base = Experiment.from_distribution({"a": 0.5, "b": 0.5}, gamma=50)
+        assert fingerprint_payload(payload_of(base)) != fingerprint_payload(
+            payload_of(base.program({"e_a": 10}))
+        )
+
+    def test_unseeded_sampling_run_rejected(self, store, experiment):
+        # seed=None draws fresh entropy per run; caching would alias distinct
+        # random samples to the first result, so fingerprinting refuses it.
+        with pytest.raises(FingerprintError, match="unseeded"):
+            payload_of(experiment, seed=None)
+        with pytest.raises(FingerprintError, match="unseeded"):
+            experiment.simulate(trials=10, store=store)
+
+    def test_unseeded_exact_engine_allowed(self, store, experiment):
+        # fsp takes no seed — there is nothing random to alias.
+        cold = experiment.simulate(trials=100, engine="fsp", store=store)
+        warm = experiment.simulate(trials=100, engine="fsp", store=store)
+        assert cold.to_json() == warm.to_json()
+
+    def test_lambda_classifier_rejected(self, race_network):
+        experiment = Experiment.from_network(
+            race_network, classifier=lambda trajectory: "x"
+        )
+        with pytest.raises(FingerprintError, match="module-level"):
+            payload_of(experiment)
+
+    def test_predicate_condition_rejected(self, race_network):
+        experiment = Experiment.from_network(
+            race_network,
+            stopping=PredicateCondition(lambda time, state: None),
+        )
+        with pytest.raises(FingerprintError, match="cannot be serialized"):
+            payload_of(experiment)
+
+
+class TestConditionDescriptors:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            SpeciesThreshold("x", 5),
+            SpeciesThreshold("x", 2, comparison="<=", label="drained"),
+            OutcomeThresholds({"win": ("x", 3), "lose": ("y", 4)}),
+            FiringCountCondition([0, 2], 7, label="seven"),
+            CategoryFiringCondition("working", 10),
+            AnyCondition([SpeciesThreshold("x", 5), CategoryFiringCondition("working", 2)]),
+            AllCondition([SpeciesThreshold("x", 5), SpeciesThreshold("y", 1)]),
+        ],
+    )
+    def test_round_trip(self, condition):
+        descriptor = condition.to_descriptor()
+        rebuilt = condition_from_descriptor(descriptor)
+        assert rebuilt.to_descriptor() == descriptor
+        assert canonical_json(descriptor)  # JSON-compatible
+
+    def test_none_passes_through(self):
+        assert condition_from_descriptor(None) is None
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(StoppingConditionError, match="unknown"):
+            condition_from_descriptor({"type": "no-such-condition"})
+
+    def test_base_class_has_no_descriptor(self):
+        class Custom(StoppingCondition):
+            pass
+
+        with pytest.raises(StoppingConditionError, match="to_descriptor"):
+            Custom().to_descriptor()
+
+
+# ---------------------------------------------------------------------------
+# cache semantics (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def engine_backend_matrix():
+    """Every registered sampling engine × every backend it supports (+auto)."""
+    combos = []
+    for name in registry.names():
+        info = registry.get(name)
+        if info.deterministic and not info.computes_distribution:
+            continue  # ode: ensembles reject it
+        backends = ("auto",) + tuple(info.backends)
+        for backend in backends:
+            if info.computes_distribution and backend != "auto":
+                continue
+            combos.append((name, backend))
+    return combos
+
+
+class TestCacheHits:
+    @pytest.mark.parametrize("engine,backend", engine_backend_matrix())
+    def test_warm_cache_is_bit_identical(self, store, experiment, engine, backend):
+        kwargs = dict(trials=40, engine=engine, seed=11, backend=backend, store=store)
+        cold = experiment.simulate(**kwargs)
+        warm = experiment.simulate(**kwargs)
+        assert cold.to_json() == warm.to_json()
+        # the second call was served from the store: exactly one artifact
+        assert len(store.keys()) == 1
+
+    def test_worker_count_not_part_of_identity(self, store, experiment):
+        cold = experiment.simulate(
+            trials=64, engine="direct", seed=5, chunk_size=16, workers=2, store=store
+        )
+        warm = experiment.simulate(
+            trials=64, engine="direct", seed=5, chunk_size=16, workers=1, store=store
+        )
+        assert len(store.keys()) == 1
+        assert cold.to_json() == warm.to_json()
+
+    def test_store_accepts_directory_path(self, tmp_path, experiment):
+        cold = experiment.simulate(trials=30, seed=1, store=tmp_path / "s")
+        warm = experiment.simulate(trials=30, seed=1, store=str(tmp_path / "s"))
+        assert cold.to_json() == warm.to_json()
+
+    def test_keep_trajectories_incompatible(self, store, experiment):
+        with pytest.raises(ExperimentError, match="keep_trajectories"):
+            experiment.simulate(trials=10, store=store, keep_trajectories=True)
+
+    def test_payload_replay_matches_local_run(self, store, experiment):
+        # compute_payload is the service/campaign compute path: replaying the
+        # serialized experiment must reproduce the local run byte for byte.
+        local = experiment.simulate(trials=40, engine="batch-direct", seed=2)
+        replayed = compute_payload(
+            payload_of(experiment, trials=40, engine="batch-direct", seed=2)
+        )
+        assert replayed.to_json() == local.to_json()
+
+    def test_module_experiment_round_trip(self, store):
+        from repro.core.modules import logarithm_module
+
+        experiment = Experiment.from_module(logarithm_module()).program({"x": 16})
+        kwargs = dict(trials=8, engine="direct", seed=3, store=store)
+        cold = experiment.simulate(**kwargs)
+        warm = experiment.simulate(**kwargs)
+        assert cold.to_json() == warm.to_json()
+        assert warm.output_summary("y") == cold.output_summary("y")
+
+
+# ---------------------------------------------------------------------------
+# artifact round trips
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactRoundTrips:
+    def test_run_result_full_round_trip(self, store, experiment):
+        cold = experiment.simulate(
+            trials=60, engine="batch-direct", seed=9, backend="numpy", store=store
+        )
+        (key,) = store.keys()
+        loaded = store.load_run(key)
+        # execution metadata
+        assert loaded.engine == "batch-direct"
+        assert loaded.backend == "numpy"
+        assert loaded.seed == 9 and loaded.trials == 60
+        # stop details become outcome labels: preserved exactly
+        assert loaded.ensemble.outcome_counts == cold.ensemble.outcome_counts
+        assert loaded.frequencies == cold.frequencies
+        # decision-time fields survive (final_times / n_firings)
+        assert loaded.decision_times() == cold.decision_times()
+        assert loaded.distances() == cold.distances()
+        assert loaded.to_json() == cold.to_json()
+
+    def test_exact_run_round_trip_with_exact_info(self, store, experiment):
+        cold = experiment.simulate(trials=100, engine="fsp", store=store)
+        (key,) = store.keys()
+        loaded = store.load_run(key)
+        assert loaded.exact == cold.exact
+        assert loaded.exact_info == cold.exact_info
+        assert loaded.exact_info is not None and "truncation_error" in loaded.exact_info
+        assert loaded.to_json() == cold.to_json()
+
+    def test_payload_carries_version(self, experiment):
+        result = experiment.simulate(trials=10, seed=1)
+        payload = result.to_payload()
+        assert payload["version"] == repro.__version__
+        assert json.loads(result.to_json())["version"] == repro.__version__
+
+    def test_bare_ensemble_round_trip(self, store, race_network):
+        runner = EnsembleRunner(
+            race_network,
+            stopping=SpeciesThreshold("d2", 20),
+            options=SimulationOptions(record_firings=False),
+        )
+        ensemble = runner.run(30, seed=4)
+        store.put("ab" * 32, ensemble)
+        loaded = store.get("ab" * 32)
+        assert loaded.n_trials == ensemble.n_trials
+        assert loaded.outcome_counts == ensemble.outcome_counts
+        assert loaded.final_counts.tolist() == ensemble.final_counts.tolist()
+        assert loaded.final_times.tolist() == ensemble.final_times.tolist()
+
+    def test_fsp_result_round_trip(self, store):
+        network = parse_network(
+            """
+            init: x = 0
+            src ->{2} src + x
+            x ->{1} 0
+            init: src = 1
+            """,
+            name="birth-death",
+        )
+        solved = FspEngine(
+            network, fsp_options=FspOptions(count_caps={"x": 30}, checkpoints=5)
+        ).solve(t_final=2.0)
+        store.put("cd" * 32, solved)
+        loaded = store.get("cd" * 32)
+        assert isinstance(loaded, FspResult)
+        assert loaded.times.tolist() == solved.times.tolist()
+        assert loaded.probabilities.tolist() == solved.probabilities.tolist()
+        assert loaded.marginal("x") == solved.marginal("x")
+        assert loaded.mean("x") == solved.mean("x")
+        assert loaded.state_probability({"x": 2, "src": 1}) == solved.state_probability(
+            {"x": 2, "src": 1}
+        )
+        assert loaded.error_bound() == solved.error_bound()
+        assert loaded.outcome_probabilities() == solved.outcome_probabilities()
+
+    def test_unsupported_result_type_rejected(self, store):
+        with pytest.raises(StoreError, match="cannot store"):
+            store.put("ef" * 32, {"not": "a result"})
+
+
+# ---------------------------------------------------------------------------
+# store mechanics: index, versioning, eviction
+# ---------------------------------------------------------------------------
+
+
+class TestStoreMechanics:
+    def _put_run(self, store, experiment, seed):
+        payload = payload_of(experiment, trials=10, seed=seed)
+        key = fingerprint_payload(payload)
+        store.put(key, compute_payload(payload), descriptor=payload)
+        return key
+
+    def test_miss_returns_none(self, store):
+        assert store.load_run("aa" * 32) is None
+        assert store.get("aa" * 32) is None
+        assert not store.has("aa" * 32)
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(StoreError, match="malformed"):
+            store.has("../../etc/passwd")
+
+    def test_keys_contains_len(self, store, experiment):
+        keys = {self._put_run(store, experiment, seed) for seed in (1, 2, 3)}
+        assert set(store.keys()) == keys
+        assert len(store) == 3
+        assert next(iter(sorted(keys))) in store
+
+    def test_envelope_records_schema_version_and_descriptor(self, store, experiment):
+        key = self._put_run(store, experiment, seed=1)
+        envelope = store.get_envelope(key)
+        assert envelope["schema"] == "repro.store.artifact/v1"
+        assert envelope["version"] == repro.__version__
+        assert envelope["kind"] == "run-result"
+        assert envelope["descriptor"]["simulate"]["seed"] == 1
+        assert envelope["payload"]["version"] == repro.__version__
+
+    def test_incompatible_artifact_schema_rejected(self, store, experiment):
+        key = self._put_run(store, experiment, seed=1)
+        path = store._artifact_path(key)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = "repro.store.artifact/v99"
+        envelope["version"] = "9.9.9"
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(StoreError, match="9.9.9"):
+            store.get_envelope(key)
+
+    def test_wrong_kind_for_load_run(self, store, race_network):
+        runner = EnsembleRunner(race_network, stopping=SpeciesThreshold("d1", 5))
+        store.put("aa" * 32, runner.run(5, seed=1))
+        with pytest.raises(StoreError, match="run-result"):
+            store.load_run("aa" * 32)
+
+    def test_index_self_heals_from_artifact_files(self, store, experiment):
+        key = self._put_run(store, experiment, seed=1)
+        store._index_path.unlink()
+        assert store.load_run(key) is not None
+        assert key in store.keys()
+
+    def test_evict(self, store, experiment):
+        key = self._put_run(store, experiment, seed=1)
+        assert store.evict(key)
+        assert not store.has(key)
+        assert not store.evict(key)
+
+    def test_gc_by_count_evicts_lru(self, store, experiment):
+        keys = [self._put_run(store, experiment, seed=seed) for seed in (1, 2, 3)]
+        store.get(keys[0])  # refresh key 0: key 1 becomes the LRU
+        evicted = store.gc(max_artifacts=2)
+        assert evicted == [keys[1]]
+        assert store.has(keys[0]) and store.has(keys[2])
+
+    def test_gc_by_bytes(self, store, experiment):
+        for seed in (1, 2, 3):
+            self._put_run(store, experiment, seed=seed)
+        evicted = store.gc(max_bytes=0)
+        assert len(evicted) == 3
+        assert store.keys() == []
+
+    def test_standing_limit_applies_on_put(self, tmp_path, experiment):
+        store = ResultStore(tmp_path / "bounded", max_artifacts=2)
+        for seed in (1, 2, 3, 4):
+            self._put_run(store, experiment, seed=seed)
+        assert len(store.keys()) == 2
+
+    def test_stats(self, store, experiment):
+        self._put_run(store, experiment, seed=1)
+        stats = store.stats()
+        assert stats["artifacts"] == 1
+        assert stats["bytes"] > 0
+        assert stats["campaigns"] == 0
+
+    def test_store_is_picklable(self, store):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.root == store.root
+        assert clone.keys() == store.keys()
+
+
+class TestSweepIntegration:
+    def test_sweep_with_store_caches_points(self, store):
+        from repro.analysis.sweep import ParameterSweep
+
+        def build(gamma):
+            return Experiment.from_distribution({"a": 0.5, "b": 0.5}, gamma=gamma)
+
+        sweep = ParameterSweep.over_experiments(
+            "gamma", [10.0, 100.0], build, store=store, trials=30, seed=7
+        )
+        first = sweep.run()
+        assert len(store.keys()) == 2
+        second = sweep.run()  # all points served from cache
+        assert len(store.keys()) == 2
+        assert first.rows == second.rows
