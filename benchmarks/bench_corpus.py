@@ -1,0 +1,129 @@
+"""A8 — Conformance corpus through the result store: cross-model caching.
+
+The corpus (``repro.zoo.corpus``) is the standing heterogeneous traffic
+source: many small models rather than one big one.  This harness drives a
+campaign with one cell per enrolled corpus model through ``CampaignRunner``
+twice against the same store and checks the cache contract holds *across
+models*:
+
+* the fresh run computes every cell, the resumed run computes none;
+* every cell's warm result is **byte-identical** to its cold result (same
+  JSON, so fingerprinting keeps heterogeneous models apart and artifacts are
+  reproduced exactly);
+* no two models collide on a store key.
+
+Run directly for a wall-clock report (CI uses ``--smoke``, which trims the
+per-cell trial count)::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `import _config` under direct run
+
+from _config import report
+
+from repro.analysis import format_table
+from repro.store import Campaign, CampaignCell, CampaignRunner, ResultStore
+from repro.zoo.corpus import corpus_entries
+
+SEED = 2007
+ENGINE = "direct"
+TRIALS = 2_000
+SMOKE_TRIALS = 200
+
+
+def corpus_campaign(trials: int) -> Campaign:
+    """One cell per enrolled model — a deliberately heterogeneous grid."""
+    cells = [
+        CampaignCell(
+            name=entry.name,
+            experiment=entry.model.experiment(),
+            trials=trials,
+            engine=ENGINE,
+            seed=SEED,
+        )
+        for entry in corpus_entries()
+    ]
+    return Campaign("corpus", cells)
+
+
+def bench_corpus_store(root: Path, trials: int) -> "tuple[list[dict], dict]":
+    store = ResultStore(root / "corpus-store")
+    runner = CampaignRunner(store)
+    campaign = corpus_campaign(trials)
+
+    start = time.perf_counter()
+    cold = runner.run(campaign)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = runner.run(campaign)
+    warm_s = time.perf_counter() - start
+
+    n_cells = len(campaign.cells)
+    computed_keys = cold.computed_keys()
+    assert len(computed_keys) == n_cells, "fresh run did not compute every model"
+    assert len(set(computed_keys)) == n_cells, "store keys collide across models"
+    assert warm.computed_keys() == [], "resumed corpus campaign recomputed cells"
+    assert len(warm.cached_keys()) == n_cells
+
+    mismatches = [
+        name
+        for name, cold_result in cold.results.items()
+        if cold_result.to_json() != warm.results[name].to_json()
+    ]
+    assert not mismatches, f"cache hits not byte-identical for: {mismatches}"
+
+    rows = [
+        {
+            "cell": outcome.cell.name,
+            "trials": outcome.cell.trials,
+            "status": outcome.status,
+            "key": outcome.key[:12],
+        }
+        for outcome in cold.outcomes
+    ]
+    summary = {
+        "models": n_cells,
+        "trials/model": trials,
+        "cold (s)": cold_s,
+        "warm (s)": warm_s,
+        "speedup": cold_s / warm_s,
+        "store (KB)": store.stats()["bytes"] / 1024.0,
+    }
+    return rows, summary
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", "--quick", action="store_true", dest="smoke",
+        help="CI mode: fewer trials per model, byte-identity assertions only",
+    )
+    args = parser.parse_args(argv)
+    trials = SMOKE_TRIALS if args.smoke else TRIALS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rows, summary = bench_corpus_store(Path(tmp), trials)
+        body = format_table([summary], floatfmt="{:.4g}")
+        if not args.smoke:
+            body += "\n\n" + format_table(rows)
+        verdict = (
+            f"\n{summary['models']} corpus models cached and resumed: warm run "
+            f"{summary['speedup']:.0f}x faster, every hit byte-identical"
+        )
+        report("Conformance corpus through the result store", body + verdict)
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,7 +69,7 @@ from repro.api import Experiment, RunResult
 from repro.store import Campaign, CampaignRunner, ResultStore
 from repro.client import ServiceClient
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -160,6 +160,22 @@ class Experiment:
             label=getattr(network, "name", "network") or "network",
         )
 
+    @classmethod
+    def from_zoo(cls, name: str) -> "Experiment":
+        """Load a model-zoo entry by name as an experiment-ready instance.
+
+        Zoo models live in ``models/*.yaml`` (see :mod:`repro.zoo`); the
+        document's outcome thresholds become the stopping condition and the
+        FSP state classifier, so the returned experiment runs unchanged on
+        every engine, sampling or exact::
+
+            >>> Experiment.from_zoo("polya-urn").simulate(engine="fsp").exact
+            {'first': 0.5..., 'second': 0.4...}
+        """
+        from repro.zoo import load_model
+
+        return load_model(name).experiment()
+
     # -- fluent refinement -------------------------------------------------------
 
     def _replace(self, **changes: Any) -> "Experiment":

@@ -233,6 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
     engines.add_argument("--verbose", action="store_true",
                          help="include the one-line engine descriptions")
 
+    models = subparsers.add_parser(
+        "models",
+        help="list, inspect and validate the model zoo and conformance corpus",
+    )
+    models.add_argument("--show", metavar="NAME", default=None,
+                        help="print one model's canonical YAML document and its "
+                             "reaction listing instead of the overview table")
+    models.add_argument("--validate", action="store_true",
+                        help="schema-check every zoo document, verify "
+                             "serialization round trips, run structural network "
+                             "validation and the generator determinism smoke; "
+                             "exits non-zero on any failure")
+
     fig3 = subparsers.add_parser("figure3", help="reproduce Figure 3 (error vs gamma)")
     fig3.add_argument("--gammas", default="1,10,100,1000")
     fig3.add_argument("--trials", type=int, default=500)
@@ -386,6 +399,84 @@ def _cmd_engines(args) -> int:
     return 0
 
 
+def _cmd_models(args) -> int:
+    from repro.crn import model_from_yaml, model_to_yaml
+    from repro.crn.validate import validate_network
+    from repro.zoo import load_model, models_dir, zoo_names
+    from repro.zoo.corpus import GENERATED_PRESETS, corpus_entries, generate_model
+
+    if args.show is not None:
+        model = load_model(args.show)
+        print(model_to_yaml(model), end="")
+        print()
+        print(model.network().pretty())
+        return 0
+
+    if args.validate:
+        failures = 0
+        for name in zoo_names():
+            problems = []
+            try:
+                model = load_model(name)
+                if model_from_yaml(model_to_yaml(model)) != model:
+                    problems.append("serialization round trip is not identity")
+                report = validate_network(model.network())
+                problems.extend(report.errors)
+                if model.conformance.enroll and not model.outcomes:
+                    problems.append("enrolled but declares no outcomes")
+            except ReproError as error:
+                problems.append(str(error))
+            status = "ok" if not problems else "FAIL: " + "; ".join(problems)
+            failures += bool(problems)
+            print(f"  zoo       {name:30s} {status}")
+        for config, seed in GENERATED_PRESETS:
+            model = generate_model(config, seed)
+            problems = []
+            if generate_model(config, seed) != model:
+                problems.append("generator is not seed-deterministic")
+            if model_from_yaml(model_to_yaml(model)) != model:
+                problems.append("serialization round trip is not identity")
+            problems.extend(validate_network(model.network()).errors)
+            status = "ok" if not problems else "FAIL: " + "; ".join(problems)
+            failures += bool(problems)
+            print(f"  generated {model.name:30s} {status}")
+        print()
+        if failures:
+            print(f"{failures} model(s) failed validation")
+            return 1
+        print("all models valid")
+        return 0
+
+    rows = []
+    for entry in corpus_entries():
+        model = entry.model
+        rows.append({
+            "model": entry.name,
+            "source": entry.source,
+            "species": len(model.species),
+            "reactions": len(model.reactions),
+            "outcomes": len(model.outcomes),
+            "enrolled": "yes" if model.conformance.enroll else "-",
+            "fsp": "yes" if model.conformance.fsp_tractable else "-",
+        })
+    corpus_set = {entry.name for entry in corpus_entries()}
+    for name in zoo_names():
+        if name in corpus_set:
+            continue
+        model = load_model(name)
+        rows.append({
+            "model": name,
+            "source": "zoo",
+            "species": len(model.species),
+            "reactions": len(model.reactions),
+            "outcomes": len(model.outcomes),
+            "enrolled": "yes" if model.conformance.enroll else "-",
+            "fsp": "yes" if model.conformance.fsp_tractable else "-",
+        })
+    print(format_table(rows, title=f"Model zoo ({models_dir()})"))
+    return 0
+
+
 def _cmd_figure3(args) -> int:
     gammas = _parse_float_list(args.gammas)
     points = gamma_sweep(
@@ -487,6 +578,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "settle": _cmd_settle,
     "engines": _cmd_engines,
+    "models": _cmd_models,
     "serve": _cmd_serve,
     "figure3": _cmd_figure3,
     "figure5": _cmd_figure5,

@@ -13,7 +13,23 @@ This subpackage is the substrate everything else builds on:
 """
 
 from repro.crn.builder import NetworkBuilder
+from repro.crn.generate import GeneratorConfig, generate_model, generate_network
 from repro.crn.graph import GraphSummary, bipartite_graph, graph_summary, to_dot
+from repro.crn.importer import (
+    MODEL_SCHEMA,
+    ConformancePolicy,
+    ModelDocument,
+    OutcomeSpec,
+    SpeciesSpec,
+    load_model_file,
+    model_from_dict,
+    model_from_json,
+    model_from_yaml,
+    model_to_dict,
+    model_to_json,
+    model_to_yaml,
+    save_model_file,
+)
 from repro.crn.namespacing import build_namespace_map, namespace_network, wire
 from repro.crn.network import ReactionNetwork
 from repro.crn.parser import format_network, format_reaction, parse_network, parse_reaction
@@ -56,6 +72,22 @@ __all__ = [
     "network_from_json",
     "save_network",
     "load_network",
+    "MODEL_SCHEMA",
+    "ModelDocument",
+    "SpeciesSpec",
+    "OutcomeSpec",
+    "ConformancePolicy",
+    "model_from_dict",
+    "model_to_dict",
+    "model_from_yaml",
+    "model_to_yaml",
+    "model_from_json",
+    "model_to_json",
+    "load_model_file",
+    "save_model_file",
+    "GeneratorConfig",
+    "generate_model",
+    "generate_network",
     "StoichiometryMatrix",
     "stoichiometry_matrix",
     "reactant_matrix",

@@ -1,0 +1,255 @@
+"""Seeded random-CRN generation for the conformance corpus.
+
+The conformance suite needs models the repo's authors did *not* hand-tune —
+otherwise "engines agree across a corpus" quietly degrades into "engines
+agree on the networks we happened to write down".  This module composes
+random race networks from node/edge reaction templates (the abc-sysbio
+``network_defs`` approach) under constraints that make every generated model
+**FSP-tractable by construction**:
+
+* Species are organized as ``n_outcomes`` conversion chains; each species
+  has a *depth* (pool ``e{i}`` at depth 0, intermediates ``m{i}_{d}``,
+  outcome marker ``d{i}`` at the end of the chain).
+* Every reaction template — backbone conversion, cross-chain edge,
+  catalysed shortcut — moves exactly one molecule to a *strictly deeper*
+  species and conserves the total molecule count.  The total depth sum is
+  a bounded monotone quantity, so every trajectory terminates, the
+  reachable state space is finite, and every terminal state holds all
+  ``scale`` molecules in outcome markers.
+* Outcome thresholds are ``max(1, scale // (2 * n_outcomes))`` per marker;
+  by pigeonhole the largest marker count at termination is at least
+  ``ceil(scale / n_outcomes)``, which clears the threshold — **no trajectory
+  is ever undecided**, and the FSP oracle's absorbed probability mass sums
+  to one.
+
+Randomness comes only from ``numpy.random.default_rng(seed)``: same
+``(config, seed)`` pair, same network, bit for bit — the property the
+seed-determinism regression locks in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crn.importer import (
+    ConformancePolicy,
+    ModelDocument,
+    OutcomeSpec,
+    SpeciesSpec,
+)
+from repro.crn.network import ReactionNetwork
+from repro.crn.reaction import Reaction
+from repro.errors import GeneratorError
+
+__all__ = ["GeneratorConfig", "generate_model", "generate_network"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the random race-network generator.
+
+    Attributes
+    ----------
+    n_outcomes:
+        Number of conversion chains (and therefore outcome markers).
+    chain_length:
+        Reactions per backbone chain; depth runs 0 (pool) … chain_length
+        (marker), so ``chain_length=1`` is a direct ``e → d`` race and
+        larger values add intermediates.
+    cross_edges:
+        Cross-chain conversion templates (``src → dst`` with the
+        destination on another chain and strictly deeper).
+    catalytic_edges:
+        Catalysed shortcut templates ``d{j} + src → d{j} + dst`` — a rival
+        chain's marker accelerates conversion, giving the generated models
+        genuine winner-takes-more feedback while staying count-conserving.
+    scale:
+        Total molecule count, partitioned randomly over the chain pools
+        (each pool gets at least one molecule).
+    stiffness:
+        Width of the log-uniform rate distribution in decades: rates are
+        drawn from ``10**U(-stiffness/2, +stiffness/2)``, so ``stiffness=4``
+        yields rate ratios up to ~10⁴.
+    """
+
+    n_outcomes: int = 2
+    chain_length: int = 2
+    cross_edges: int = 1
+    catalytic_edges: int = 0
+    scale: int = 16
+    stiffness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_outcomes < 2:
+            raise GeneratorError(
+                f"n_outcomes must be >= 2 (a race needs rivals), got {self.n_outcomes}"
+            )
+        if self.chain_length < 1:
+            raise GeneratorError(f"chain_length must be >= 1, got {self.chain_length}")
+        if self.cross_edges < 0 or self.catalytic_edges < 0:
+            raise GeneratorError("cross_edges and catalytic_edges must be >= 0")
+        if self.scale < 2 * self.n_outcomes:
+            raise GeneratorError(
+                f"scale must be >= 2 * n_outcomes = {2 * self.n_outcomes} "
+                f"(every pool needs molecules to race with), got {self.scale}"
+            )
+        if not math.isfinite(self.stiffness) or self.stiffness < 0:
+            raise GeneratorError(f"stiffness must be finite and >= 0, got {self.stiffness}")
+        max_edges = (
+            self.n_outcomes
+            * (self.n_outcomes - 1)
+            * self.chain_length
+            * (self.chain_length + 1)
+            // 2
+        )
+        if self.cross_edges > max_edges:
+            raise GeneratorError(
+                f"cross_edges={self.cross_edges} exceeds the {max_edges} distinct "
+                "cross-chain (source, deeper destination) pairs for this topology"
+            )
+        if self.catalytic_edges > max_edges:
+            raise GeneratorError(
+                f"catalytic_edges={self.catalytic_edges} exceeds the {max_edges} "
+                "distinct (catalyst, source, deeper destination) templates"
+            )
+
+
+def _species_at(chain: int, depth: int, length: int) -> str:
+    """Deterministic species name for chain ``chain`` at ``depth``."""
+    if depth == 0:
+        return f"e{chain}"
+    if depth == length:
+        return f"d{chain}"
+    return f"m{chain}_{depth}"
+
+
+def _draw_rate(rng: np.random.Generator, stiffness: float) -> float:
+    return float(10.0 ** rng.uniform(-stiffness / 2.0, stiffness / 2.0))
+
+
+def generate_model(config: "GeneratorConfig | None" = None, seed: int = 0) -> ModelDocument:
+    """Generate a random, FSP-tractable race model.
+
+    Deterministic in ``(config, seed)``; the returned
+    :class:`~repro.crn.importer.ModelDocument` is enrolled in the
+    conformance corpus and records its provenance (generator parameters and
+    seed) in ``metadata``.
+    """
+    config = config or GeneratorConfig()
+    rng = np.random.default_rng(seed)
+    k, length = config.n_outcomes, config.chain_length
+    chains = range(1, k + 1)
+
+    reactions: list[Reaction] = []
+    # Backbone node templates: each chain converts pool → … → marker.
+    for chain in chains:
+        for depth in range(length):
+            reactions.append(
+                Reaction(
+                    {_species_at(chain, depth, length): 1},
+                    {_species_at(chain, depth + 1, length): 1},
+                    rate=_draw_rate(rng, config.stiffness),
+                    name=f"chain{chain}[{depth}]",
+                    category="backbone",
+                )
+            )
+
+    # Candidate (source, destination) pairs with the destination strictly
+    # deeper and on a different chain — built in a fixed order so the rng
+    # draw is the only source of variation.
+    cross_pairs = [
+        (src_chain, src_depth, dst_chain, dst_depth)
+        for src_chain in chains
+        for dst_chain in chains
+        if dst_chain != src_chain
+        for src_depth in range(length)
+        for dst_depth in range(src_depth + 1, length + 1)
+    ]
+    for index in rng.choice(len(cross_pairs), size=config.cross_edges, replace=False):
+        src_chain, src_depth, dst_chain, dst_depth = cross_pairs[int(index)]
+        reactions.append(
+            Reaction(
+                {_species_at(src_chain, src_depth, length): 1},
+                {_species_at(dst_chain, dst_depth, length): 1},
+                rate=_draw_rate(rng, config.stiffness),
+                name=f"cross{src_chain}.{src_depth}->{dst_chain}.{dst_depth}",
+                category="cross",
+            )
+        )
+
+    # Catalysed shortcuts: a marker accelerates a within-chain conversion.
+    catalytic_pairs = [
+        (catalyst_chain, chain, src_depth, dst_depth)
+        for catalyst_chain in chains
+        for chain in chains
+        if chain != catalyst_chain
+        for src_depth in range(length)
+        for dst_depth in range(src_depth + 1, length + 1)
+    ]
+    for index in rng.choice(
+        len(catalytic_pairs), size=config.catalytic_edges, replace=False
+    ):
+        catalyst_chain, chain, src_depth, dst_depth = catalytic_pairs[int(index)]
+        catalyst = _species_at(catalyst_chain, length, length)
+        src = _species_at(chain, src_depth, length)
+        dst = _species_at(chain, dst_depth, length)
+        reactions.append(
+            Reaction(
+                {catalyst: 1, src: 1},
+                {catalyst: 1, dst: 1},
+                rate=_draw_rate(rng, config.stiffness),
+                name=f"cat{catalyst_chain}:{chain}.{src_depth}->{chain}.{dst_depth}",
+                category="catalytic",
+            )
+        )
+
+    # Random pool partition: every chain starts with at least one molecule.
+    pools = rng.multinomial(config.scale - k, [1.0 / k] * k) + 1
+    species: list[SpeciesSpec] = []
+    for chain, pool in zip(chains, pools):
+        species.append(SpeciesSpec(_species_at(chain, 0, length), int(pool)))
+        for depth in range(1, length + 1):
+            species.append(SpeciesSpec(_species_at(chain, depth, length), 0))
+
+    threshold = max(1, config.scale // (2 * k))
+    outcomes = tuple(
+        OutcomeSpec(f"o{chain}", _species_at(chain, length, length), threshold)
+        for chain in chains
+    )
+
+    name = (
+        f"gen-k{k}-L{length}-x{config.cross_edges}-c{config.catalytic_edges}"
+        f"-n{config.scale}-seed{seed}"
+    )
+    return ModelDocument(
+        name=name,
+        reactions=tuple(reactions),
+        species=tuple(species),
+        outcomes=outcomes,
+        description=(
+            f"Generated race: {k} chains of length {length}, "
+            f"{config.cross_edges} cross + {config.catalytic_edges} catalytic edges, "
+            f"{config.scale} molecules, stiffness {config.stiffness} decades (seed {seed})."
+        ),
+        closed=True,
+        conformance=ConformancePolicy(enroll=True),
+        metadata=(
+            ("generator", {
+                "n_outcomes": k,
+                "chain_length": length,
+                "cross_edges": config.cross_edges,
+                "catalytic_edges": config.catalytic_edges,
+                "scale": config.scale,
+                "stiffness": config.stiffness,
+                "seed": int(seed),
+            }),
+        ),
+    )
+
+
+def generate_network(config: "GeneratorConfig | None" = None, seed: int = 0) -> ReactionNetwork:
+    """Shortcut: the :class:`ReactionNetwork` of :func:`generate_model`."""
+    return generate_model(config, seed).network()

@@ -1,0 +1,619 @@
+"""Declarative model descriptions: the ``repro.model/v1`` import schema.
+
+Everything the simulators consume so far is built in Python (the synthesis
+method, the λ-phage package, the test fixtures).  This module adds the
+missing front door: a declarative YAML/JSON **model document** that captures
+a complete experiment-ready model — species and initial counts, mass-action
+reactions (in mapping form or the text DSL), labelled outcome thresholds,
+conformance-corpus policy and free-form metadata — validates it against a
+versioned schema with *typed, field-addressed* errors, and maps it onto the
+:class:`~repro.crn.builder.NetworkBuilder` / :class:`~repro.api.Experiment`
+stack.
+
+.. code-block:: yaml
+
+    schema: repro.model/v1
+    name: birth-death
+    description: Gambler's-ruin birth-death race (boom vs extinction).
+    closed: true                    # no reaction may create net molecules
+    species:
+      - {name: x, initial: 8}
+      - {name: food, initial: 40}
+    reactions:
+      - "food + x ->{0.05} 2 x"     # DSL string form ...
+      - reactants: {x: 1}           # ... or explicit mapping form
+        products: {waste: 1}
+        rate: 1.0
+        name: death
+    outcomes:
+      - {label: boom, species: x, count: 30}
+      - {label: extinct, species: x, count: 0, comparison: "<="}
+    conformance:
+      enroll: true
+
+Validation failures raise :class:`~repro.errors.ModelSchemaError` whose
+``field`` attribute names the offending location (``"reactions[1].rate"``,
+``"species[2].name"`` ...), so a model file problem is a one-line fix, not
+an archaeology session.  Parsing is **normalizing and idempotent**:
+``parse(serialize(parse(text)))`` is identity (the round-trip contract the
+hypothesis suite enforces over the generated corpus).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.crn.builder import NetworkBuilder
+from repro.crn.network import ReactionNetwork
+from repro.crn.parser import parse_reaction
+from repro.crn.reaction import Reaction
+from repro.errors import ModelSchemaError, ParseError, ReactionError
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "SpeciesSpec",
+    "OutcomeSpec",
+    "ConformancePolicy",
+    "ModelDocument",
+    "model_from_dict",
+    "model_to_dict",
+    "model_from_yaml",
+    "model_to_yaml",
+    "model_from_json",
+    "model_to_json",
+    "load_model_file",
+    "save_model_file",
+]
+
+#: Version tag every model document must carry.
+MODEL_SCHEMA = "repro.model/v1"
+
+
+def _yaml():
+    """Import PyYAML lazily so JSON-only callers never need it installed."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ModelSchemaError(
+            "schema",
+            "YAML model documents require the optional PyYAML dependency "
+            "(pip install pyyaml), or use the JSON form instead",
+        ) from exc
+    return yaml
+
+
+@dataclass(frozen=True)
+class SpeciesSpec:
+    """One species declaration: its name and initial molecular count."""
+
+    name: str
+    initial: int = 0
+
+
+@dataclass(frozen=True)
+class OutcomeSpec:
+    """A labelled outcome threshold on one species.
+
+    ``comparison`` is ``">="`` (default, a race-to-threshold marker) or
+    ``"<="`` (e.g. extinction at count 0).  Outcomes double as the model's
+    stopping condition for sampling engines and as its absorbing-state
+    classifier for the exact FSP oracle, declared once.
+    """
+
+    label: str
+    species: str
+    count: int
+    comparison: str = ">="
+
+
+@dataclass(frozen=True)
+class ConformancePolicy:
+    """How (and whether) a model enrolls in the standing conformance corpus.
+
+    Attributes
+    ----------
+    enroll:
+        Enter the model in the cross-engine conformance suite.  Requires
+        outcomes and FSP tractability.
+    fsp_tractable:
+        Whether the exact FSP oracle can solve the model (bounded reachable
+        space under its outcome thresholds).  ``False`` keeps a model in the
+        zoo for sampling workloads while excluding it from oracle-backed
+        checks; see ``docs/testing.md`` for when to mark a model intractable.
+    fsp_max_states:
+        State budget handed to :class:`~repro.sim.fsp.FspOptions` when the
+        oracle solves this model.
+    min_expected:
+        Per-outcome expected-count floor used to derive the model's trial
+        budget from its exact probabilities (chi-squared validity demands
+        every expected count clear ~5; the default 10 doubles that).
+    max_trials:
+        Hard per-engine trial ceiling, bounding suite runtime even for
+        models with one rare outcome.
+    """
+
+    enroll: bool = False
+    fsp_tractable: bool = True
+    fsp_max_states: int = 200_000
+    min_expected: int = 10
+    max_trials: int = 800
+
+
+@dataclass(frozen=True)
+class ModelDocument:
+    """A parsed, validated ``repro.model/v1`` document.
+
+    Immutable value object: two documents are equal iff they describe the
+    same model (species, reactions, outcomes, policy, metadata), which is
+    what the round-trip identity tests compare.
+    """
+
+    name: str
+    reactions: "tuple[Reaction, ...]"
+    species: "tuple[SpeciesSpec, ...]" = ()
+    outcomes: "tuple[OutcomeSpec, ...]" = ()
+    description: str = ""
+    closed: bool = False
+    conformance: ConformancePolicy = field(default_factory=ConformancePolicy)
+    metadata: "tuple[tuple[str, Any], ...]" = ()
+
+    # -- mapping onto the CRN / experiment stack --------------------------------
+
+    def network(self) -> ReactionNetwork:
+        """Build the :class:`ReactionNetwork` (via :class:`NetworkBuilder`)."""
+        builder = NetworkBuilder(self.name, metadata=dict(self.metadata))
+        for reaction in self.reactions:
+            builder.add(reaction)
+        for spec in self.species:
+            builder.declare(spec.name)
+            if spec.initial:
+                builder.initial(spec.name, spec.initial)
+        return builder.build()
+
+    def stopping(self):
+        """The outcome thresholds as a serializable stopping condition.
+
+        All-``">="`` outcome sets compile to one
+        :class:`~repro.sim.events.OutcomeThresholds`; mixed comparisons
+        compile to an :class:`~repro.sim.events.AnyCondition` of labelled
+        :class:`~repro.sim.events.SpeciesThreshold` conditions.  Either way
+        the stop detail *is* the outcome label, so the default stop-detail
+        classifier aggregates outcomes with no extra configuration.  Returns
+        ``None`` for models without outcomes.
+        """
+        from repro.sim.events import AnyCondition, OutcomeThresholds, SpeciesThreshold
+
+        if not self.outcomes:
+            return None
+        if all(outcome.comparison == ">=" for outcome in self.outcomes):
+            return OutcomeThresholds(
+                {o.label: (o.species, o.count) for o in self.outcomes}
+            )
+        return AnyCondition(
+            [
+                SpeciesThreshold(
+                    o.species, o.count, comparison=o.comparison, label=o.label
+                )
+                for o in self.outcomes
+            ]
+        )
+
+    def state_classifier(self):
+        """The outcomes as an FSP absorbing-state classifier (or ``None``)."""
+        from repro.sim.fsp import ThresholdStateClassifier
+
+        if not self.outcomes:
+            return None
+        return ThresholdStateClassifier(
+            {o.label: (o.species, o.count, o.comparison) for o in self.outcomes}
+        )
+
+    def fsp_options(self):
+        """:class:`~repro.sim.fsp.FspOptions` honouring the conformance policy."""
+        from repro.sim.fsp import FspOptions
+
+        return FspOptions(max_states=self.conformance.fsp_max_states)
+
+    def experiment(self):
+        """An experiment-ready :class:`~repro.api.Experiment` for this model."""
+        from repro.api import Experiment
+
+        experiment = Experiment.from_network(self.network(), stopping=self.stopping())
+        classifier = self.state_classifier()
+        if classifier is not None:
+            experiment = experiment.classify_states(classifier)
+        return experiment.named(self.name)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The canonical dictionary form (inverse of :func:`model_from_dict`)."""
+        return model_to_dict(self)
+
+    def to_yaml(self) -> str:
+        return model_to_yaml(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return model_to_json(self, indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# parsing (dict → ModelDocument) with field-addressed validation
+# ---------------------------------------------------------------------------
+
+
+def _require_mapping(value: Any, where: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        raise ModelSchemaError(where, f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+def _require_str(value: Any, where: str) -> str:
+    if not isinstance(value, str) or not value.strip():
+        raise ModelSchemaError(where, f"expected a non-empty string, got {value!r}")
+    return value.strip()
+
+
+def _require_int(value: Any, where: str, minimum: "int | None" = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ModelSchemaError(where, f"expected an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ModelSchemaError(where, f"must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def _parse_rate(value: Any, where: str) -> float:
+    """Rates may be numbers or numeric strings (``"1e3"``); anything else fails."""
+    if isinstance(value, bool):
+        raise ModelSchemaError(where, f"malformed rate {value!r}: expected a number")
+    if isinstance(value, str):
+        try:
+            value = float(value.strip())
+        except ValueError:
+            raise ModelSchemaError(
+                where, f"malformed rate {value!r}: not a numeric literal"
+            ) from None
+    if not isinstance(value, (int, float)):
+        raise ModelSchemaError(where, f"malformed rate {value!r}: expected a number")
+    rate = float(value)
+    if not math.isfinite(rate) or rate <= 0.0:
+        raise ModelSchemaError(where, f"rate must be positive and finite, got {rate}")
+    return rate
+
+
+def _parse_side(value: Any, where: str) -> dict[str, int]:
+    side = _require_mapping(value, where) if value is not None else {}
+    result: dict[str, int] = {}
+    for name, coefficient in side.items():
+        name = _require_str(name, f"{where}[{name!r}]")
+        count = _require_int(coefficient, f"{where}[{name!r}]", minimum=1)
+        result[name] = count
+    return result
+
+
+def _parse_reaction_entry(entry: Any, where: str) -> Reaction:
+    if isinstance(entry, str):
+        try:
+            return parse_reaction(entry)
+        except ParseError as exc:
+            raise ModelSchemaError(where, str(exc)) from exc
+    data = _require_mapping(entry, where)
+    unknown = set(data) - {"reactants", "products", "rate", "name", "category"}
+    if unknown:
+        raise ModelSchemaError(
+            where, f"unknown reaction keys: {', '.join(sorted(unknown))}"
+        )
+    if "rate" not in data:
+        raise ModelSchemaError(f"{where}.rate", "reaction is missing its rate")
+    rate = _parse_rate(data["rate"], f"{where}.rate")
+    reactants = _parse_side(data.get("reactants"), f"{where}.reactants")
+    products = _parse_side(data.get("products"), f"{where}.products")
+    try:
+        return Reaction(
+            reactants,
+            products,
+            rate=rate,
+            name=str(data.get("name", "")),
+            category=str(data.get("category", "")),
+        )
+    except ReactionError as exc:
+        raise ModelSchemaError(where, str(exc)) from exc
+
+
+def _parse_species(data: Any) -> "tuple[SpeciesSpec, ...]":
+    if data is None:
+        return ()
+    if not isinstance(data, (list, tuple)):
+        raise ModelSchemaError("species", "expected a list of species declarations")
+    specs: list[SpeciesSpec] = []
+    seen: set[str] = set()
+    for index, entry in enumerate(data):
+        where = f"species[{index}]"
+        if isinstance(entry, str):
+            name, initial = _require_str(entry, f"{where}.name"), 0
+        else:
+            mapping = _require_mapping(entry, where)
+            unknown = set(mapping) - {"name", "initial"}
+            if unknown:
+                raise ModelSchemaError(
+                    where, f"unknown species keys: {', '.join(sorted(unknown))}"
+                )
+            name = _require_str(mapping.get("name"), f"{where}.name")
+            initial = _require_int(mapping.get("initial", 0), f"{where}.initial", minimum=0)
+        if name in seen:
+            raise ModelSchemaError(
+                f"{where}.name", f"duplicate species {name!r}: declared earlier in the list"
+            )
+        seen.add(name)
+        specs.append(SpeciesSpec(name, initial))
+    return tuple(specs)
+
+
+def _parse_outcomes(data: Any, known_species: set[str]) -> "tuple[OutcomeSpec, ...]":
+    if data is None:
+        return ()
+    if not isinstance(data, (list, tuple)):
+        raise ModelSchemaError("outcomes", "expected a list of outcome declarations")
+    outcomes: list[OutcomeSpec] = []
+    seen: set[str] = set()
+    for index, entry in enumerate(data):
+        where = f"outcomes[{index}]"
+        mapping = _require_mapping(entry, where)
+        unknown = set(mapping) - {"label", "species", "count", "comparison"}
+        if unknown:
+            raise ModelSchemaError(
+                where, f"unknown outcome keys: {', '.join(sorted(unknown))}"
+            )
+        label = _require_str(mapping.get("label"), f"{where}.label")
+        species = _require_str(mapping.get("species"), f"{where}.species")
+        count = _require_int(mapping.get("count"), f"{where}.count", minimum=0)
+        comparison = str(mapping.get("comparison", ">="))
+        if comparison not in (">=", "<="):
+            raise ModelSchemaError(
+                f"{where}.comparison", f"must be '>=' or '<=', got {comparison!r}"
+            )
+        if label in seen:
+            raise ModelSchemaError(f"{where}.label", f"duplicate outcome label {label!r}")
+        seen.add(label)
+        if species not in known_species:
+            raise ModelSchemaError(
+                f"{where}.species",
+                f"unknown species {species!r}: not declared and not used by any reaction",
+            )
+        outcomes.append(OutcomeSpec(label, species, count, comparison))
+    return tuple(outcomes)
+
+
+def _parse_conformance(data: Any) -> ConformancePolicy:
+    if data is None:
+        return ConformancePolicy()
+    mapping = _require_mapping(data, "conformance")
+    unknown = set(mapping) - {
+        "enroll", "fsp_tractable", "fsp_max_states", "min_expected", "max_trials",
+    }
+    if unknown:
+        raise ModelSchemaError(
+            "conformance", f"unknown conformance keys: {', '.join(sorted(unknown))}"
+        )
+    policy = ConformancePolicy(
+        enroll=bool(mapping.get("enroll", False)),
+        fsp_tractable=bool(mapping.get("fsp_tractable", True)),
+        fsp_max_states=_require_int(
+            mapping.get("fsp_max_states", 200_000), "conformance.fsp_max_states", minimum=1
+        ),
+        min_expected=_require_int(
+            mapping.get("min_expected", 10), "conformance.min_expected", minimum=1
+        ),
+        max_trials=_require_int(
+            mapping.get("max_trials", 800), "conformance.max_trials", minimum=1
+        ),
+    )
+    if policy.enroll and not policy.fsp_tractable:
+        raise ModelSchemaError(
+            "conformance.enroll",
+            "cannot enroll an FSP-intractable model: the conformance corpus "
+            "checks every engine against the exact FSP oracle",
+        )
+    return policy
+
+
+def _check_closed(reactions: "tuple[Reaction, ...]") -> None:
+    """Closed models must never create net molecules (FSP tractability aid)."""
+    for index, reaction in enumerate(reactions):
+        consumed = sum(reaction.reactants.values())
+        produced = sum(reaction.products.values())
+        if produced > consumed:
+            raise ModelSchemaError(
+                f"reactions[{index}]",
+                f"non-conservative stoichiometry in closed model: {reaction} "
+                f"creates {produced - consumed} net molecule(s); closed models "
+                "require every reaction to conserve or reduce the total count",
+            )
+
+
+def model_from_dict(data: Mapping) -> ModelDocument:
+    """Parse and validate a ``repro.model/v1`` mapping into a :class:`ModelDocument`.
+
+    Raises
+    ------
+    ModelSchemaError
+        With ``field`` naming the offending schema location, on any
+        violation: unknown schema version, duplicate species or outcome
+        labels, malformed rates, invalid stoichiometry, unknown outcome
+        species, or net molecule creation in a ``closed: true`` model.
+    """
+    data = _require_mapping(data, "$")
+    schema = data.get("schema")
+    if schema != MODEL_SCHEMA:
+        raise ModelSchemaError(
+            "schema",
+            f"unknown schema version {schema!r}; this importer reads {MODEL_SCHEMA!r}",
+        )
+    known_keys = {
+        "schema", "name", "description", "species", "reactions", "outcomes",
+        "closed", "conformance", "metadata",
+    }
+    unknown = set(data) - known_keys
+    if unknown:
+        raise ModelSchemaError("$", f"unknown top-level keys: {', '.join(sorted(unknown))}")
+    name = _require_str(data.get("name"), "name")
+    description = str(data.get("description", "") or "")
+
+    raw_reactions = data.get("reactions")
+    if not isinstance(raw_reactions, (list, tuple)) or not raw_reactions:
+        raise ModelSchemaError("reactions", "expected a non-empty list of reactions")
+    reactions = tuple(
+        _parse_reaction_entry(entry, f"reactions[{index}]")
+        for index, entry in enumerate(raw_reactions)
+    )
+
+    species = _parse_species(data.get("species"))
+    # Normalize: species used by reactions but not declared are appended (at
+    # initial count 0) in first-use order, so the document lists its full
+    # species census and reparsing the serialized form is an identity.
+    declared = {spec.name for spec in species}
+    appended: list[SpeciesSpec] = []
+    for reaction in reactions:
+        for sp in sorted(reaction.species, key=lambda s: s.name):
+            if sp.name not in declared:
+                declared.add(sp.name)
+                appended.append(SpeciesSpec(sp.name, 0))
+    species = species + tuple(appended)
+
+    outcomes = _parse_outcomes(data.get("outcomes"), declared)
+    closed = bool(data.get("closed", False))
+    if closed:
+        _check_closed(reactions)
+    conformance = _parse_conformance(data.get("conformance"))
+    if conformance.enroll and not outcomes:
+        raise ModelSchemaError(
+            "conformance.enroll",
+            "cannot enroll a model without outcomes: the conformance corpus "
+            "compares outcome distributions against the FSP oracle",
+        )
+    metadata = data.get("metadata") or {}
+    metadata = _require_mapping(metadata, "metadata") if metadata else {}
+    return ModelDocument(
+        name=name,
+        reactions=reactions,
+        species=species,
+        outcomes=outcomes,
+        description=description,
+        closed=closed,
+        conformance=conformance,
+        metadata=tuple((str(k), v) for k, v in metadata.items()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# serialization (ModelDocument → dict / YAML / JSON)
+# ---------------------------------------------------------------------------
+
+
+def model_to_dict(model: ModelDocument) -> dict:
+    """The canonical mapping form; ``model_from_dict`` of it is identity."""
+    document: dict[str, Any] = {
+        "schema": MODEL_SCHEMA,
+        "name": model.name,
+    }
+    if model.description:
+        document["description"] = model.description
+    if model.closed:
+        document["closed"] = True
+    document["species"] = [
+        {"name": spec.name, "initial": spec.initial} for spec in model.species
+    ]
+    document["reactions"] = [
+        {
+            "reactants": {s.name: c for s, c in reaction.reactants.items()},
+            "products": {s.name: c for s, c in reaction.products.items()},
+            "rate": reaction.rate,
+            "name": reaction.name,
+            "category": reaction.category,
+        }
+        for reaction in model.reactions
+    ]
+    if model.outcomes:
+        document["outcomes"] = [
+            {
+                "label": outcome.label,
+                "species": outcome.species,
+                "count": outcome.count,
+                "comparison": outcome.comparison,
+            }
+            for outcome in model.outcomes
+        ]
+    defaults = ConformancePolicy()
+    if model.conformance != defaults:
+        document["conformance"] = {
+            "enroll": model.conformance.enroll,
+            "fsp_tractable": model.conformance.fsp_tractable,
+            "fsp_max_states": model.conformance.fsp_max_states,
+            "min_expected": model.conformance.min_expected,
+            "max_trials": model.conformance.max_trials,
+        }
+    if model.metadata:
+        document["metadata"] = dict(model.metadata)
+    return document
+
+
+def model_from_yaml(text: str) -> ModelDocument:
+    """Parse a YAML model document."""
+    try:
+        data = _yaml().safe_load(text)
+    except Exception as exc:
+        raise ModelSchemaError("$", f"invalid YAML: {exc}") from exc
+    return model_from_dict(data if data is not None else {})
+
+
+def model_to_yaml(model: ModelDocument) -> str:
+    """Serialize to YAML (stable key order, block style)."""
+    return _yaml().safe_dump(
+        model_to_dict(model), sort_keys=False, default_flow_style=False
+    )
+
+
+def model_from_json(text: str) -> ModelDocument:
+    """Parse a JSON model document."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelSchemaError("$", f"invalid JSON: {exc}") from exc
+    return model_from_dict(data)
+
+
+def model_to_json(model: ModelDocument, indent: int = 2) -> str:
+    """Serialize to JSON."""
+    return json.dumps(model_to_dict(model), indent=indent)
+
+
+def load_model_file(path: "str | Path") -> ModelDocument:
+    """Load a model document from a ``.yaml``/``.yml`` or ``.json`` file."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in (".yaml", ".yml"):
+        return model_from_yaml(text)
+    if path.suffix.lower() == ".json":
+        return model_from_json(text)
+    raise ModelSchemaError(
+        "$", f"unrecognized model file extension {path.suffix!r} (expected .yaml/.json)"
+    )
+
+
+def save_model_file(model: ModelDocument, path: "str | Path") -> Path:
+    """Write a model document to disk (format chosen by extension)."""
+    path = Path(path)
+    if path.suffix.lower() in (".yaml", ".yml"):
+        path.write_text(model_to_yaml(model), encoding="utf-8")
+    elif path.suffix.lower() == ".json":
+        path.write_text(model_to_json(model), encoding="utf-8")
+    else:
+        raise ModelSchemaError(
+            "$",
+            f"unrecognized model file extension {path.suffix!r} (expected .yaml/.json)",
+        )
+    return path

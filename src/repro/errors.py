@@ -16,6 +16,8 @@ __all__ = [
     "NetworkValidationError",
     "ParseError",
     "SerializationError",
+    "ModelSchemaError",
+    "GeneratorError",
     "SimulationError",
     "PropensityError",
     "StoppingConditionError",
@@ -68,6 +70,23 @@ class ParseError(CRNError):
 
 class SerializationError(CRNError):
     """A network could not be serialized or deserialized."""
+
+
+class ModelSchemaError(SerializationError):
+    """A declarative model description violates the import schema.
+
+    Raised by :mod:`repro.crn.importer` with :attr:`field` naming the
+    offending schema location (e.g. ``"reactions[2].rate"``), so callers and
+    error messages can point at the exact line of a model file.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        self.field = str(field)
+        super().__init__(f"{self.field}: {message}")
+
+
+class GeneratorError(CRNError):
+    """A random-CRN generator configuration is invalid."""
 
 
 # ---------------------------------------------------------------------------

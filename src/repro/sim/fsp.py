@@ -55,6 +55,7 @@ __all__ = [
     "FspResult",
     "FspEngine",
     "DominantSpeciesClassifier",
+    "ThresholdStateClassifier",
     "enumerate_states",
     "build_generator",
     "absorption_probabilities",
@@ -150,6 +151,67 @@ class DominantSpeciesClassifier:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DominantSpeciesClassifier({self.species_by_label!r})"
+
+
+class ThresholdStateClassifier:
+    """State classifier: the first declared outcome whose threshold holds.
+
+    Each outcome is a ``label → (species, count, comparison)`` entry with
+    comparison ``">="`` (default) or ``"<="``; outcomes are evaluated in
+    declaration order and the first satisfied one labels the state.  This is
+    the state-space mirror of the sampling-side threshold stopping conditions
+    (:class:`~repro.sim.events.OutcomeThresholds` /
+    :class:`~repro.sim.events.SpeciesThreshold`), so absorption probabilities
+    under it are exactly comparable with threshold-stopped trajectory
+    ensembles — the contract the conformance corpus relies on.
+
+    A module-level class (rather than a closure) so it pickles into worker
+    processes and serializes into store payloads (descriptor type
+    ``"threshold-race"``).
+    """
+
+    def __init__(
+        self, thresholds: Mapping[str, "Sequence"]
+    ) -> None:
+        if not thresholds:
+            raise FspError("thresholds must not be empty")
+        normalized: dict[str, tuple[str, int, str]] = {}
+        for label, spec in thresholds.items():
+            parts = list(spec)
+            if len(parts) == 2:
+                species, count = parts
+                comparison = ">="
+            elif len(parts) == 3:
+                species, count, comparison = parts
+            else:
+                raise FspError(
+                    f"outcome {label!r}: expected (species, count[, comparison]), "
+                    f"got {spec!r}"
+                )
+            if comparison not in (">=", "<="):
+                raise FspError(
+                    f"outcome {label!r}: comparison must be '>=' or '<=', "
+                    f"got {comparison!r}"
+                )
+            normalized[str(label)] = (str(species), int(count), str(comparison))
+        self.thresholds = normalized
+
+    def __call__(self, state: Mapping[str, int]) -> "str | None":
+        for label, (name, count, comparison) in self.thresholds.items():
+            value = int(state.get(name, 0))
+            if comparison == ">=" and value >= count:
+                return label
+            if comparison == "<=" and value <= count:
+                return label
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThresholdStateClassifier):
+            return NotImplemented
+        return self.thresholds == other.thresholds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThresholdStateClassifier({self.thresholds!r})"
 
 
 @dataclass

@@ -135,8 +135,8 @@ def _reject_untrusted_ref(data: Mapping) -> None:
         f"callable reference {data.get('ref')!r} rejected: this payload comes "
         "from an untrusted source (the HTTP service), and resolving it would "
         "import and execute arbitrary installed code — only the declarative "
-        "descriptor types (stop-detail / working-outcome / dominant-species) "
-        "are accepted over the wire"
+        "descriptor types (stop-detail / working-outcome / dominant-species / "
+        "threshold-race) are accepted over the wire"
     )
 
 
@@ -157,13 +157,21 @@ def _classifier_from_descriptor(data: "Mapping | None", trusted: bool = True):
 
 def _state_classifier_descriptor(experiment, network) -> "dict | None":
     """Descriptor of the state classifier used by distribution engines."""
-    from repro.sim.fsp import DominantSpeciesClassifier
+    from repro.sim.fsp import DominantSpeciesClassifier, ThresholdStateClassifier
 
     classifier = experiment._resolved_state_classifier(network)
     if isinstance(classifier, DominantSpeciesClassifier):
         return {
             "type": "dominant-species",
             "catalysts": dict(classifier.species_by_label),
+        }
+    if isinstance(classifier, ThresholdStateClassifier):
+        return {
+            "type": "threshold-race",
+            "thresholds": {
+                label: [species, count, comparison]
+                for label, (species, count, comparison) in classifier.thresholds.items()
+            },
         }
     return {"type": "callable", "ref": _callable_ref(classifier)}
 
@@ -176,6 +184,10 @@ def _state_classifier_from_descriptor(data: "Mapping | None", trusted: bool = Tr
         from repro.sim.fsp import DominantSpeciesClassifier
 
         return DominantSpeciesClassifier(data["catalysts"])
+    if kind == "threshold-race":
+        from repro.sim.fsp import ThresholdStateClassifier
+
+        return ThresholdStateClassifier(data["thresholds"])
     if kind == "callable":
         if not trusted:
             _reject_untrusted_ref(data)

@@ -1,0 +1,70 @@
+"""Curated model zoo: named, experiment-ready declarative models.
+
+The zoo is a directory of ``repro.model/v1`` YAML documents (``models/`` at
+the repository root, overridable via the ``REPRO_MODELS_DIR`` environment
+variable) plus this loader.  Models cover the scenario space the paper's own
+examples don't: birth-death ruin, a toggle switch, asymmetric races, a stiff
+cascade, a Pólya urn, dimerization, cross-catalytic predation, λ-phage
+lysis/lysogeny variants and an open Brusselator oscillator.
+
+``load_model(name)`` returns the parsed
+:class:`~repro.crn.importer.ModelDocument`;
+``Experiment.from_zoo(name)`` (or ``load_model(name).experiment()``) gives a
+ready-to-simulate experiment.  The models marked ``conformance.enroll`` form
+the standing cross-engine conformance corpus (see :mod:`repro.zoo.corpus`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.crn.importer import ModelDocument, load_model_file
+from repro.errors import ModelSchemaError
+
+__all__ = ["models_dir", "zoo_names", "load_model", "load_all"]
+
+#: Environment variable overriding the zoo directory.
+MODELS_DIR_ENV = "REPRO_MODELS_DIR"
+
+
+def models_dir() -> Path:
+    """The directory holding the zoo's ``*.yaml`` model documents."""
+    override = os.environ.get(MODELS_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "models"
+
+
+def zoo_names() -> "list[str]":
+    """Sorted names of every model in the zoo (file stems)."""
+    directory = models_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path.stem
+        for path in directory.iterdir()
+        if path.suffix.lower() in (".yaml", ".yml", ".json")
+    )
+
+
+def _model_path(name: str) -> Path:
+    directory = models_dir()
+    for suffix in (".yaml", ".yml", ".json"):
+        candidate = directory / f"{name}{suffix}"
+        if candidate.is_file():
+            return candidate
+    known = ", ".join(zoo_names()) or "(zoo directory is empty or missing)"
+    raise ModelSchemaError(
+        "name", f"unknown zoo model {name!r}; available models: {known}"
+    )
+
+
+def load_model(name: str) -> ModelDocument:
+    """Load one zoo model by name (its file stem)."""
+    return load_model_file(_model_path(name))
+
+
+def load_all() -> "dict[str, ModelDocument]":
+    """Load every zoo model, keyed by name."""
+    return {name: load_model(name) for name in zoo_names()}

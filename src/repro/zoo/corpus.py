@@ -1,0 +1,103 @@
+"""The standing conformance corpus: enrolled zoo + generated models.
+
+A *corpus entry* is a model every stochastic engine must reproduce: the
+exact FSP oracle solves its outcome distribution once, then each sampling
+engine's outcome counts are chi-squared-tested against the oracle at a
+per-model trial budget derived from the oracle probabilities (see
+:func:`trial_budget` and ``docs/testing.md``).
+
+The corpus has two sources:
+
+* zoo models whose document sets ``conformance.enroll: true``;
+* :data:`GENERATED_PRESETS` — fixed ``(GeneratorConfig, seed)`` pairs fed to
+  :func:`~repro.crn.generate.generate_model`.  Presets are chosen so the
+  outcome distribution is non-degenerate (every outcome probability is
+  large enough to test at a few hundred trials) and the reachable state
+  space stays small; they are frozen, so the corpus is stable across runs
+  and machines.
+
+Adding a model to the corpus is enrollment, not code: drop a YAML file in
+``models/`` with ``conformance.enroll: true`` (or append a preset here) and
+the conformance, determinism and store round-trip suites pick it up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crn.generate import GeneratorConfig, generate_model
+from repro.crn.importer import ModelDocument
+from repro.zoo import load_all
+
+__all__ = [
+    "GENERATED_PRESETS",
+    "CorpusEntry",
+    "corpus_entries",
+    "corpus_names",
+    "trial_budget",
+]
+
+#: Frozen (config, seed) pairs enrolled alongside the zoo. Chosen (by seed
+#: scan) for balanced outcome probabilities and small reachable spaces.
+GENERATED_PRESETS: "tuple[tuple[GeneratorConfig, int], ...]" = (
+    (GeneratorConfig(n_outcomes=2, chain_length=1, cross_edges=0,
+                     catalytic_edges=0, scale=16, stiffness=1.0), 3),
+    (GeneratorConfig(n_outcomes=3, chain_length=2, cross_edges=2,
+                     catalytic_edges=0, scale=15, stiffness=1.0), 3),
+    (GeneratorConfig(n_outcomes=2, chain_length=3, cross_edges=1,
+                     catalytic_edges=1, scale=14, stiffness=2.0), 6),
+)
+
+#: Default per-engine trial floor — below this, the chi-squared test has
+#: little power regardless of the probabilities.
+MIN_TRIALS = 200
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One enrolled model: its name, where it came from, and the document."""
+
+    name: str
+    source: str  # "zoo" or "generated"
+    model: ModelDocument
+
+
+def corpus_entries() -> "list[CorpusEntry]":
+    """Every enrolled model, zoo first (by name), then the generated presets."""
+    entries = [
+        CorpusEntry(name, "zoo", model)
+        for name, model in sorted(load_all().items())
+        if model.conformance.enroll
+    ]
+    for config, seed in GENERATED_PRESETS:
+        model = generate_model(config, seed)
+        entries.append(CorpusEntry(model.name, "generated", model))
+    return entries
+
+
+def corpus_names() -> "list[str]":
+    """Names of every enrolled model (stable corpus order)."""
+    return [entry.name for entry in corpus_entries()]
+
+
+def trial_budget(
+    probabilities: "dict[str, float]",
+    min_expected: int = 10,
+    max_trials: int = 800,
+    min_trials: int = MIN_TRIALS,
+) -> int:
+    """Per-engine trial count so every outcome's expected count clears a floor.
+
+    Given the oracle's decided outcome probabilities, the chi-squared test is
+    only trustworthy when each expected cell count ``n * p`` is comfortably
+    above ~5; this returns ``ceil(min_expected / min positive p)`` clamped to
+    ``[min_trials, max_trials]``.  Zero-probability outcomes are ignored —
+    they contribute no expected counts (and the test asserts separately that
+    engines never produce them).
+    """
+    positive = [p for p in probabilities.values() if p > 0.0]
+    if not positive:
+        return min_trials
+    needed = math.ceil(min_expected / min(positive))
+    return max(min_trials, min(max_trials, needed))

@@ -18,6 +18,8 @@ for the methodology and for when FSP beats sampling.
 
 from __future__ import annotations
 
+import zlib
+
 import pytest
 from scipy.stats import chi2
 
@@ -27,6 +29,8 @@ from repro.crn import parse_network
 from repro.sim import OutcomeThresholds
 from repro.sim.ensemble import EnsembleResult
 from repro.sim.registry import registry
+from repro.store.serialize import experiment_from_payload, experiment_to_payload
+from repro.zoo.corpus import corpus_entries, trial_budget
 
 #: Significance level of the chi-squared conformance threshold.  With seeded
 #: runs the suite is deterministic; 99.9% keeps the threshold meaningful while
@@ -160,3 +164,104 @@ def test_registry_parametrization_covers_all_samplers():
     assert {"direct", "first-reaction", "next-reaction", "tau-leaping",
             "batch-direct"} <= set(engines)
     assert "ode" not in engines and "fsp" not in engines
+
+
+# ---------------------------------------------------------------------------
+# the standing conformance corpus: every enrolled zoo/generated model, every
+# stochastic engine, against the FSP oracle (see docs/testing.md)
+# ---------------------------------------------------------------------------
+
+CORPUS = corpus_entries()
+
+_ORACLE_CACHE: dict[str, dict[str, float]] = {}
+
+
+def corpus_oracle(entry) -> dict[str, float]:
+    """FSP-exact outcome probabilities, solved once per model per session."""
+    if entry.name not in _ORACLE_CACHE:
+        model = entry.model
+        result = model.experiment().simulate(
+            engine="fsp", engine_options=model.fsp_options()
+        )
+        _ORACLE_CACHE[entry.name] = dict(result.exact)
+    return dict(_ORACLE_CACHE[entry.name])
+
+
+def corpus_seed(name: str, salt: int = 0) -> int:
+    """A stable per-model seed (independent of corpus ordering)."""
+    return (zlib.crc32(name.encode()) + salt * 7919) % (2**31 - 1)
+
+
+def test_corpus_enrollment_floor():
+    """The corpus holds at least 8 models, from both sources, all distinct."""
+    names = [entry.name for entry in CORPUS]
+    assert len(names) == len(set(names))
+    assert len(names) >= 8
+    sources = {entry.source for entry in CORPUS}
+    assert sources == {"zoo", "generated"}
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+class TestCorpusOracle:
+    def test_oracle_fully_decides(self, entry):
+        """Enrolled models leak no probability mass: every outcome is reachable
+        and the undecided label never appears (the generator's pigeonhole
+        guarantee; curated models are constructed the same way)."""
+        exact = corpus_oracle(entry)
+        assert exact.pop(EnsembleResult.UNDECIDED, 0.0) == pytest.approx(0.0, abs=1e-9)
+        assert set(exact) == {outcome.label for outcome in entry.model.outcomes}
+        assert sum(exact.values()) == pytest.approx(1.0, abs=1e-9)
+        assert min(exact.values()) > 0.0
+
+    def test_trial_budget_gives_chi_squared_power(self, entry):
+        """The derived budget puts every expected cell count above the floor."""
+        exact = corpus_oracle(entry)
+        exact.pop(EnsembleResult.UNDECIDED, None)
+        policy = entry.model.conformance
+        budget = trial_budget(exact, policy.min_expected, policy.max_trials)
+        assert budget <= policy.max_trials
+        assert budget * min(p for p in exact.values() if p > 0) >= 5
+
+    def test_store_payload_round_trip(self, entry):
+        """Corpus experiments fingerprint canonically: payload → experiment →
+        payload is byte-identical, for both a sampling and the exact engine
+        (exercising the threshold stopping and threshold-race classifier
+        descriptors every model relies on)."""
+        experiment = entry.model.experiment()
+        for engine in ("direct", "fsp"):
+            payload = experiment_to_payload(
+                experiment, trials=50, engine=engine, seed=13
+            )
+            rebuilt = experiment_from_payload(payload)
+            again = experiment_to_payload(rebuilt, trials=50, engine=engine, seed=13)
+            assert again == payload
+
+
+@pytest.mark.parametrize("engine", stochastic_engines())
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+class TestCorpusConformance:
+    def test_engine_matches_oracle(self, entry, engine):
+        exact = corpus_oracle(entry)
+        exact.pop(EnsembleResult.UNDECIDED, None)
+        policy = entry.model.conformance
+        budget = trial_budget(exact, policy.min_expected, policy.max_trials)
+        result = entry.model.experiment().simulate(
+            trials=budget, engine=engine, seed=corpus_seed(entry.name)
+        )
+        assert result.decided_fraction() == pytest.approx(1.0)
+        statistic, dof = chi_squared_statistic(result.ensemble, exact)
+        threshold = chi2.ppf(ALPHA, dof)
+        assert statistic < threshold, (
+            f"{entry.name} [{entry.source}] on {engine}: chi2={statistic:.2f} "
+            f"exceeds chi2_{ALPHA}({dof})={threshold:.2f} against FSP-exact {exact}"
+        )
+
+    def test_engine_is_deterministic_on_corpus(self, entry, engine):
+        """Same model, same seed, same engine → identical outcome counts."""
+        experiment = entry.model.experiment()
+        seed = corpus_seed(entry.name, salt=1)
+        first = experiment.simulate(trials=40, engine=engine, seed=seed)
+        second = experiment.simulate(trials=40, engine=engine, seed=seed)
+        assert dict(first.ensemble.outcome_counts) == dict(
+            second.ensemble.outcome_counts
+        )

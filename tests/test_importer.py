@@ -1,0 +1,293 @@
+"""The declarative model importer: schema validation, round trips, mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import (
+    MODEL_SCHEMA,
+    ConformancePolicy,
+    GeneratorConfig,
+    ModelDocument,
+    Reaction,
+    generate_model,
+    load_model_file,
+    model_from_dict,
+    model_from_json,
+    model_from_yaml,
+    model_to_dict,
+    model_to_json,
+    model_to_yaml,
+    save_model_file,
+)
+from repro.errors import GeneratorError, ModelSchemaError, SerializationError
+from repro.sim.events import AnyCondition, OutcomeThresholds
+from repro.sim.fsp import ThresholdStateClassifier
+
+
+def race_document(**overrides) -> dict:
+    """A minimal valid two-outcome race document."""
+    document = {
+        "schema": MODEL_SCHEMA,
+        "name": "race",
+        "species": [{"name": "e1", "initial": 10}, {"name": "e2", "initial": 10}],
+        "reactions": ["e1 ->{1.0} d1", "e2 ->{2.0} d2"],
+        "outcomes": [
+            {"label": "one", "species": "d1", "count": 5},
+            {"label": "two", "species": "d2", "count": 5},
+        ],
+    }
+    document.update(overrides)
+    return document
+
+
+# ---------------------------------------------------------------------------
+# parsing and normalization
+# ---------------------------------------------------------------------------
+
+
+def test_parses_dsl_and_mapping_reaction_forms():
+    model = model_from_dict(race_document(reactions=[
+        "e1 ->{1.0} d1",
+        {"reactants": {"e2": 1}, "products": {"d2": 1}, "rate": 2.0, "name": "r2"},
+    ]))
+    assert model.reactions[0] == Reaction({"e1": 1}, {"d1": 1}, rate=1.0)
+    assert model.reactions[1].name == "r2"
+    assert model.reactions[1].rate == 2.0
+
+
+def test_undeclared_reaction_species_are_appended_at_zero():
+    model = model_from_dict(race_document())
+    by_name = {spec.name: spec.initial for spec in model.species}
+    assert by_name == {"e1": 10, "e2": 10, "d1": 0, "d2": 0}
+
+
+def test_numeric_string_rates_are_accepted():
+    model = model_from_dict(race_document(reactions=[
+        {"reactants": {"e1": 1}, "products": {"d1": 1}, "rate": "1e3"},
+        "e2 ->{2.0} d2",
+    ]))
+    assert model.reactions[0].rate == 1000.0
+
+
+def test_network_mapping_preserves_counts_and_metadata():
+    model = model_from_dict(race_document(metadata={"family": "race"}))
+    network = model.network()
+    assert network.name == "race"
+    assert network.initial_count("e1") == 10
+    assert network.initial_count("d1") == 0
+    assert network.metadata["family"] == "race"
+    assert {s.name for s in network.species} == {"e1", "e2", "d1", "d2"}
+
+
+def test_outcomes_become_stopping_and_state_classifier():
+    model = model_from_dict(race_document())
+    assert isinstance(model.stopping(), OutcomeThresholds)
+    classifier = model.state_classifier()
+    assert isinstance(classifier, ThresholdStateClassifier)
+    assert classifier({"d1": 5}) == "one"
+    assert classifier({"d1": 4, "d2": 5}) == "two"
+    assert classifier({"d1": 0, "d2": 0}) is None
+
+
+def test_mixed_comparisons_compile_to_any_condition():
+    model = model_from_dict(race_document(outcomes=[
+        {"label": "boom", "species": "d1", "count": 5},
+        {"label": "bust", "species": "e1", "count": 0, "comparison": "<="},
+    ]))
+    assert isinstance(model.stopping(), AnyCondition)
+    classifier = model.state_classifier()
+    assert classifier({"e1": 0}) == "bust"
+    assert classifier({"e1": 3, "d1": 5}) == "boom"
+
+
+def test_experiment_runs_on_sampling_and_exact_engines():
+    experiment = model_from_dict(race_document()).experiment()
+    exact = experiment.simulate(engine="fsp").exact
+    assert set(exact) == {"one", "two"}
+    sampled = experiment.simulate(trials=30, engine="direct", seed=5)
+    assert sum(sampled.ensemble.outcome_counts.values()) == 30
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+
+def test_dict_round_trip_is_identity():
+    model = model_from_dict(race_document(
+        description="two-way race", closed=True, metadata={"k": "v"},
+        conformance={"enroll": True, "max_trials": 400},
+    ))
+    assert model_from_dict(model_to_dict(model)) == model
+
+
+def test_yaml_and_json_round_trips_are_identity():
+    model = model_from_dict(race_document())
+    assert model_from_yaml(model_to_yaml(model)) == model
+    assert model_from_json(model_to_json(model)) == model
+
+
+def test_serialized_form_is_a_fixed_point():
+    model = model_from_dict(race_document())
+    text = model_to_yaml(model)
+    assert model_to_yaml(model_from_yaml(text)) == text
+
+
+def test_file_round_trip_by_extension(tmp_path):
+    model = model_from_dict(race_document())
+    for filename in ("model.yaml", "model.json"):
+        path = save_model_file(model, tmp_path / filename)
+        assert load_model_file(path) == model
+    with pytest.raises(ModelSchemaError):
+        save_model_file(model, tmp_path / "model.txt")
+    (tmp_path / "model.csv").write_text("x")
+    with pytest.raises(ModelSchemaError):
+        load_model_file(tmp_path / "model.csv")
+
+
+def test_generated_models_round_trip():
+    model = generate_model(GeneratorConfig(), seed=9)
+    assert model_from_yaml(model_to_yaml(model)) == model
+    assert model_from_json(model_to_json(model)) == model
+
+
+# ---------------------------------------------------------------------------
+# error paths: every violation is typed and names the offending field
+# ---------------------------------------------------------------------------
+
+
+def assert_schema_error(document: dict, field: str) -> ModelSchemaError:
+    with pytest.raises(ModelSchemaError) as excinfo:
+        model_from_dict(document)
+    assert excinfo.value.field == field, excinfo.value
+    assert field in str(excinfo.value)
+    return excinfo.value
+
+
+def test_unknown_schema_version():
+    error = assert_schema_error(race_document(schema="repro.model/v99"), "schema")
+    assert "repro.model/v99" in str(error)
+    assert_schema_error({k: v for k, v in race_document().items() if k != "schema"},
+                        "schema")
+
+
+def test_duplicate_species():
+    assert_schema_error(
+        race_document(species=[{"name": "e1", "initial": 1},
+                               {"name": "e1", "initial": 2}]),
+        "species[1].name",
+    )
+
+
+def test_malformed_rates():
+    assert_schema_error(
+        race_document(reactions=[
+            {"reactants": {"e1": 1}, "products": {"d1": 1}, "rate": "fast"}]),
+        "reactions[0].rate",
+    )
+    assert_schema_error(
+        race_document(reactions=["e1 ->{1.0} d1",
+                                 {"reactants": {"e2": 1}, "products": {"d2": 1}}]),
+        "reactions[1].rate",
+    )
+    assert_schema_error(
+        race_document(reactions=[
+            {"reactants": {"e1": 1}, "products": {"d1": 1}, "rate": -2.0}]),
+        "reactions[0].rate",
+    )
+
+
+def test_non_conservative_stoichiometry_in_closed_model():
+    error = assert_schema_error(
+        race_document(closed=True,
+                      reactions=["e1 ->{1.0} 2 d1", "e2 ->{1.0} d2"]),
+        "reactions[0]",
+    )
+    assert "non-conservative" in str(error)
+    # The same reactions parse fine when the model is not declared closed.
+    assert model_from_dict(
+        race_document(reactions=["e1 ->{1.0} 2 d1", "e2 ->{1.0} d2"])
+    ).closed is False
+
+
+def test_bad_reaction_dsl_and_coefficients():
+    assert_schema_error(race_document(reactions=["e1 -> d1"]), "reactions[0]")
+    assert_schema_error(
+        race_document(reactions=[
+            {"reactants": {"e1": 0}, "products": {"d1": 1}, "rate": 1.0}]),
+        "reactions[0].reactants['e1']",
+    )
+
+
+def test_outcome_errors():
+    assert_schema_error(
+        race_document(outcomes=[{"label": "one", "species": "ghost", "count": 5}]),
+        "outcomes[0].species",
+    )
+    assert_schema_error(
+        race_document(outcomes=[
+            {"label": "one", "species": "d1", "count": 5},
+            {"label": "one", "species": "d2", "count": 5},
+        ]),
+        "outcomes[1].label",
+    )
+    assert_schema_error(
+        race_document(outcomes=[
+            {"label": "one", "species": "d1", "count": 5, "comparison": ">"}]),
+        "outcomes[0].comparison",
+    )
+
+
+def test_enrollment_constraints():
+    assert_schema_error(
+        race_document(outcomes=None, conformance={"enroll": True}),
+        "conformance.enroll",
+    )
+    assert_schema_error(
+        race_document(conformance={"enroll": True, "fsp_tractable": False}),
+        "conformance.enroll",
+    )
+
+
+def test_unknown_keys_are_rejected_at_every_level():
+    assert_schema_error(race_document(bogus=1), "$")
+    assert_schema_error(
+        race_document(species=[{"name": "e1", "count": 3}]), "species[0]"
+    )
+    assert_schema_error(race_document(conformance={"trials": 9}), "conformance")
+
+
+def test_errors_are_catchable_as_serialization_errors():
+    with pytest.raises(SerializationError):
+        model_from_dict({"schema": "nope"})
+    with pytest.raises(ModelSchemaError):
+        model_from_yaml("::: not yaml {")
+    with pytest.raises(ModelSchemaError):
+        model_from_json("{not json")
+
+
+# ---------------------------------------------------------------------------
+# generator validation
+# ---------------------------------------------------------------------------
+
+
+def test_generator_config_validation():
+    with pytest.raises(GeneratorError):
+        GeneratorConfig(n_outcomes=1)
+    with pytest.raises(GeneratorError):
+        GeneratorConfig(chain_length=0)
+    with pytest.raises(GeneratorError):
+        GeneratorConfig(n_outcomes=3, scale=5)
+    with pytest.raises(GeneratorError):
+        GeneratorConfig(stiffness=-1.0)
+    with pytest.raises(GeneratorError):
+        GeneratorConfig(n_outcomes=2, chain_length=1, cross_edges=99)
+
+
+def test_generated_model_is_enrolled_and_closed():
+    model = generate_model(GeneratorConfig(), seed=1)
+    assert model.closed is True
+    assert model.conformance == ConformancePolicy(enroll=True)
+    assert isinstance(model, ModelDocument)
+    assert dict(model.metadata)["generator"]["seed"] == 1

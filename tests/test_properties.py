@@ -14,9 +14,17 @@ from repro.analysis import hellinger, jensen_shannon, normalize, total_variation
 from repro.core import DistributionSpec, quantize_distribution
 from repro.core.stochastic_module import build_stochastic_module, expected_first_firing_distribution
 from repro.crn import (
+    GeneratorConfig,
     Reaction,
     ReactionNetwork,
     State,
+    generate_model,
+    model_from_dict,
+    model_from_json,
+    model_from_yaml,
+    model_to_dict,
+    model_to_json,
+    model_to_yaml,
     network_from_dict,
     network_from_json,
     network_to_dict,
@@ -291,3 +299,64 @@ def test_network_json_round_trip_is_stable(network):
     assert network_to_json(rebuilt) == text
     # A second hop changes nothing (idempotent fixed point).
     assert network_from_json(network_to_json(rebuilt)) == rebuilt
+
+
+# ---------------------------------------------------------------------------
+# declarative model importer: parse → serialize → parse identity over the
+# whole space of generator outputs (the conformance corpus round-trip law)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def generator_models(draw):
+    """An arbitrary valid random-CRN generator output."""
+    n_outcomes = draw(st.integers(min_value=2, max_value=4))
+    chain_length = draw(st.integers(min_value=1, max_value=3))
+    max_edges = n_outcomes * (n_outcomes - 1) * chain_length * (chain_length + 1) // 2
+    config = GeneratorConfig(
+        n_outcomes=n_outcomes,
+        chain_length=chain_length,
+        cross_edges=draw(st.integers(min_value=0, max_value=min(3, max_edges))),
+        catalytic_edges=draw(st.integers(min_value=0, max_value=min(2, max_edges))),
+        scale=draw(st.integers(min_value=2 * n_outcomes, max_value=40)),
+        stiffness=draw(st.floats(min_value=0.0, max_value=4.0, allow_nan=False)),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return generate_model(config, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(model=generator_models())
+def test_importer_round_trip_is_identity_for_generated_models(model):
+    """parse(serialize(model)) == model through dict, YAML and JSON forms."""
+    assert model_from_dict(model_to_dict(model)) == model
+    assert model_from_yaml(model_to_yaml(model)) == model
+    assert model_from_json(model_to_json(model)) == model
+
+
+@settings(max_examples=25, deadline=None)
+@given(model=generator_models())
+def test_importer_serialized_text_is_a_fixed_point(model):
+    """Serialization is canonical: one parse→serialize hop reaches a fixed
+    point, so documents can be re-saved without churn."""
+    text = model_to_yaml(model)
+    assert model_to_yaml(model_from_yaml(text)) == text
+    json_text = model_to_json(model)
+    assert model_to_json(model_from_json(json_text)) == json_text
+
+
+@settings(max_examples=25, deadline=None)
+@given(model=generator_models())
+def test_generated_models_build_consistent_networks(model):
+    """The document's network honours its census: declared initial counts,
+    closed-model conservation, and every outcome species present."""
+    network = model.network()
+    for spec in model.species:
+        assert network.initial_count(spec.name) == spec.initial
+    species_names_set = {s.name for s in network.species}
+    for outcome in model.outcomes:
+        assert outcome.species in species_names_set
+    for reaction in network.reactions:
+        consumed = sum(reaction.reactants.values())
+        produced = sum(reaction.products.values())
+        assert produced <= consumed  # closed by construction

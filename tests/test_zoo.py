@@ -1,0 +1,189 @@
+"""The model zoo, the conformance corpus registry, and the random generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Experiment
+from repro.cli import main
+from repro.crn import (
+    GeneratorConfig,
+    check_network,
+    generate_model,
+    generate_network,
+    network_to_json,
+)
+from repro.errors import ModelSchemaError
+from repro.sim import CompiledNetwork
+from repro.zoo import load_all, load_model, models_dir, zoo_names
+from repro.zoo.corpus import (
+    GENERATED_PRESETS,
+    CorpusEntry,
+    corpus_entries,
+    corpus_names,
+    trial_budget,
+)
+
+EXPECTED_ZOO = {
+    "birth-death", "toggle-switch", "triple-race", "stiff-cascade",
+    "polya-urn", "dimerization", "cross-catalysis", "lambda-decision",
+    "lambda-moi2", "brusselator",
+}
+
+
+# ---------------------------------------------------------------------------
+# zoo loading
+# ---------------------------------------------------------------------------
+
+
+def test_zoo_directory_holds_the_curated_models():
+    assert models_dir().is_dir()
+    assert EXPECTED_ZOO <= set(zoo_names())
+
+
+def test_every_zoo_model_loads_and_validates():
+    for name, model in load_all().items():
+        assert model.name == name, "file stem must match the document name"
+        check_network(model.network())  # raises on structural problems
+
+
+def test_load_model_unknown_name_lists_alternatives():
+    with pytest.raises(ModelSchemaError) as excinfo:
+        load_model("does-not-exist")
+    assert "polya-urn" in str(excinfo.value)
+
+
+def test_models_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_MODELS_DIR", str(tmp_path))
+    assert models_dir() == tmp_path
+    assert zoo_names() == []
+
+
+def test_experiment_from_zoo():
+    experiment = Experiment.from_zoo("polya-urn")
+    assert experiment.label == "polya-urn"
+    exact = experiment.simulate(engine="fsp").exact
+    assert exact["first"] == pytest.approx(0.5, abs=1e-9)
+    assert exact["second"] == pytest.approx(0.5, abs=1e-9)
+
+
+def test_brusselator_is_sampling_only():
+    model = load_model("brusselator")
+    assert model.conformance.enroll is False
+    assert model.conformance.fsp_tractable is False
+    assert model.name not in corpus_names()
+
+
+# ---------------------------------------------------------------------------
+# corpus registry
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_combines_zoo_and_presets():
+    entries = corpus_entries()
+    assert all(isinstance(entry, CorpusEntry) for entry in entries)
+    zoo_entries = [e for e in entries if e.source == "zoo"]
+    generated = [e for e in entries if e.source == "generated"]
+    assert len(zoo_entries) >= 5
+    assert len(generated) == len(GENERATED_PRESETS)
+    assert all(entry.model.conformance.enroll for entry in entries)
+    assert len(entries) >= 8
+
+
+def test_trial_budget_derivation():
+    assert trial_budget({"a": 0.5, "b": 0.5}) == 200          # floor
+    assert trial_budget({"a": 0.96, "b": 0.04}) == 250        # 10 / 0.04
+    assert trial_budget({"a": 0.999, "b": 0.001}) == 800      # capped
+    assert trial_budget({"a": 1.0, "b": 0.0}) == 200          # zeros ignored
+    assert trial_budget({}) == 200
+
+
+# ---------------------------------------------------------------------------
+# generator seed determinism
+# ---------------------------------------------------------------------------
+
+
+def test_generator_same_seed_identical_compiled_network():
+    config = GeneratorConfig(n_outcomes=3, chain_length=2, cross_edges=2,
+                             catalytic_edges=1, scale=18, stiffness=2.0)
+    first = generate_network(config, seed=77)
+    second = generate_network(config, seed=77)
+    assert first == second
+    assert network_to_json(first) == network_to_json(second)
+    compiled_a = CompiledNetwork.compile(first)
+    compiled_b = CompiledNetwork.compile(second)
+    assert [s.name for s in compiled_a.species] == [s.name for s in compiled_b.species]
+    assert list(compiled_a.rates) == list(compiled_b.rates)
+    assert [list(c) for c in compiled_a.change_species] == [
+        list(c) for c in compiled_b.change_species
+    ]
+    assert [list(c) for c in compiled_a.change_deltas] == [
+        list(c) for c in compiled_b.change_deltas
+    ]
+
+
+def test_generator_distinct_seeds_differ_structurally():
+    config = GeneratorConfig(n_outcomes=3, chain_length=2, cross_edges=2,
+                             catalytic_edges=1, scale=18, stiffness=2.0)
+    networks = [generate_network(config, seed=seed) for seed in range(5)]
+    serialized = {network_to_json(network) for network in networks}
+    assert len(serialized) == len(networks), "distinct seeds collapsed"
+    # Difference is structural (wiring/rates), not just a renamed copy:
+    # at least one pair differs in its reaction set.
+    reaction_sets = {
+        tuple(sorted(str(r) for r in network.reactions)) for network in networks
+    }
+    assert len(reaction_sets) > 1
+
+
+def test_generated_presets_are_tractable_and_decided():
+    for config, seed in GENERATED_PRESETS:
+        model = generate_model(config, seed)
+        result = model.experiment().simulate(
+            engine="fsp", engine_options=model.fsp_options()
+        )
+        exact = dict(result.exact)
+        assert exact.pop("(undecided)", 0.0) == pytest.approx(0.0, abs=1e-9)
+        assert set(exact) == {o.label for o in model.outcomes}
+        assert min(exact.values()) >= 0.05, (model.name, exact)
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke
+# ---------------------------------------------------------------------------
+
+
+def test_cli_models_table(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "polya-urn" in out
+    assert "generated" in out
+    assert "brusselator" in out
+
+
+def test_cli_models_show(capsys):
+    assert main(["models", "--show", "birth-death"]) == 0
+    out = capsys.readouterr().out
+    assert "schema: repro.model/v1" in out
+    assert "birth" in out
+
+
+def test_cli_models_show_unknown_is_an_error(capsys):
+    assert main(["models", "--show", "nope"]) == 1
+    assert "unknown zoo model" in capsys.readouterr().err
+
+
+def test_cli_models_validate(capsys):
+    assert main(["models", "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "all models valid" in out
+    assert "FAIL" not in out
+
+
+def test_cli_models_validate_catches_broken_documents(tmp_path, monkeypatch, capsys):
+    (tmp_path / "broken.yaml").write_text(
+        "schema: repro.model/v1\nname: broken\nreactions: []\n"
+    )
+    monkeypatch.setenv("REPRO_MODELS_DIR", str(tmp_path))
+    assert main(["models", "--validate"]) == 1
+    assert "FAIL" in capsys.readouterr().out
