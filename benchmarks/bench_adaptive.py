@@ -1,0 +1,153 @@
+"""A8 — Adaptive precision and rare events: declared targets vs fixed budgets.
+
+Two workloads the fixed-budget ensemble handles badly, measured against the
+adaptive layer introduced with ``Experiment.simulate(until=...)``:
+
+* **Precision-targeted sampling** — "estimate P(outcome 1) to a declared
+  half-width" on the race workload.  A fixed-budget user must guess a trial
+  count (and guess conservatively); the sequential controller extends the
+  worker-invariant chunk schedule until the Wilson interval is narrow
+  enough, overshooting the minimal sufficient budget by at most one
+  doubling round.  The SPRT row answers the cheaper verification-style
+  question ("is P >= 0.25?") in far fewer trials than any fixed-width
+  estimate.
+* **Importance splitting** — the ``rare-race`` zoo model's deep tail
+  (exact probability ~3.1e-7 by the FSP oracle).  A naive estimate needs
+  ~1/p ≈ 3 million trials per observed event; multilevel splitting resolves
+  it in a few thousand trajectories and its reported confidence interval
+  must cover the oracle.
+
+Smoke assertions (CI): every adaptive run meets its declared target; the
+adaptive budget never exceeds the declared ceiling; the splitting CI covers
+the FSP exact probability at a fraction of the naive cost.
+
+Run directly for a wall-clock report (CI uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `import _config` under direct run
+
+from _config import report
+
+from repro.adaptive import CiHalfWidthTarget, SplittingConfig, SprtTarget
+from repro.analysis import format_table
+from repro.api import Experiment
+from repro.crn import parse_network
+from repro.sim import OutcomeThresholds
+from repro.zoo import load_model
+
+SEED = 2007
+
+
+def race() -> Experiment:
+    network = parse_network(
+        """
+        init: e1 = 30
+        init: e2 = 40
+        init: e3 = 30
+        e1 ->{1} d1
+        e2 ->{1} d2
+        e3 ->{1} d3
+        """,
+        name="race-to-3",
+    )
+    stopping = OutcomeThresholds({"1": ("d1", 3), "2": ("d2", 3), "3": ("d3", 3)})
+    return Experiment.from_network(network, stopping=stopping)
+
+
+def bench_precision(smoke: bool) -> str:
+    """Adaptive half-width targets vs the fixed budgets they replace."""
+    experiment = race()
+    widths = [0.05, 0.02] if smoke else [0.05, 0.02, 0.01, 0.005]
+    ceiling = 50_000 if smoke else 500_000
+    rows = []
+    for width in widths:
+        target = CiHalfWidthTarget(outcome="1", half_width=width, max_trials=ceiling)
+        start = time.perf_counter()
+        result = experiment.simulate(until=target, seed=SEED, chunk_size=512)
+        elapsed = time.perf_counter() - start
+        assert result.met, f"half-width {width} unmet at ceiling {ceiling}"
+        assert result.trials <= ceiling
+        rows.append(
+            {
+                "rule": f"ci<= {width}",
+                "trials": result.trials,
+                "rounds": result.rounds,
+                "p_hat": round(result.achieved["p_hat"], 4),
+                "achieved": round(result.achieved["ci_half_width"], 5),
+                "seconds": round(elapsed, 2),
+            }
+        )
+
+    sprt = SprtTarget(outcome="1", p0=0.2, p1=0.3, max_trials=ceiling)
+    start = time.perf_counter()
+    verdict = experiment.simulate(until=sprt, seed=SEED, chunk_size=512)
+    elapsed = time.perf_counter() - start
+    assert verdict.met, "SPRT undecided at ceiling"
+    rows.append(
+        {
+            "rule": "sprt p>=0.25?",
+            "trials": verdict.trials,
+            "rounds": verdict.rounds,
+            "p_hat": round(verdict.achieved["p_hat"], 4),
+            "achieved": verdict.adaptive.detail,
+            "seconds": round(elapsed, 2),
+        }
+    )
+    # The verification query must be cheaper than the tightest estimate.
+    assert verdict.trials <= rows[-2]["trials"]
+    return format_table(rows)
+
+
+def bench_splitting(smoke: bool) -> str:
+    """Deep-tail estimation on rare-race, cross-validated against FSP."""
+    model = load_model("rare-race")
+    experiment = model.experiment()
+    exact = float(
+        experiment.simulate(engine="fsp", engine_options=model.fsp_options()).exact[
+            "rare"
+        ]
+    )
+    effort = 400 if smoke else 2000
+    config = SplittingConfig(outcome="rare", trials_per_level=effort)
+    start = time.perf_counter()
+    result = experiment.simulate(until=config, seed=11, engine="direct")
+    elapsed = time.perf_counter() - start
+    low, high = result.rare_interval
+    naive = 1.0 / exact
+    assert low <= exact <= high, "splitting CI misses the FSP oracle"
+    assert result.trials < 1e-2 * naive, "splitting cost not far below naive"
+    rows = [
+        {"quantity": "FSP exact P(rare)", "value": f"{exact:.3e}"},
+        {"quantity": "splitting estimate", "value": f"{result.rare_probability:.3e}"},
+        {"quantity": "95% interval", "value": f"[{low:.3e}, {high:.3e}]"},
+        {"quantity": "trajectories", "value": f"{result.trials}"},
+        {"quantity": "naive trials per event", "value": f"{naive:.1e}"},
+        {"quantity": "seconds", "value": f"{elapsed:.2f}"},
+    ]
+    return format_table(rows)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small budgets + assertions (CI mode)"
+    )
+    args = parser.parse_args(argv)
+
+    report("A8 adaptive precision targets", bench_precision(args.smoke))
+    report("A8 importance splitting vs FSP oracle", bench_splitting(args.smoke))
+    print("bench_adaptive: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

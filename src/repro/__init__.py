@@ -20,7 +20,10 @@ Fett, Bruck & Riedel, DAC 2007.  The library provides:
   fingerprinted; identical runs are served from disk bit-identically) and
   the cache-aware, resumable campaign runner;
 * :mod:`repro.service` / :mod:`repro.client` — the ``repro serve`` HTTP
-  experiment service over a store, and its stdlib client.
+  experiment service over a store, and its stdlib client;
+* :mod:`repro.adaptive` — adaptive-precision ensembles
+  (``Experiment.simulate(until=...)``: CI half-width, relative SE, SPRT) and
+  importance-splitting estimation of deep-tail outcome probabilities.
 
 Quickstart (the fluent facade is the front door)::
 
@@ -66,16 +69,29 @@ from repro.sim import (
     run_ensemble,
 )
 from repro.api import Experiment, RunResult
+from repro.adaptive import (
+    AdaptiveResult,
+    CiHalfWidthTarget,
+    RelativeSETarget,
+    SplittingConfig,
+    SprtTarget,
+)
 from repro.store import Campaign, CampaignRunner, ResultStore
 from repro.client import ServiceClient
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
     # api (the fluent facade)
     "Experiment",
     "RunResult",
+    # adaptive precision & rare events
+    "AdaptiveResult",
+    "CiHalfWidthTarget",
+    "RelativeSETarget",
+    "SprtTarget",
+    "SplittingConfig",
     # store & service
     "ResultStore",
     "Campaign",

@@ -1,0 +1,54 @@
+"""Adaptive-precision ensembles and rare-event estimation.
+
+Two estimators behind ``Experiment.simulate(until=...)``:
+
+* **Precision-targeted sampling** — :class:`AdaptiveController` extends the
+  ensemble layer's worker-invariant chunk schedule, whole seeded chunks at a
+  time, until a declared :class:`PrecisionTarget` is met: a confidence-
+  interval half-width on an outcome probability
+  (:class:`CiHalfWidthTarget`), a relative standard error on a species mean
+  (:class:`RelativeSETarget`), or a sequential probability-ratio test
+  against a threshold (:class:`SprtTarget`).
+* **Importance splitting** — :func:`~repro.adaptive.splitting.run_splitting`
+  estimates deep-tail outcome probabilities (``<= 1e-6``) as a product of
+  level-crossing probabilities, configured by :class:`SplittingConfig`.
+
+Both are declarative (``to_descriptor()`` / :func:`target_from_descriptor`
+round trips), so adaptive runs fingerprint, cache and serve through the
+result store and HTTP service exactly like fixed-budget runs.
+"""
+
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.result import AdaptiveInfo, AdaptiveResult
+from repro.adaptive.splitting import (
+    SplittingConfig,
+    SplittingEstimate,
+    resolve_outcome_threshold,
+    run_splitting,
+)
+from repro.adaptive.targets import (
+    DEFAULT_MAX_TRIALS,
+    CiHalfWidthTarget,
+    PrecisionTarget,
+    RelativeSETarget,
+    SprtTarget,
+    TargetStatus,
+    target_from_descriptor,
+)
+
+__all__ = [
+    "DEFAULT_MAX_TRIALS",
+    "AdaptiveController",
+    "AdaptiveInfo",
+    "AdaptiveResult",
+    "CiHalfWidthTarget",
+    "PrecisionTarget",
+    "RelativeSETarget",
+    "SplittingConfig",
+    "SplittingEstimate",
+    "SprtTarget",
+    "TargetStatus",
+    "resolve_outcome_threshold",
+    "run_splitting",
+    "target_from_descriptor",
+]

@@ -308,13 +308,15 @@ class Experiment:
         chunk_size: int = 512,
         backend: str = "auto",
         store: "Any | None" = None,
+        until: "Any | None" = None,
     ) -> RunResult:
         """Run the Monte-Carlo ensemble and return a :class:`RunResult`.
 
         Parameters
         ----------
         trials:
-            Number of independent trajectories.
+            Number of independent trajectories.  Ignored when ``until=`` is
+            set — the declared target decides how many trials run.
         engine:
             Engine name from the registry (``repro.sim.registry.registry``);
             ``"batch-direct"`` advances all trials in lock-step vectorized
@@ -349,6 +351,20 @@ class Experiment:
             worker-count invariant, so any sharding hits the same entry.
             Incompatible with ``keep_trajectories`` (trajectories are not
             persisted).
+        until:
+            Run *adaptively* instead of for a fixed trial count: a
+            :class:`~repro.adaptive.targets.PrecisionTarget`
+            (:class:`~repro.adaptive.CiHalfWidthTarget` /
+            :class:`~repro.adaptive.RelativeSETarget` /
+            :class:`~repro.adaptive.SprtTarget`) extends the worker-invariant
+            chunk schedule until the declared precision is met, and a
+            :class:`~repro.adaptive.SplittingConfig` estimates a deep-tail
+            outcome probability by importance splitting.  Returns an
+            :class:`~repro.adaptive.AdaptiveResult`.  Requires a seed
+            (:class:`~repro.errors.AdaptiveError` otherwise), rejects
+            ``keep_trajectories`` and distribution engines, and ignores
+            ``trials``.  The store fingerprint hashes the *target*, not the
+            realized trial count.
 
         Notes
         -----
@@ -358,6 +374,10 @@ class Experiment:
         field carries the probabilities (``trials`` only scales the nominal
         outcome counts; ``workers`` / ``seed`` are ignored).
         """
+        if until is not None:
+            self._check_adaptive_arguments(
+                until, engine=engine, seed=seed, keep_trajectories=keep_trajectories
+            )
         if store is not None:
             if keep_trajectories:
                 raise ExperimentError(
@@ -376,12 +396,13 @@ class Experiment:
                 chunk_size=chunk_size,
                 backend=backend,
                 engine_options=engine_options,
+                until=until,
             )
             key = fingerprint_payload(payload)
             cached = store.load_run(key)
             if cached is not None:
                 return cached
-            result = self._execute(
+            result = self._dispatch(
                 trials=trials,
                 engine=engine,
                 workers=workers,
@@ -390,9 +411,45 @@ class Experiment:
                 keep_trajectories=keep_trajectories,
                 chunk_size=chunk_size,
                 backend=backend,
+                until=until,
             )
             store.put(key, result, descriptor=payload)
             return result
+        return self._dispatch(
+            trials=trials,
+            engine=engine,
+            workers=workers,
+            seed=seed,
+            engine_options=engine_options,
+            keep_trajectories=keep_trajectories,
+            chunk_size=chunk_size,
+            backend=backend,
+            until=until,
+        )
+
+    def _dispatch(
+        self,
+        trials: int,
+        engine: str,
+        workers: int,
+        seed: "int | None",
+        engine_options: "Any | None",
+        keep_trajectories: bool,
+        chunk_size: int,
+        backend: str,
+        until: "Any | None",
+    ) -> RunResult:
+        """Route to the fixed-budget or adaptive execution path."""
+        if until is not None:
+            return self._execute_adaptive(
+                until,
+                engine=engine,
+                workers=workers,
+                seed=seed,
+                engine_options=engine_options,
+                chunk_size=chunk_size,
+                backend=backend,
+            )
         return self._execute(
             trials=trials,
             engine=engine,
@@ -402,6 +459,198 @@ class Experiment:
             keep_trajectories=keep_trajectories,
             chunk_size=chunk_size,
             backend=backend,
+        )
+
+    def _check_adaptive_arguments(
+        self,
+        until: Any,
+        engine: str,
+        seed: "int | None",
+        keep_trajectories: bool,
+    ) -> None:
+        """Reject ``until=`` combinations the adaptive estimators cannot honor."""
+        from repro.adaptive.splitting import SplittingConfig
+        from repro.adaptive.targets import PrecisionTarget
+        from repro.errors import AdaptiveError
+        from repro.sim.registry import registry
+
+        if not isinstance(until, (PrecisionTarget, SplittingConfig)):
+            raise AdaptiveError(
+                f"until= must be a PrecisionTarget (CiHalfWidthTarget / "
+                f"RelativeSETarget / SprtTarget) or a SplittingConfig, got "
+                f"{type(until).__name__}"
+            )
+        if seed is None:
+            raise AdaptiveError(
+                "adaptive runs must be seeded: simulate(until=...) extends a "
+                "deterministic chunk schedule, which seed=None does not define — "
+                "pass an explicit seed"
+            )
+        if keep_trajectories:
+            raise AdaptiveError(
+                "keep_trajectories=True cannot be combined with until=: the "
+                "realized trial count is decided by the stopping rule, so the "
+                "trajectory list is unbounded and the result could not be "
+                "cached — drop keep_trajectories or run a fixed trial budget"
+            )
+        info = registry.get(engine)
+        if info.computes_distribution or info.deterministic:
+            raise AdaptiveError(
+                f"engine {engine!r} does not sample, so there is no precision "
+                "to target adaptively; use simulate(engine='fsp') directly for "
+                "exact probabilities"
+            )
+        if isinstance(until, SplittingConfig) and info.batched:
+            raise AdaptiveError(
+                f"importance splitting restarts individual trajectories from "
+                f"level-crossing states, which the batched engine {engine!r} "
+                "cannot do; use a per-trial engine (e.g. 'direct')"
+            )
+
+    def _execute_adaptive(
+        self,
+        until: Any,
+        engine: str,
+        workers: int,
+        seed: int,
+        engine_options: "Any | None",
+        chunk_size: int,
+        backend: str,
+    ) -> RunResult:
+        """The uncached ``until=`` path: precision sampling or splitting."""
+        from repro.adaptive.controller import AdaptiveController
+        from repro.adaptive.result import AdaptiveResult
+        from repro.adaptive.splitting import SplittingConfig
+
+        if isinstance(until, SplittingConfig):
+            return self._execute_splitting(
+                until,
+                engine=engine,
+                workers=workers,
+                seed=seed,
+                engine_options=engine_options,
+                backend=backend,
+            )
+
+        network, stopping, classifier = self._resolved()
+        options = self.options or self._default_options()
+        if backend != "auto":
+            options = merge_options(options, {"backend": backend})
+        runner = ParallelEnsembleRunner(
+            network,
+            engine=engine,
+            stopping=stopping,
+            options=options,
+            outcome_classifier=classifier,
+            workers=workers,
+            chunk_size=chunk_size,
+            engine_options=engine_options,
+        )
+        ensemble, info = AdaptiveController(runner, until).run(seed)
+
+        outputs = None
+        expected_outputs = None
+        if self.module is not None:
+            outputs = dict(self.module.outputs)
+            if self.module.expected is not None:
+                expected_outputs = {
+                    role: float(value)
+                    for role, value in self.module.expected_outputs(
+                        dict(self.inputs)
+                    ).items()
+                }
+        return AdaptiveResult(
+            ensemble=ensemble,
+            engine=engine,
+            backend=options.backend,
+            trials=ensemble.n_trials,
+            seed=seed,
+            workers=workers,
+            inputs=dict(self.inputs),
+            target=self._resolved_target(),
+            outputs=outputs,
+            expected_outputs=expected_outputs,
+            label=self.label,
+            adaptive=info,
+        )
+
+    def _execute_splitting(
+        self,
+        config,
+        engine: str,
+        workers: int,
+        seed: int,
+        engine_options: "Any | None",
+        backend: str,
+    ) -> RunResult:
+        """Importance-splitting execution (sequential; ``workers`` recorded only)."""
+        from repro.adaptive.result import AdaptiveInfo, AdaptiveResult
+        from repro.adaptive.splitting import resolve_outcome_threshold, run_splitting
+        from repro.sim.ensemble import EnsembleResult
+        from repro.sim.propensity import CompiledNetwork
+
+        network, stopping, _classifier = self._resolved()
+        state_classifier = None
+        try:
+            state_classifier = self._resolved_state_classifier(network)
+        except ExperimentError:
+            pass
+        species, threshold = resolve_outcome_threshold(
+            config.outcome, stopping, state_classifier
+        )
+        options = self.options or self._default_options()
+        if backend != "auto":
+            options = merge_options(options, {"backend": backend})
+        estimate = run_splitting(
+            network,
+            config=config,
+            species=species,
+            threshold=threshold,
+            stopping=stopping,
+            seed=seed,
+            engine=engine,
+            options=options,
+            engine_options=engine_options,
+        )
+
+        compiled = CompiledNetwork.compile(network)
+        ensemble = EnsembleResult(
+            n_trials=estimate.total_trials,
+            outcome_counts={},
+            final_counts=np.empty((0, compiled.n_species), dtype=np.int64),
+            species=compiled.species,
+            final_times=np.empty(0, dtype=float),
+            n_firings=np.empty(0, dtype=np.int64),
+        )
+        stages = len(estimate.stage_probabilities)
+        info = AdaptiveInfo(
+            rule=config.rule,
+            until=config.to_descriptor(),
+            chunks=stages,
+            rounds=stages,
+            met=estimate.estimate > 0.0,
+            detail="estimated" if estimate.estimate > 0.0 else "extinct",
+            achieved={
+                "n": float(estimate.total_trials),
+                "estimate": float(estimate.estimate),
+                "ci_low": float(estimate.ci_low),
+                "ci_high": float(estimate.ci_high),
+            },
+            rare=estimate.rare_payload(),
+        )
+        return AdaptiveResult(
+            ensemble=ensemble,
+            engine=engine,
+            backend=options.backend,
+            trials=estimate.total_trials,
+            seed=seed,
+            workers=workers,
+            inputs=dict(self.inputs),
+            target=self._resolved_target(),
+            outputs=None,
+            expected_outputs=None,
+            label=self.label,
+            adaptive=info,
         )
 
     def _execute(

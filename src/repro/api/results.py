@@ -353,12 +353,18 @@ class RunResult:
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "RunResult":
-        """Rebuild a :class:`RunResult` from :meth:`to_payload` output."""
+        """Rebuild a :class:`RunResult` from :meth:`to_payload` output.
+
+        Payloads carrying an ``"adaptive"`` stopping record (written by
+        ``Experiment.simulate(until=...)``) reconstruct as
+        :class:`~repro.adaptive.result.AdaptiveResult`, so store and service
+        cache hits return the same type the cold run produced.
+        """
         if payload.get("schema") != _SCHEMA:
             raise ExperimentError(
                 f"unrecognized result schema {payload.get('schema')!r}; expected {_SCHEMA!r}"
             )
-        return cls(
+        kwargs = dict(
             ensemble=ensemble_from_payload(payload["ensemble"]),
             engine=payload["engine"],
             backend=str(payload.get("backend", "auto")),
@@ -373,6 +379,13 @@ class RunResult:
             exact=payload.get("exact"),
             exact_info=payload.get("exact_info"),
         )
+        if payload.get("adaptive") is not None:
+            from repro.adaptive.result import AdaptiveInfo, AdaptiveResult
+
+            return AdaptiveResult(
+                adaptive=AdaptiveInfo.from_payload(payload["adaptive"]), **kwargs
+            )
+        return cls(**kwargs)
 
     @classmethod
     def from_json(cls, source: "str | Path") -> "RunResult":

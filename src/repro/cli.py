@@ -10,6 +10,7 @@ sharding, and typed engine options such as the tau-leaping tolerances::
     repro simulate design.json --trials 500 --working-firings 10
     repro simulate design.json --engine tau-leaping --tau-epsilon 0.01
     repro simulate design.json --engine fsp --fsp-max-states 200000
+    repro example1 --until-ci-halfwidth 0.02 --until-outcome 1 --seed 7
     repro settle --module logarithm --inputs "x=16"
     repro engines
     repro serve --store results/ --port 8080
@@ -134,6 +135,117 @@ def _add_engine_arguments(parser: argparse.ArgumentParser, workers: bool = True)
     )
 
 
+def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    """Adaptive stopping flags (``Experiment.simulate(until=...)``)."""
+    group = parser.add_argument_group(
+        "adaptive stopping",
+        "run until a declared precision is reached instead of a fixed --trials "
+        "budget (requires --seed; --trials is ignored)",
+    )
+    group.add_argument(
+        "--until-ci-halfwidth", type=float, default=None, metavar="W",
+        help="stop when the Wilson CI half-width on the --until-outcome "
+             "probability is <= W",
+    )
+    group.add_argument(
+        "--until-rel-se", type=float, default=None, metavar="R",
+        help="stop when the relative standard error of the --until-species "
+             "mean final count is <= R",
+    )
+    group.add_argument(
+        "--until-outcome", default=None, metavar="LABEL",
+        help="outcome label for --until-ci-halfwidth / --splitting-trials",
+    )
+    group.add_argument(
+        "--until-species", default=None, metavar="NAME",
+        help="species whose mean --until-rel-se bounds",
+    )
+    group.add_argument(
+        "--until-confidence", type=float, default=0.95, metavar="C",
+        help="confidence level for adaptive intervals (default 0.95)",
+    )
+    group.add_argument(
+        "--until-max-trials", type=int, default=None, metavar="N",
+        help="realized-trial ceiling for adaptive sampling (default 100000)",
+    )
+    group.add_argument(
+        "--splitting-trials", type=int, default=None, metavar="N",
+        help="estimate the --until-outcome deep-tail probability by "
+             "importance splitting with N trajectories per level",
+    )
+    group.add_argument(
+        "--splitting-levels", type=int, default=None, metavar="N",
+        help="number of intermediate splitting levels (default: one per "
+             "integer score step; requires --splitting-trials)",
+    )
+
+
+def _until_from(args):
+    """Build the ``until=`` argument from the adaptive CLI flags (or None)."""
+    from repro.adaptive import (
+        DEFAULT_MAX_TRIALS,
+        CiHalfWidthTarget,
+        RelativeSETarget,
+        SplittingConfig,
+    )
+
+    half_width = getattr(args, "until_ci_halfwidth", None)
+    rel_se = getattr(args, "until_rel_se", None)
+    splitting_trials = getattr(args, "splitting_trials", None)
+    selected = [
+        flag
+        for flag, value in (
+            ("--until-ci-halfwidth", half_width),
+            ("--until-rel-se", rel_se),
+            ("--splitting-trials", splitting_trials),
+        )
+        if value is not None
+    ]
+    if len(selected) > 1:
+        raise argparse.ArgumentTypeError(
+            f"{' and '.join(selected)} are mutually exclusive — pick one "
+            "adaptive stopping rule"
+        )
+    if not selected:
+        if getattr(args, "splitting_levels", None) is not None:
+            raise argparse.ArgumentTypeError(
+                "--splitting-levels requires --splitting-trials"
+            )
+        return None
+    max_trials = getattr(args, "until_max_trials", None)
+    if half_width is not None:
+        if not getattr(args, "until_outcome", None):
+            raise argparse.ArgumentTypeError(
+                "--until-ci-halfwidth requires --until-outcome LABEL"
+            )
+        return CiHalfWidthTarget(
+            outcome=args.until_outcome,
+            half_width=half_width,
+            confidence=args.until_confidence,
+            max_trials=max_trials if max_trials is not None else DEFAULT_MAX_TRIALS,
+        )
+    if rel_se is not None:
+        if not getattr(args, "until_species", None):
+            raise argparse.ArgumentTypeError(
+                "--until-rel-se requires --until-species NAME"
+            )
+        return RelativeSETarget(
+            species=args.until_species,
+            rel_se=rel_se,
+            max_trials=max_trials if max_trials is not None else DEFAULT_MAX_TRIALS,
+        )
+    if not getattr(args, "until_outcome", None):
+        raise argparse.ArgumentTypeError(
+            "--splitting-trials requires --until-outcome LABEL"
+        )
+    return SplittingConfig(
+        outcome=args.until_outcome,
+        trials_per_level=splitting_trials,
+        n_levels=getattr(args, "splitting_levels", None),
+        confidence=args.until_confidence,
+    )
+
+
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     """``--store`` for subcommands that execute through ``Experiment.simulate``."""
     parser.add_argument(
@@ -210,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--working-firings", type=int, default=10,
                      help="working firings that declare an outcome (default 10)")
     _add_engine_arguments(sim)
+    _add_adaptive_arguments(sim)
     _add_store_argument(sim)
 
     settle = subparsers.add_parser(
@@ -264,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex1.add_argument("--trials", type=int, default=500)
     ex1.add_argument("--seed", type=int, default=2007)
     _add_engine_arguments(ex1)
+    _add_adaptive_arguments(ex1)
     _add_store_argument(ex1)
 
     ex2 = subparsers.add_parser("example2", help="run the paper's Example 2 end to end")
@@ -272,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex2.add_argument("--x2", type=int, default=4)
     ex2.add_argument("--seed", type=int, default=2007)
     _add_engine_arguments(ex2)
+    _add_adaptive_arguments(ex2)
     _add_store_argument(ex2)
 
     srv = subparsers.add_parser(
@@ -328,8 +443,14 @@ def _cmd_simulate(args) -> int:
             engine_options=_engine_options_from(args),
             backend=args.backend,
             store=args.store,
+            until=_until_from(args),
         )
     )
+    if getattr(result, "adaptive", None) is not None:
+        # Adaptive runs report the stopping record (and the splitting
+        # estimate, when applicable) through the result's own summary.
+        print(result.summary())
+        return 0
     if result.exact is not None:
         # Exact solves have no sampled ensemble; print the exact header
         # (solver scale + probabilities) instead of fabricated trial counts.
@@ -447,6 +568,21 @@ def _cmd_models(args) -> int:
         print("all models valid")
         return 0
 
+    from repro.zoo.corpus import trial_budget
+
+    def model_budget(model) -> "int | str":
+        """The conformance trial budget, from the model's own FSP oracle."""
+        if not (model.conformance.enroll and model.conformance.fsp_tractable):
+            return "-"
+        exact = model.experiment().simulate(
+            engine="fsp", engine_options=model.fsp_options()
+        )
+        return trial_budget(
+            exact.exact,
+            min_expected=model.conformance.min_expected,
+            max_trials=model.conformance.max_trials,
+        )
+
     rows = []
     for entry in corpus_entries():
         model = entry.model
@@ -458,6 +594,7 @@ def _cmd_models(args) -> int:
             "outcomes": len(model.outcomes),
             "enrolled": "yes" if model.conformance.enroll else "-",
             "fsp": "yes" if model.conformance.fsp_tractable else "-",
+            "budget": model_budget(model),
         })
     corpus_set = {entry.name for entry in corpus_entries()}
     for name in zoo_names():
@@ -472,6 +609,7 @@ def _cmd_models(args) -> int:
             "outcomes": len(model.outcomes),
             "enrolled": "yes" if model.conformance.enroll else "-",
             "fsp": "yes" if model.conformance.fsp_tractable else "-",
+            "budget": model_budget(model),
         })
     print(format_table(rows, title=f"Model zoo ({models_dir()})"))
     return 0
@@ -532,6 +670,7 @@ def _cmd_example1(args) -> int:
         engine_options=_engine_options_from(args),
         backend=args.backend,
         store=args.store,
+        until=_until_from(args),
     )
     print()
     print(result.summary())
@@ -553,6 +692,7 @@ def _cmd_example2(args) -> int:
         engine_options=_engine_options_from(args),
         backend=args.backend,
         store=args.store,
+        until=_until_from(args),
     )
     print()
     print(f"inputs: X1={args.x1}, X2={args.x2}")

@@ -131,12 +131,16 @@ class ServiceClient:
         backend: str = "auto",
         chunk_size: int = 512,
         engine_options: Any = None,
+        until: Any = None,
     ) -> SimulateReply:
         """Simulate via the service, reporting the cache disposition.
 
         The experiment is serialized client-side into the canonical payload
         (the same bytes ``Experiment.simulate(store=...)`` fingerprints), so
-        local and served runs share cache entries.
+        local and served runs share cache entries.  ``until`` requests an
+        adaptive run (precision target or splitting config); its declarative
+        descriptor travels in the payload and the reply reconstructs as an
+        :class:`~repro.adaptive.AdaptiveResult`.
         """
         payload = experiment_to_payload(
             experiment,
@@ -146,6 +150,7 @@ class ServiceClient:
             chunk_size=chunk_size,
             backend=backend,
             engine_options=engine_options,
+            until=until,
         )
         reply = self._request("/simulate", body={"experiment": payload})
         return SimulateReply(

@@ -32,6 +32,7 @@ __all__ = [
     "FitError",
     "CTMCError",
     "ExperimentError",
+    "AdaptiveError",
     "StoreError",
     "FingerprintError",
     "CampaignError",
@@ -168,6 +169,17 @@ class CTMCError(AnalysisError):
 
 class ExperimentError(ReproError):
     """The fluent experiment facade (:mod:`repro.api`) was misused."""
+
+
+class AdaptiveError(ExperimentError):
+    """An adaptive run (:mod:`repro.adaptive`) was mis-specified.
+
+    Raised for invalid precision targets / splitting configurations and for
+    ``simulate(until=...)`` argument combinations the estimators cannot
+    honor (unseeded runs, ``keep_trajectories``, distribution engines) —
+    the same contract the result store enforces, surfaced before any trial
+    runs.
+    """
 
 
 # ---------------------------------------------------------------------------

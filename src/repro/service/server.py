@@ -206,7 +206,13 @@ class ResultService:
         return {"engines": registry.capability_matrix()}
 
     def simulate(self, body: Mapping) -> "tuple[int, dict]":
-        """Handle ``POST /simulate``: fingerprint, cache-lookup, compute."""
+        """Handle ``POST /simulate``: fingerprint, cache-lookup, compute.
+
+        Adaptive payloads (``simulate.until`` set) compute through the same
+        path — the descriptor is declarative, so the untrusted rebuild is
+        wire-safe — and the reply's ``"adaptive"`` flag reports that the
+        artifact records a stopping rule rather than a fixed trial budget.
+        """
         payload = body.get("experiment", body)
         if not isinstance(payload, dict) or payload.get("schema") != EXPERIMENT_SCHEMA:
             raise ServiceError(
@@ -214,17 +220,28 @@ class ResultService:
                 f"(schema {EXPERIMENT_SCHEMA!r}); build one with "
                 "repro.store.experiment_to_payload or use repro.client.ServiceClient"
             )
+        adaptive = payload.get("simulate", {}).get("until") is not None
         key = fingerprint_payload(payload)
         envelope = self.store.get_envelope(key)
         if envelope is not None:
             self.hits += 1
-            return 200, {"key": key, "cached": True, "artifact": envelope}
+            return 200, {
+                "key": key,
+                "cached": True,
+                "adaptive": adaptive,
+                "artifact": envelope,
+            }
         self.misses += 1
         # trusted=False: wire payloads must stay declarative — a "callable"
         # descriptor would let any client import+run arbitrary server code.
         result = compute_payload(payload, workers=self.workers, trusted=False)
         envelope = self.store.put(key, result, descriptor=payload)
-        return 201, {"key": key, "cached": False, "artifact": envelope}
+        return 201, {
+            "key": key,
+            "cached": False,
+            "adaptive": adaptive,
+            "artifact": envelope,
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -586,14 +586,50 @@ class ParallelEnsembleRunner(EnsembleRunner):
             (start, min(start + self.chunk_size, n_trials))
             for start in range(0, n_trials, self.chunk_size)
         ]
+        shards = self.run_chunks(
+            bounds,
+            seed=seed,
+            initial_state=initial_state,
+            keep_trajectories=keep_trajectories,
+        )
+        return EnsembleResult.merge(shards)
+
+    def run_chunks(
+        self,
+        bounds: "Sequence[tuple[int, int]]",
+        seed: "int | None" = None,
+        initial_state: "Mapping | None" = None,
+        keep_trajectories: bool = False,
+    ) -> "list[EnsembleResult]":
+        """Simulate explicit trial slices of the global schedule, unmerged.
+
+        Each ``(start, stop)`` pair names a slice of the same global trial
+        index space :meth:`run` uses, and draws the same random streams: the
+        per-trial stream of trial ``i`` is keyed by ``i`` alone, and a
+        batched chunk's sub-seed by its bounds — never by how many trials
+        the full ensemble will eventually hold.  The adaptive controller
+        relies on exactly this to *extend* an ensemble chunk by chunk while
+        staying bit-identical to a fixed-budget run's prefix at any worker
+        count.  Returns one shard per bound, in order.
+        """
+        bounds = [(int(start), int(stop)) for start, stop in bounds]
+        for start, stop in bounds:
+            if start < 0 or stop <= start:
+                raise EnsembleError(
+                    f"chunk bounds must satisfy 0 <= start < stop, got ({start}, {stop})"
+                )
+        if not bounds:
+            return []
+        # The sequence length forwarded to the shards: per-trial RNG ignores
+        # it beyond bounds checking, the batched engine never reads it.
+        total = max(stop for _, stop in bounds)
         initial = dict(initial_state) if initial_state else None
 
         if self.workers == 1 or len(bounds) == 1:
-            shards = [
-                self._run_range(n_trials, seed, start, stop, initial, keep_trajectories)
+            return [
+                self._run_range(total, seed, start, stop, initial, keep_trajectories)
                 for start, stop in bounds
             ]
-            return EnsembleResult.merge(shards)
 
         payloads = [
             (
@@ -604,7 +640,7 @@ class ParallelEnsembleRunner(EnsembleRunner):
                 self.outcome_classifier,
                 self.engine_options,
                 seed,
-                n_trials,
+                total,
                 start,
                 stop,
                 initial,
@@ -616,7 +652,7 @@ class ParallelEnsembleRunner(EnsembleRunner):
         processes = min(self.workers, len(bounds))
         with context.Pool(processes=processes) as pool:
             shards = pool.map(_ensemble_shard, payloads)
-        return EnsembleResult.merge(shards)
+        return shards
 
 
 def run_ensemble(

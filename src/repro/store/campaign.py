@@ -57,9 +57,15 @@ class CampaignCell:
     backend: str = "auto"
     chunk_size: int = 512
     engine_options: Any = None
+    until: Any = None
 
     def payload(self) -> dict:
-        """The cell's canonical serialized form (see :mod:`repro.store.serialize`)."""
+        """The cell's canonical serialized form (see :mod:`repro.store.serialize`).
+
+        With ``until`` set (an adaptive precision target or splitting
+        config), the payload's identity is the declared target, not
+        ``trials`` — the cell runs adaptively wherever it computes.
+        """
         return experiment_to_payload(
             self.experiment,
             trials=self.trials,
@@ -68,6 +74,7 @@ class CampaignCell:
             chunk_size=self.chunk_size,
             backend=self.backend,
             engine_options=self.engine_options,
+            until=self.until,
         )
 
 
@@ -105,6 +112,7 @@ class Campaign:
         programs: "Iterable[Mapping[str, int] | None]" = (None,),
         chunk_size: int = 512,
         engine_options: Any = None,
+        until: Any = None,
     ) -> "Campaign":
         """Build the engine × backend × seed × program product grid.
 
@@ -115,6 +123,8 @@ class Campaign:
         (``"engine=direct/backend=numpy/seed=1"`` …).  Sampling engines need
         explicit ``seeds`` — unseeded cells cannot be fingerprinted (the
         default ``(None,)`` only suits exact engines like ``"fsp"``).
+        ``until`` makes every cell adaptive (a shared precision target or
+        splitting config instead of the fixed ``trials`` budget).
         """
         cells: list[CampaignCell] = []
         for program in programs:
@@ -142,6 +152,7 @@ class Campaign:
                                 backend=str(backend),
                                 chunk_size=chunk_size,
                                 engine_options=engine_options,
+                                until=until,
                             )
                         )
         return cls(name, cells)
@@ -241,7 +252,11 @@ class CampaignResult:
                 "engine": outcome.cell.engine,
                 "backend": outcome.cell.backend,
                 "seed": outcome.cell.seed,
-                "trials": outcome.cell.trials,
+                "trials": (
+                    getattr(outcome.cell.until, "rule", "adaptive")
+                    if outcome.cell.until is not None
+                    else outcome.cell.trials
+                ),
                 "status": outcome.status,
                 "key": outcome.key[:12],
             }

@@ -269,6 +269,7 @@ def experiment_to_payload(
     chunk_size: int = 512,
     backend: str = "auto",
     engine_options: Any = None,
+    until: Any = None,
 ) -> dict:
     """Serialize a resolved experiment + simulate arguments into a payload.
 
@@ -278,6 +279,14 @@ def experiment_to_payload(
     rebuild and execute it anywhere — another process, another machine, the
     ``repro serve`` service.  ``workers`` is deliberately absent: results are
     worker-count invariant, so sharding is an execution choice, not identity.
+
+    ``until`` (an adaptive precision target or splitting configuration)
+    replaces the trial count in the identity: the payload records the
+    target's declarative descriptor under ``simulate.until`` with
+    ``simulate.trials = None``, so a run's fingerprint depends on *what
+    precision was asked for*, never on how many trials the stopping rule
+    happened to consume.  Fixed-budget payloads carry no ``until`` key at
+    all, keeping their fingerprints identical to prior releases.
     """
     from repro import __version__
     from repro.crn.serialize import network_to_dict
@@ -321,6 +330,29 @@ def experiment_to_payload(
                 ).items()
             }
 
+    simulate: dict = {
+        "trials": int(trials),
+        "engine": str(engine),
+        "seed": None if seed is None else int(seed),
+        "chunk_size": int(chunk_size),
+        "backend": str(backend),
+        "engine_options": _engine_options_payload(engine_options),
+    }
+    if until is not None:
+        try:
+            descriptor = until.to_descriptor()
+        except AttributeError as exc:
+            raise FingerprintError(
+                f"until={until!r} cannot be serialized for the result store: "
+                "adaptive targets need a to_descriptor() method (use "
+                "CiHalfWidthTarget / RelativeSETarget / SprtTarget / "
+                "SplittingConfig)"
+            ) from exc
+        simulate["until"] = descriptor
+        # The realized trial count is an *output* of an adaptive run, not an
+        # input; null it out so the declared target alone is the identity.
+        simulate["trials"] = None
+
     return {
         "schema": EXPERIMENT_SCHEMA,
         "version": __version__,
@@ -339,14 +371,7 @@ def experiment_to_payload(
         "outputs": outputs,
         "expected_outputs": expected_outputs,
         "options": _options_payload(options),
-        "simulate": {
-            "trials": int(trials),
-            "engine": str(engine),
-            "seed": None if seed is None else int(seed),
-            "chunk_size": int(chunk_size),
-            "backend": str(backend),
-            "engine_options": _engine_options_payload(engine_options),
-        },
+        "simulate": simulate,
     }
 
 
@@ -395,8 +420,15 @@ def compute_payload(payload: Mapping, workers: int = 1, trusted: bool = True):
     """
     experiment = experiment_from_payload(payload, trusted=trusted)
     sim = payload["simulate"]
+    until = None
+    if sim.get("until") is not None:
+        # Adaptive descriptors are fully declarative (plain numbers and
+        # labels), so reconstructing one is wire-safe even with trusted=False.
+        from repro.adaptive import target_from_descriptor
+
+        until = target_from_descriptor(sim["until"])
     result = experiment.simulate(
-        trials=int(sim["trials"]),
+        trials=1 if sim.get("trials") is None else int(sim["trials"]),
         engine=str(sim["engine"]),
         workers=workers,
         seed=sim.get("seed"),
@@ -405,6 +437,7 @@ def compute_payload(payload: Mapping, workers: int = 1, trusted: bool = True):
         ),
         chunk_size=int(sim.get("chunk_size", 512)),
         backend=str(sim.get("backend", "auto")),
+        until=until,
     )
     # Restore the identity metadata that resolving the experiment discarded,
     # so served results match locally-computed ones field for field.

@@ -1,0 +1,260 @@
+"""Importance splitting: deep-tail estimates cross-validated against FSP.
+
+The acceptance contract for the rare-event estimator: on the ``rare-race``
+zoo model — whose rare outcome has exact probability ``~3.1e-7``, far below
+anything a fixed Monte-Carlo budget can resolve — the multilevel splitting
+estimate must agree with the FSP exact oracle *within its own reported
+confidence interval*.  The rest of the file pins the estimator's
+determinism, its level-schedule resolution, the threshold lookup that turns
+a declared outcome into a score function, and the extinction / error paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import (
+    AdaptiveResult,
+    SplittingConfig,
+    resolve_outcome_threshold,
+    run_splitting,
+)
+from repro.adaptive.splitting import LEVEL_LABEL, SplittingEstimate
+from repro.api import Experiment
+from repro.crn import parse_network
+from repro.errors import AdaptiveError
+from repro.sim import OutcomeThresholds
+from repro.sim.events import AnyCondition, SpeciesThreshold
+from repro.sim.fsp import ThresholdStateClassifier
+from repro.store import ResultStore, experiment_to_payload
+from repro.store.fingerprint import canonical_json
+from repro.store.serialize import compute_payload
+from repro.zoo import load_model
+
+
+@pytest.fixture(scope="module")
+def rare_race():
+    return load_model("rare-race")
+
+
+@pytest.fixture(scope="module")
+def rare_exact(rare_race) -> float:
+    """The FSP oracle's exact deep-tail probability (~3.12e-7)."""
+    result = rare_race.experiment().simulate(
+        engine="fsp", engine_options=rare_race.fsp_options()
+    )
+    return float(result.exact["rare"])
+
+
+@pytest.fixture(scope="module")
+def splitting_result(rare_race):
+    config = SplittingConfig(outcome="rare", trials_per_level=400)
+    return rare_race.experiment().simulate(until=config, seed=11, engine="direct")
+
+
+class TestOracleAgreement:
+    """The PR's acceptance criterion, asserted end to end."""
+
+    def test_tail_is_genuinely_deep(self, rare_exact):
+        assert 0.0 < rare_exact <= 1e-6
+
+    def test_estimate_covers_the_exact_probability(self, splitting_result, rare_exact):
+        low, high = splitting_result.rare_interval
+        assert low <= rare_exact <= high
+
+    def test_estimate_is_the_right_magnitude(self, splitting_result, rare_exact):
+        estimate = splitting_result.rare_probability
+        assert rare_exact / 10 <= estimate <= rare_exact * 10
+
+    def test_cost_is_far_below_the_naive_budget(self, splitting_result, rare_exact):
+        # Seeing the event once by naive sampling costs ~1/p trials; the
+        # splitting run resolves it in a few thousand.
+        assert splitting_result.trials < 1e-2 / rare_exact
+
+    def test_result_shape(self, splitting_result):
+        assert isinstance(splitting_result, AdaptiveResult)
+        info = splitting_result.adaptive
+        assert info.rule == "splitting"
+        assert info.met and info.detail == "estimated"
+        # Default levels: one integer step per rare conversion, 1..8.
+        assert info.rare["levels"] == list(range(1, 9))
+        assert info.rare["species"] == "b"
+        assert info.rare["threshold"] == 8
+        stages = len(info.rare["stage_probabilities"])
+        assert stages == 8
+        assert splitting_result.trials == 400 * stages
+        assert info.chunks == info.rounds == stages
+
+    def test_summary_reports_the_estimate(self, splitting_result):
+        summary = splitting_result.summary()
+        assert "Importance splitting" in summary
+        assert "stage p" in summary
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, rare_race):
+        config = SplittingConfig(outcome="rare", trials_per_level=100)
+        experiment = rare_race.experiment()
+        first = experiment.simulate(until=config, seed=23, engine="direct")
+        second = experiment.simulate(until=config, seed=23, engine="direct")
+        assert first.to_json() == second.to_json()
+
+    def test_other_seeds_still_estimate(self, rare_race):
+        config = SplittingConfig(outcome="rare", trials_per_level=100)
+        result = rare_race.experiment().simulate(until=config, seed=51, engine="direct")
+        assert result.rare_probability > 0.0
+
+
+class TestStoreAndWire:
+    def test_warm_hit_is_bit_identical(self, tmp_path, rare_race):
+        config = SplittingConfig(outcome="rare", trials_per_level=100)
+        experiment = rare_race.experiment()
+        store = ResultStore(tmp_path / "store")
+        cold = experiment.simulate(until=config, seed=23, engine="direct", store=store)
+        warm = experiment.simulate(until=config, seed=23, engine="direct", store=store)
+        assert isinstance(warm, AdaptiveResult)
+        assert canonical_json(warm.to_payload()) == canonical_json(cold.to_payload())
+        assert store.stats()["artifacts"] == 1
+
+    def test_untrusted_wire_payload_recomputes_identically(self, rare_race):
+        # The splitting descriptor is fully declarative, so the service's
+        # trusted=False path must rebuild and run it.
+        config = SplittingConfig(outcome="rare", trials_per_level=100)
+        experiment = rare_race.experiment()
+        local = experiment.simulate(until=config, seed=23, engine="direct")
+        payload = experiment_to_payload(
+            experiment, trials=100, engine="direct", seed=23, until=config
+        )
+        remote = compute_payload(payload, trusted=False)
+        assert isinstance(remote, AdaptiveResult)
+        assert canonical_json(remote.to_payload()) == canonical_json(
+            {**local.to_payload(), "workers": remote.workers}
+        )
+
+
+class TestSplittingConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(outcome="", trials_per_level=10),
+            dict(outcome="rare", trials_per_level=1),
+            dict(outcome="rare", confidence=1.0),
+            dict(outcome="rare", levels=(3, 2)),
+            dict(outcome="rare", levels=()),
+            dict(outcome="rare", levels=(1, 2), n_levels=2),
+            dict(outcome="rare", n_levels=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(AdaptiveError):
+            SplittingConfig(**kwargs)
+
+    def test_default_levels_are_integer_steps(self):
+        config = SplittingConfig(outcome="rare")
+        assert config.resolved_levels(0, 5) == [1, 2, 3, 4, 5]
+        assert config.resolved_levels(2, 5) == [3, 4, 5]
+
+    def test_n_levels_subsamples_and_ends_at_threshold(self):
+        config = SplittingConfig(outcome="rare", n_levels=3)
+        levels = config.resolved_levels(0, 9)
+        assert len(levels) == 3
+        assert levels == sorted(levels)
+        assert levels[-1] == 9
+        # More requested levels than integer steps degrades to every step.
+        many = SplittingConfig(outcome="rare", n_levels=50)
+        assert many.resolved_levels(0, 4) == [1, 2, 3, 4]
+
+    def test_explicit_levels_must_end_at_threshold(self):
+        config = SplittingConfig(outcome="rare", levels=(2, 4, 6))
+        assert config.resolved_levels(0, 6) == [2, 4, 6]
+        with pytest.raises(AdaptiveError, match="exactly the outcome threshold"):
+            config.resolved_levels(0, 8)
+        with pytest.raises(AdaptiveError, match="initial score"):
+            config.resolved_levels(2, 6)
+
+    def test_already_satisfied_outcome_is_not_rare(self):
+        config = SplittingConfig(outcome="rare")
+        with pytest.raises(AdaptiveError, match="not a rare event"):
+            config.resolved_levels(5, 3)
+
+
+class TestResolveOutcomeThreshold:
+    def test_from_outcome_thresholds(self):
+        stopping = OutcomeThresholds({"a-wins": ("a", 7), "b-wins": ("b", 8)})
+        assert resolve_outcome_threshold("b-wins", stopping) == ("b", 8)
+
+    def test_from_labelled_species_threshold_inside_any(self):
+        stopping = AnyCondition(
+            [
+                SpeciesThreshold("a", 7, ">=", label="common"),
+                SpeciesThreshold("b", 8, ">=", label="rare"),
+            ]
+        )
+        assert resolve_outcome_threshold("rare", stopping) == ("b", 8)
+
+    def test_from_state_classifier(self):
+        classifier = ThresholdStateClassifier({"rare": ("b", 8, ">=")})
+        assert resolve_outcome_threshold("rare", None, classifier) == ("b", 8)
+
+    def test_decreasing_outcomes_rejected(self):
+        stopping = SpeciesThreshold("b", 0, "<=", label="extinct")
+        with pytest.raises(AdaptiveError, match="increasing '>=' score"):
+            resolve_outcome_threshold("extinct", stopping)
+
+    def test_unknown_outcome_lists_declared_labels(self):
+        stopping = OutcomeThresholds({"common": ("a", 7), "rare": ("b", 8)})
+        with pytest.raises(AdaptiveError, match=r"common.*rare"):
+            resolve_outcome_threshold("nope", stopping)
+
+
+class TestExtinction:
+    def test_unreachable_outcome_reports_extinct(self):
+        # Only two precursors exist, so b can never reach 3: the stage at
+        # the unreachable level goes extinct and the estimate is zero.
+        network = parse_network(
+            """
+            init: s = 2
+            s ->{1} a
+            s ->{1} b
+            """,
+            name="too-small",
+        )
+        stopping = OutcomeThresholds({"common": ("a", 2), "rare": ("b", 3)})
+        experiment = Experiment.from_network(network, stopping=stopping)
+        config = SplittingConfig(outcome="rare", trials_per_level=50)
+        result = experiment.simulate(until=config, seed=9, engine="direct")
+        assert result.rare_probability == 0.0
+        assert result.rare_interval == (0.0, 0.0)
+        assert not result.met
+        assert result.adaptive.detail == "extinct"
+        probabilities = result.adaptive.rare["stage_probabilities"]
+        assert probabilities[-1] == 0.0
+
+
+class TestRunSplittingDirectly:
+    def test_estimate_fields_are_consistent(self, rare_race):
+        experiment = rare_race.experiment()
+        network, stopping, _classifier = experiment._resolved()
+        estimate = run_splitting(
+            network,
+            config=SplittingConfig(outcome="rare", trials_per_level=64),
+            species="b",
+            threshold=8,
+            stopping=stopping,
+            seed=3,
+        )
+        assert isinstance(estimate, SplittingEstimate)
+        assert estimate.total_trials == 64 * len(estimate.stage_probabilities)
+        product = 1.0
+        for p in estimate.stage_probabilities:
+            product *= p
+        assert estimate.estimate == pytest.approx(product)
+        if estimate.estimate > 0:
+            assert estimate.ci_low < estimate.estimate < estimate.ci_high
+            assert estimate.covers(estimate.estimate)
+        payload = estimate.rare_payload()
+        assert payload["outcome"] == "rare"
+        assert canonical_json(payload)
+
+    def test_level_label_is_reserved_for_stages(self):
+        assert LEVEL_LABEL == "(level)"
