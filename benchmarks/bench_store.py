@@ -17,6 +17,17 @@ second section demonstrates campaign resume: an engine × seed grid run
 through ``CampaignRunner``, then re-run — the resumed campaign computes
 nothing and finishes in milliseconds.
 
+Two further sections exercise PR 8's canonical fingerprints and store
+tiers:
+
+* **renamed warm hit** — a species-renamed, reaction-permuted copy of the
+  toggle-switch zoo model addresses the *same* artifact as the original
+  (asserted: one artifact, and the witness-translated payload equals
+  recomputing the variant from scratch);
+* **hot vs cold reads** — repeated envelope reads served by the in-process
+  hot LRU vs forced cold reads (``hot_capacity=0``: disk + gunzip + JSON
+  parse every time), asserted ≥ 2× apart.
+
 Run directly for a wall-clock report (CI uses ``--smoke``)::
 
     PYTHONPATH=src python benchmarks/bench_store.py [--smoke]
@@ -46,9 +57,94 @@ ENGINE = "direct"
 #: CI assertion: serving the warm cache must beat re-simulating by this much.
 MIN_SPEEDUP = 100.0
 
+#: CI assertion: hot-LRU reads must beat cold (disk+gunzip+parse) reads.
+MIN_TIER_RATIO = 2.0
+
 
 def example1() -> Experiment:
     return Experiment.from_distribution({"1": 0.3, "2": 0.4, "3": 0.3}, gamma=1e3)
+
+
+def toggle_variant(base: Experiment) -> Experiment:
+    """A species-renamed, reaction-permuted copy of the toggle switch."""
+    import dataclasses
+
+    from repro.crn import ReactionNetwork
+
+    renamed = base.renamed({"u": "activator", "v": "repressor", "p": "precursor"})
+    network = renamed.network
+    permuted = ReactionNetwork(
+        list(reversed(list(network.reactions))),
+        initial_state={sp.name: c for sp, c in network.initial_state.items()},
+        name=network.name,
+        species=[sp.name for sp in network.species],
+    )
+    return dataclasses.replace(renamed, network=permuted)
+
+
+def bench_renamed(root: Path) -> dict:
+    """A renamed+permuted model warm-hits the original's artifact."""
+    from repro.store import canonical_json
+
+    store = ResultStore(root / "renamed-store")
+    base = Experiment.from_zoo("toggle-switch")
+    kwargs = dict(trials=2_000, engine=ENGINE, seed=SEED)
+
+    start = time.perf_counter()
+    base.simulate(store=store, **kwargs)
+    cold_s = time.perf_counter() - start
+
+    variant = toggle_variant(base)
+    warm_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        warm = variant.simulate(store=store, **kwargs)
+        warm_s = min(warm_s, time.perf_counter() - start)
+    assert store.stats()["artifacts"] == 1, "renamed variant missed the cache"
+
+    recomputed = variant.simulate(store=ResultStore(root / "renamed-fresh"), **kwargs)
+    assert canonical_json(warm.to_payload()) == canonical_json(
+        recomputed.to_payload()
+    ), "translated warm hit differs from recomputing the variant"
+    return {
+        "scenario": "renamed+permuted toggle-switch",
+        "cold (s)": cold_s,
+        "warm translated (s)": warm_s,
+        "speedup": cold_s / warm_s,
+        "artifacts": store.stats()["artifacts"],
+    }
+
+
+def bench_tiers(root: Path, reads: int = 200) -> dict:
+    """Hot-LRU envelope reads vs forced cold (disk + gunzip + parse) reads."""
+    hot_store = ResultStore(root / "tier-store")
+    experiment = example1()
+    experiment.simulate(trials=TRIALS, engine=ENGINE, seed=SEED, store=hot_store)
+    [key] = hot_store.keys()
+    cold_store = ResultStore(hot_store.root, hot_capacity=0)
+
+    def best_of(store: ResultStore, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(reads):
+                store.get_envelope(key)
+            best = min(best, time.perf_counter() - start)
+        return best / reads
+
+    hot_store.get_envelope(key)  # populate the hot tier
+    hot_s, cold_s = best_of(hot_store), best_of(cold_store)
+    ratio = cold_s / hot_s
+    assert ratio >= MIN_TIER_RATIO, (
+        f"hot tier only {ratio:.1f}x faster than cold reads "
+        f"(threshold: {MIN_TIER_RATIO:.0f}x)"
+    )
+    return {
+        "scenario": f"envelope read x{reads}",
+        "hot (us)": hot_s * 1e6,
+        "cold (us)": cold_s * 1e6,
+        "ratio": ratio,
+    }
 
 
 def bench_cache(root: Path, engine: str = ENGINE) -> dict:
@@ -120,11 +216,19 @@ def main(argv: "list[str] | None" = None) -> int:
             rows.append(bench_cache(root, engine="batch-direct"))
         body = format_table(rows, floatfmt="{:.4g}")
 
+        renamed_row = bench_renamed(root)
+        tier_row = bench_tiers(root)
+        body += "\n\n" + format_table([renamed_row], floatfmt="{:.4g}")
+        body += "\n\n" + format_table([tier_row], floatfmt="{:.4g}")
+
         row = rows[0]
         verdict = (
             f"\nwarm-cache lookup is {row['speedup']:.0f}x faster than "
             f"re-simulating the {TRIALS}-trial Example-1 ensemble "
             f"(threshold: {MIN_SPEEDUP:.0f}x)"
+            f"\nrenamed+permuted variant warm-hit the original's artifact; "
+            f"hot reads {tier_row['ratio']:.0f}x faster than cold "
+            f"(threshold: {MIN_TIER_RATIO:.0f}x)"
         )
         if not args.smoke:
             campaign_rows = bench_campaign(root)

@@ -244,6 +244,101 @@ class Experiment:
         """Set the experiment's human-readable label."""
         return self._replace(label=str(label))
 
+    def renamed(self, mapping: "Mapping[str, str]") -> "Experiment":
+        """Rename species across the whole experiment (network kind only).
+
+        Applies ``mapping`` to the network *and* to every species reference
+        the experiment carries — stopping-condition descriptors, classifier
+        catalyst maps, state-classifier thresholds, programmed inputs.
+        Outcome labels are left untouched (including defaulted
+        species-threshold labels, which keep embedding the *old* species
+        name): labels are semantic identity, and preserving them means a
+        renamed experiment stays in the same isomorphism class as the
+        original — ``simulate(store=...)`` warm-hits the original's cached
+        result (:mod:`repro.store.canonical`).
+
+        Renaming is injective (:class:`~repro.errors.NetworkError` on
+        colliding targets, like :meth:`ReactionNetwork.renamed`); system and
+        module experiments, and callable classifiers, raise
+        :class:`~repro.errors.ExperimentError` — an opaque callable reads the
+        original species names and cannot be relabeled declaratively.
+        """
+        if self.network is None:
+            raise ExperimentError(
+                "renamed() applies to network experiments only (system and "
+                "module experiments derive their semantics from internal "
+                "species names); extract the network first"
+            )
+        from repro.sim.events import condition_from_descriptor
+        from repro.store.canonical import _rename_stopping
+        from repro.store.serialize import WorkingOutcomeClassifier
+
+        rename = {str(k): str(v) for k, v in mapping.items()}
+        network = self.network.renamed(rename)
+
+        stopping = self.stopping
+        if stopping is not None:
+            try:
+                descriptor = stopping.to_descriptor()
+            except AttributeError as exc:
+                raise ExperimentError(
+                    f"stopping condition {stopping!r} cannot be renamed: it "
+                    "has no declarative descriptor (to_descriptor)"
+                ) from exc
+            stopping = condition_from_descriptor(_rename_stopping(descriptor, rename))
+
+        classifier = self.classifier
+        if classifier is not None:
+            if not isinstance(classifier, WorkingOutcomeClassifier):
+                raise ExperimentError(
+                    "a callable classifier reads the original species names "
+                    "and cannot be renamed; use WorkingOutcomeClassifier or "
+                    "clear the classifier first"
+                )
+            classifier = WorkingOutcomeClassifier(
+                classifier.labels,
+                classifier.working,
+                {
+                    label: rename.get(species, species)
+                    for label, species in classifier.catalysts.items()
+                },
+            )
+
+        state_classifier = self.state_classifier
+        if state_classifier is not None:
+            from repro.sim.fsp import DominantSpeciesClassifier, ThresholdStateClassifier
+
+            if isinstance(state_classifier, DominantSpeciesClassifier):
+                state_classifier = DominantSpeciesClassifier(
+                    {
+                        label: rename.get(species, species)
+                        for label, species in state_classifier.species_by_label.items()
+                    }
+                )
+            elif isinstance(state_classifier, ThresholdStateClassifier):
+                state_classifier = ThresholdStateClassifier(
+                    {
+                        label: [rename.get(species, species), count, comparison]
+                        for label, (species, count, comparison) in state_classifier.thresholds.items()
+                    }
+                )
+            else:
+                raise ExperimentError(
+                    "a callable state classifier reads the original species "
+                    "names and cannot be renamed"
+                )
+
+        inputs = tuple(
+            sorted((rename.get(species, species), count) for species, count in self.inputs)
+        )
+        return self._replace(
+            network=network,
+            stopping=stopping,
+            classifier=classifier,
+            state_classifier=state_classifier,
+            inputs=inputs,
+        )
+
     # -- resolution --------------------------------------------------------------
 
     def _default_options(self) -> SimulationOptions:
@@ -385,7 +480,12 @@ class Experiment:
                     "trajectories are not persisted, so a cache hit could not "
                     "return them"
                 )
-            from repro.store import ResultStore, experiment_to_payload, fingerprint_payload
+            from repro.store import ResultStore, experiment_to_payload
+            from repro.store.canonical import (
+                canonicalize_payload,
+                localize_envelope,
+                localize_run_payload,
+            )
 
             store = ResultStore.coerce(store)
             payload = experiment_to_payload(
@@ -398,22 +498,38 @@ class Experiment:
                 engine_options=engine_options,
                 until=until,
             )
-            key = fingerprint_payload(payload)
-            cached = store.load_run(key)
-            if cached is not None:
-                return cached
-            result = self._dispatch(
-                trials=trials,
-                engine=engine,
-                workers=workers,
-                seed=seed,
-                engine_options=engine_options,
-                keep_trajectories=keep_trajectories,
-                chunk_size=chunk_size,
-                backend=backend,
-                until=until,
-            )
-            store.put(key, result, descriptor=payload)
+            canon = canonicalize_payload(payload)
+            envelope = store.get_envelope(canon.key)
+            if envelope is not None:
+                result, _ = localize_envelope(envelope, canon, payload)
+                return result
+            if canon.exact:
+                # Execute the *canonical* payload: reaction order feeds the
+                # random stream, so only the canonical ordering produces the
+                # realization every isomorphic caller agrees on.  The result
+                # is translated back to this caller's naming before use.
+                from repro.store.serialize import compute_payload
+
+                computed = compute_payload(canon.payload, workers=workers)
+                localized = localize_run_payload(
+                    computed.to_payload(), canon.witness, payload
+                )
+                result = RunResult.from_payload(localized)
+            else:
+                # Opaque callables pin the experiment to its own naming —
+                # identity canonicalization, execute as-is.
+                result = self._dispatch(
+                    trials=trials,
+                    engine=engine,
+                    workers=workers,
+                    seed=seed,
+                    engine_options=engine_options,
+                    keep_trajectories=keep_trajectories,
+                    chunk_size=chunk_size,
+                    backend=backend,
+                    until=until,
+                )
+            store.put(canon.key, result, descriptor=payload, witness=canon.witness)
             return result
         return self._dispatch(
             trials=trials,

@@ -125,9 +125,11 @@ class FunctionalModule:
         """Return a copy with port species renamed according to ``mapping``.
 
         ``mapping`` keys are current species names (not roles).  Use this to
-        wire a module's output species onto another module's input species.
+        wire a module's output species onto another module's input species —
+        which intentionally *identifies* the wired species, so merging
+        renames are allowed here.
         """
-        network = self.network.renamed(mapping)
+        network = self.network.renamed(mapping, allow_merge=True)
         rename = dict(mapping)
         return FunctionalModule(
             name=self.name,

@@ -13,6 +13,13 @@ This subpackage is the substrate everything else builds on:
 """
 
 from repro.crn.builder import NetworkBuilder
+from repro.crn.canonical import (
+    CanonicalForm,
+    canonical_form,
+    is_isomorphic,
+    isomorphism_witness,
+    network_invariants,
+)
 from repro.crn.generate import GeneratorConfig, generate_model, generate_network
 from repro.crn.graph import GraphSummary, bipartite_graph, graph_summary, to_dot
 from repro.crn.importer import (
@@ -103,4 +110,9 @@ __all__ = [
     "namespace_network",
     "build_namespace_map",
     "wire",
+    "CanonicalForm",
+    "canonical_form",
+    "is_isomorphic",
+    "isomorphism_witness",
+    "network_invariants",
 ]

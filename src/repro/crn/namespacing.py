@@ -70,6 +70,8 @@ def wire(
     """Rename port species to connect modules, e.g. ``{"log.y": "stoch.e1"}``.
 
     This is a thin, intention-revealing wrapper over
-    :meth:`ReactionNetwork.renamed`.
+    :meth:`ReactionNetwork.renamed`.  Wiring merges by design — connecting
+    ``log.y`` onto ``stoch.e1`` *identifies* the two species — so the
+    injectivity guard is waived here.
     """
-    return network.renamed(dict(connections))
+    return network.renamed(dict(connections), allow_merge=True)

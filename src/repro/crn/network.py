@@ -186,10 +186,24 @@ class ReactionNetwork:
         )
 
     def renamed(
-        self, mapping: Mapping["Species | str", "Species | str"], name: str | None = None
+        self,
+        mapping: Mapping["Species | str", "Species | str"],
+        name: str | None = None,
+        allow_merge: bool = False,
     ) -> "ReactionNetwork":
-        """Return a copy with species renamed everywhere (reactions + initial state)."""
+        """Return a copy with species renamed everywhere (reactions + initial state).
+
+        A mapping that collides two species onto one target (either two
+        mapped sources sharing a target, or a target that is an existing
+        unmapped species) *merges* them: initial counts add, stoichiometric
+        coefficients combine.  That is almost never what a rename intends,
+        so non-injective mappings raise :class:`~repro.errors.NetworkError`
+        unless ``allow_merge=True`` is passed explicitly (the module
+        composer's port wiring does, on purpose).
+        """
         normalized = {as_species(k): as_species(v) for k, v in mapping.items()}
+        if not allow_merge:
+            self._check_injective(normalized)
         new_initial: dict[Species, int] = {}
         for species, count in self._initial.items():
             target = normalized.get(species, species)
@@ -201,6 +215,37 @@ class ReactionNetwork:
             metadata=dict(self.metadata),
             species={normalized.get(s, s) for s in self._declared_species},
         )
+
+    def _check_injective(self, normalized: Mapping[Species, Species]) -> None:
+        """Reject renamings that would silently merge species."""
+        from repro.errors import NetworkError
+
+        known = self.species
+        relevant = {
+            source: target
+            for source, target in normalized.items()
+            if source in known and source != target
+        }
+        by_target: dict[Species, list[Species]] = {}
+        for source, target in relevant.items():
+            by_target.setdefault(target, []).append(source)
+        collisions = []
+        for target, sources in sorted(by_target.items(), key=lambda kv: kv[0].name):
+            if len(sources) > 1:
+                names = " and ".join(sorted(s.name for s in sources))
+                collisions.append(f"{names} both map to {target.name!r}")
+            elif target in known and target not in relevant:
+                collisions.append(
+                    f"{sources[0].name!r} maps onto existing species {target.name!r}"
+                )
+        if collisions:
+            raise NetworkError(
+                f"renaming is not injective on network {self.name!r}: "
+                + "; ".join(collisions)
+                + " — this would merge species (initial counts add, "
+                "stoichiometries combine); pass allow_merge=True if merging "
+                "is intended"
+            )
 
     def merged(self, other: "ReactionNetwork", name: str = "") -> "ReactionNetwork":
         """Union of two networks: reactions concatenated, initial counts summed."""

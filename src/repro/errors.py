@@ -13,6 +13,7 @@ __all__ = [
     "CRNError",
     "SpeciesError",
     "ReactionError",
+    "NetworkError",
     "NetworkValidationError",
     "ParseError",
     "SerializationError",
@@ -59,6 +60,16 @@ class SpeciesError(CRNError):
 
 class ReactionError(CRNError):
     """An invalid reaction definition (negative rate, bad stoichiometry, ...)."""
+
+
+class NetworkError(CRNError):
+    """An invalid network-level operation.
+
+    Raised by :meth:`~repro.crn.network.ReactionNetwork.renamed` when a
+    non-injective species mapping would silently merge species (pass
+    ``allow_merge=True`` to opt into merging), and by the canonicalization
+    pass (:mod:`repro.crn.canonical`) on malformed inputs.
+    """
 
 
 class NetworkValidationError(CRNError):

@@ -32,8 +32,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping
 
 from repro.errors import ReproError, ServiceError
-from repro.store.fingerprint import fingerprint_payload
-from repro.store.serialize import EXPERIMENT_SCHEMA, compute_payload
+from repro.store.canonical import cached_run
+from repro.store.serialize import EXPERIMENT_SCHEMA
 from repro.store.store import ResultStore
 
 __all__ = ["ResultService", "serve"]
@@ -206,39 +206,42 @@ class ResultService:
         return {"engines": registry.capability_matrix()}
 
     def simulate(self, body: Mapping) -> "tuple[int, dict]":
-        """Handle ``POST /simulate``: fingerprint, cache-lookup, compute.
+        """Handle ``POST /simulate``: canonicalize, cache-lookup, compute.
 
-        Adaptive payloads (``simulate.until`` set) compute through the same
-        path — the descriptor is declarative, so the untrusted rebuild is
-        wire-safe — and the reply's ``"adaptive"`` flag reports that the
-        artifact records a stopping rule rather than a fixed trial budget.
+        The payload is canonically fingerprinted (:mod:`repro.store.canonical`)
+        so requests that differ only in species naming or reaction order hit
+        the same artifact; the reply's artifact payload is translated into
+        the *requester's* naming (``GET /results/<key>`` returns the stored
+        writer-naming envelope verbatim).  Adaptive payloads
+        (``simulate.until`` set) compute through the same path — the
+        descriptor is declarative, so the untrusted rebuild is wire-safe —
+        and the reply's ``"adaptive"`` flag reports that the artifact records
+        a stopping rule rather than a fixed trial budget.
         """
+        from repro.store.serialize import is_experiment_schema
+
         payload = body.get("experiment", body)
-        if not isinstance(payload, dict) or payload.get("schema") != EXPERIMENT_SCHEMA:
+        if not isinstance(payload, dict) or not is_experiment_schema(
+            payload.get("schema")
+        ):
             raise ServiceError(
                 "POST /simulate expects a serialized experiment payload "
                 f"(schema {EXPERIMENT_SCHEMA!r}); build one with "
                 "repro.store.experiment_to_payload or use repro.client.ServiceClient"
             )
         adaptive = payload.get("simulate", {}).get("until") is not None
-        key = fingerprint_payload(payload)
-        envelope = self.store.get_envelope(key)
-        if envelope is not None:
-            self.hits += 1
-            return 200, {
-                "key": key,
-                "cached": True,
-                "adaptive": adaptive,
-                "artifact": envelope,
-            }
-        self.misses += 1
         # trusted=False: wire payloads must stay declarative — a "callable"
         # descriptor would let any client import+run arbitrary server code.
-        result = compute_payload(payload, workers=self.workers, trusted=False)
-        envelope = self.store.put(key, result, descriptor=payload)
-        return 201, {
-            "key": key,
-            "cached": False,
+        result, cached, canon, envelope = cached_run(
+            self.store, payload, workers=self.workers, trusted=False
+        )
+        if cached:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return (200 if cached else 201), {
+            "key": canon.key,
+            "cached": cached,
             "adaptive": adaptive,
             "artifact": envelope,
         }

@@ -5,10 +5,15 @@ simulation a pure function of its serialized inputs, so results are
 *content-addressable*:
 
 * :mod:`repro.store.fingerprint` — canonical JSON + SHA-256 content keys;
+* :mod:`repro.store.canonical` — isomorphism-aware identity: payloads are
+  canonically relabeled before hashing, so experiments that differ only in
+  species naming / reaction order share one cache entry, translated back to
+  each caller's naming through a recorded witness;
 * :mod:`repro.store.serialize` — experiments ⇄ JSON payloads (the unit that
   is hashed, shipped to workers, and POSTed to the service);
-* :mod:`repro.store.store` — :class:`ResultStore`, the on-disk artifact
-  store with index, cache lookup, eviction/GC and campaign manifests;
+* :mod:`repro.store.store` — :class:`ResultStore`, the tiered on-disk
+  artifact store (in-process hot LRU over gzip-compressed cold JSON) with
+  index, cache lookup, eviction/GC and campaign manifests;
 * :mod:`repro.store.campaign` — :class:`Campaign` grids scheduled by the
   cache-aware, resumable :class:`CampaignRunner`.
 
@@ -32,11 +37,18 @@ from repro.store.campaign import (
     CampaignRunner,
     CellOutcome,
 )
-from repro.store.fingerprint import canonical_json, fingerprint_payload
+from repro.store.canonical import (
+    CanonicalPayload,
+    canonicalize_payload,
+    compose_translation,
+    localize_run_payload,
+)
+from repro.store.fingerprint import canonical_json, fingerprint_payload, normalize_numbers
 from repro.store.serialize import (
     compute_payload,
     experiment_from_payload,
     experiment_to_payload,
+    is_experiment_schema,
 )
 from repro.store.store import ResultStore
 
@@ -48,9 +60,15 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CellOutcome",
+    "CanonicalPayload",
     "canonical_json",
+    "canonicalize_payload",
+    "compose_translation",
     "fingerprint_payload",
+    "normalize_numbers",
+    "localize_run_payload",
     "experiment_to_payload",
     "experiment_from_payload",
+    "is_experiment_schema",
     "compute_payload",
 ]

@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import CampaignError
-from repro.store.fingerprint import canonical_json, fingerprint_payload
+from repro.store.canonical import (
+    CanonicalPayload,
+    canonicalize_payload,
+    localize_envelope,
+    localize_run_payload,
+)
+from repro.store.fingerprint import canonical_json
 from repro.store.serialize import compute_payload, experiment_to_payload
 from repro.store.store import ResultStore
 
@@ -159,10 +165,24 @@ class Campaign:
 
     def resolve(self) -> "list[tuple[CampaignCell, dict, str]]":
         """Each cell with its payload and fingerprint key (payload built once)."""
+        return [
+            (cell, payload, canon.key)
+            for cell, payload, canon in self.resolve_canonical()
+        ]
+
+    def resolve_canonical(
+        self,
+    ) -> "list[tuple[CampaignCell, dict, CanonicalPayload]]":
+        """Each cell with its payload and full canonicalization record.
+
+        The canonical key is isomorphism-invariant (see
+        :mod:`repro.store.canonical`), so cells that differ only in species
+        naming or reaction order deduplicate onto one computation.
+        """
         resolved = []
         for cell in self.cells:
             payload = cell.payload()
-            resolved.append((cell, payload, fingerprint_payload(payload)))
+            resolved.append((cell, payload, canonicalize_payload(payload)))
         return resolved
 
     def campaign_id(self, keys: "Sequence[str] | None" = None) -> str:
@@ -307,7 +327,8 @@ class CampaignRunner:
         :class:`CampaignError` after the remaining cells have run — the
         successful cells' artifacts stay in the store.
         """
-        resolved = campaign.resolve()
+        canonical = campaign.resolve_canonical()
+        resolved = [(cell, payload, canon.key) for cell, payload, canon in canonical]
         keys = [key for _, _, key in resolved]
         campaign_id = campaign.campaign_id(keys)
         total = len(resolved)
@@ -324,23 +345,38 @@ class CampaignRunner:
         ]
         statuses = {entry["name"]: entry for entry in manifest["cells"]}
 
-        # Deduplicate: every unique fingerprint is loaded or computed once,
-        # then settled onto all the cells that share it.
+        # Deduplicate: every unique canonical fingerprint is loaded or
+        # computed once, then settled onto all the cells that share it —
+        # including cells that address the same isomorphism class under
+        # different species naming, each of which receives the result
+        # translated into its own naming.
         cells_by_key: dict[str, list[CampaignCell]] = {}
-        payloads: dict[str, dict] = {}
-        for cell, payload, key in resolved:
-            cells_by_key.setdefault(key, []).append(cell)
-            payloads.setdefault(key, payload)
+        payloads: dict[str, dict] = {}  # key -> canonical executable payload
+        cell_payloads: dict[str, dict] = {}  # cell name -> caller payload
+        canons: dict[str, CanonicalPayload] = {}  # cell name -> canonicalization
+        for cell, payload, canon in canonical:
+            cells_by_key.setdefault(canon.key, []).append(cell)
+            payloads.setdefault(canon.key, canon.payload)
+            cell_payloads[cell.name] = payload
+            canons[cell.name] = canon
 
         outcome_by_cell: dict[str, CellOutcome] = {}
         completed = 0
 
         def settle_key(
-            key: str, status: str, result: Any = None, error: "str | None" = None
+            key: str,
+            status: str,
+            envelope: "Mapping | None" = None,
+            error: "str | None" = None,
         ) -> None:
             nonlocal completed
             for cell in cells_by_key[key]:
                 completed += 1
+                result = None
+                if envelope is not None:
+                    result, _ = localize_envelope(
+                        envelope, canons[cell.name], cell_payloads[cell.name]
+                    )
                 outcome_by_cell[cell.name] = CellOutcome(
                     cell, key, status, result=result, error=error
                 )
@@ -358,10 +394,30 @@ class CampaignRunner:
                         )
                     )
 
+        def put_computed(key: str, computed: Any) -> dict:
+            """Localize a canonical computation onto the first cell's naming
+            and persist it with that cell's witness."""
+            writer = cells_by_key[key][0]
+            canon = canons[writer.name]
+            if canon.exact:
+                from repro.api.results import RunResult
+
+                localized = localize_run_payload(
+                    computed.to_payload(), canon.witness, cell_payloads[writer.name]
+                )
+                computed = RunResult.from_payload(localized)
+            return self.store.put(
+                key,
+                computed,
+                descriptor=cell_payloads[writer.name],
+                witness=canon.witness,
+            )
+
         pending: list[str] = []
         for key in cells_by_key:
-            if self.store.has(key):
-                settle_key(key, "cached", result=self.store.load_run(key))
+            envelope = self.store.get_envelope(key)
+            if envelope is not None:
+                settle_key(key, "cached", envelope=envelope)
             else:
                 pending.append(key)
 
@@ -373,10 +429,9 @@ class CampaignRunner:
                     except Exception as exc:  # noqa: BLE001 - recorded, re-raised below
                         settle_key(key, "failed", error=f"{type(exc).__name__}: {exc}")
                     else:
-                        self.store.put(key, computed, descriptor=payloads[key])
-                        settle_key(key, "computed", result=computed)
+                        settle_key(key, "computed", envelope=put_computed(key, computed))
             else:
-                self._run_pool(pending, payloads, settle_key)
+                self._run_pool(pending, payloads, settle_key, put_computed)
 
         outcomes = [outcome_by_cell[cell.name] for cell, _, _ in resolved]
         result = CampaignResult(campaign_id=campaign_id, name=campaign.name, outcomes=outcomes)
@@ -408,6 +463,7 @@ class CampaignRunner:
         pending: Sequence[str],
         payloads: Mapping[str, Mapping],
         settle_key: "Callable[..., None]",
+        put_computed: "Callable[[str, Any], dict]",
     ) -> None:
         """Compute cache-miss payloads on a process pool, settling as they land."""
         from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -429,5 +485,4 @@ class CampaignRunner:
                 except Exception as exc:  # noqa: BLE001 - recorded, re-raised by run()
                     settle_key(key, "failed", error=f"{type(exc).__name__}: {exc}")
                 else:
-                    self.store.put(key, computed, descriptor=dict(payloads[key]))
-                    settle_key(key, "computed", result=computed)
+                    settle_key(key, "computed", envelope=put_computed(key, computed))

@@ -12,11 +12,22 @@ The contract:
 
 * :func:`canonical_json` — deterministic JSON: sorted keys, no whitespace,
   ``allow_nan=False`` (non-finite floats must be encoded by the caller; the
-  experiment serializer maps ``max_time = inf`` to ``None``).
-* :func:`fingerprint_payload` — SHA-256 of the canonical JSON, hex-encoded.
-  The ``version`` key is excluded from the hash: payloads record the library
-  version that wrote them for *compatibility checks*, but a patch release
-  that does not change the schema must keep hitting the same cache entries.
+  experiment serializer maps ``max_time = inf`` to ``None``).  With
+  ``normalize=True``, numerically equal spellings collapse first
+  (``-0.0`` → ``0``, ``1.0`` → ``1``) so aliases hash identically.
+* :func:`fingerprint_payload` — SHA-256 of the normalized canonical JSON,
+  hex-encoded.  Serialized *experiment* payloads (``repro.experiment/v*``)
+  are reduced to their canonical identity first
+  (:func:`repro.store.canonical.canonical_identity`): the network is
+  canonically relabeled (species naming and reaction order are not
+  identity — see :mod:`repro.crn.canonical`) and the unhashed metadata
+  below is stripped.  Every other payload only has :data:`_UNHASHED_KEYS`
+  stripped.
+* Unhashed metadata: ``version`` (compatibility bookkeeping) plus, for
+  experiment payloads, ``label`` / ``inputs`` / ``outputs`` /
+  ``expected_outputs`` / ``target`` and the network's ``name`` /
+  ``metadata`` — caller-side presentation that a cache hit restores from
+  the *caller's* payload, never from the artifact.
 * ``workers`` never appears in a payload: results are worker-count invariant
   by construction, so the worker count is an execution knob, not part of the
   experiment's identity.
@@ -26,23 +37,52 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from typing import Any, Mapping
 
 from repro.errors import FingerprintError
 
-__all__ = ["canonical_json", "fingerprint_payload"]
+__all__ = ["canonical_json", "fingerprint_payload", "normalize_numbers"]
 
 #: Keys stripped before hashing — informational metadata, not identity.
 _UNHASHED_KEYS = ("version",)
 
 
-def canonical_json(payload: Any) -> str:
+def normalize_numbers(payload: Any) -> Any:
+    """Collapse numerically equal JSON spellings to one canonical form.
+
+    ``-0.0`` and ``0.0`` become ``0``; any finite float with integral value
+    (``1.0``) becomes the ``int`` ``1``.  Bools are untouched (they are JSON
+    atoms, not numbers here), as are non-integral floats, strings, and
+    ``None``.  Containers are rebuilt recursively; dict *keys* are left
+    alone (JSON keys are strings).
+    """
+    if isinstance(payload, bool):
+        return payload
+    if isinstance(payload, float):
+        if math.isfinite(payload) and payload == int(payload):
+            return int(payload)
+        return payload
+    if isinstance(payload, dict):
+        return {key: normalize_numbers(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [normalize_numbers(item) for item in payload]
+    return payload
+
+
+def canonical_json(payload: Any, normalize: bool = False) -> str:
     """Serialize a JSON-compatible object deterministically.
 
     Sorted keys and compact separators make the text independent of dict
     insertion order; ``allow_nan=False`` rejects NaN/inf (which have no
     canonical JSON form) instead of emitting non-standard tokens.
+    ``normalize=True`` additionally collapses numeric aliases
+    (:func:`normalize_numbers`) — the hashing path uses it so ``-0.0`` vs
+    ``0.0`` and ``1.0`` vs ``1`` fingerprint identically; the storage path
+    does not, so persisted payloads round-trip their exact values.
     """
+    if normalize:
+        payload = normalize_numbers(payload)
     try:
         return json.dumps(
             payload, sort_keys=True, separators=(",", ":"), allow_nan=False
@@ -54,12 +94,23 @@ def canonical_json(payload: Any) -> str:
 
 
 def fingerprint_payload(payload: Mapping) -> str:
-    """SHA-256 content address of an experiment payload (hex digest).
+    """SHA-256 content address of a payload (hex digest).
 
-    ``version`` is dropped before hashing (see module docstring); everything
-    else — including the ``schema`` tag, so schema revisions migrate to new
-    addresses — is hashed in canonical form.
+    Serialized experiment payloads are reduced to their canonical identity
+    (isomorphism-invariant network relabeling + unhashed-metadata strip) via
+    :func:`repro.store.canonical.canonical_identity`; other payloads drop
+    :data:`_UNHASHED_KEYS` only.  Numeric spellings are normalized, and
+    everything that remains — including the ``schema`` tag, so schema
+    revisions migrate to new addresses — is hashed in canonical form.
     """
-    hashed = {k: v for k, v in dict(payload).items() if k not in _UNHASHED_KEYS}
-    digest = hashlib.sha256(canonical_json(hashed).encode("utf-8"))
+    from repro.store.serialize import is_experiment_schema
+
+    data = dict(payload)
+    if is_experiment_schema(data.get("schema")):
+        from repro.store.canonical import canonical_identity
+
+        data = canonical_identity(data)
+    else:
+        data = {k: v for k, v in data.items() if k not in _UNHASHED_KEYS}
+    digest = hashlib.sha256(canonical_json(data, normalize=True).encode("utf-8"))
     return digest.hexdigest()

@@ -31,11 +31,24 @@ __all__ = [
     "WorkingOutcomeClassifier",
     "experiment_to_payload",
     "experiment_from_payload",
+    "is_experiment_schema",
     "compute_payload",
 ]
 
-#: Schema tag of serialized-experiment payloads.
-EXPERIMENT_SCHEMA = "repro.experiment/v1"
+#: Schema tag of serialized-experiment payloads.  v2 marks the switch to
+#: isomorphism-aware canonical fingerprints (species naming and reaction
+#: order are no longer identity); the payload *shape* is unchanged from v1.
+EXPERIMENT_SCHEMA = "repro.experiment/v2"
+
+#: Schema tags accepted on input.  v1 payloads execute unchanged and — since
+#: every fingerprint is computed over the canonicalized v2 form — address the
+#: same cache entries as their v2 equivalents.
+_ACCEPTED_SCHEMAS = ("repro.experiment/v1", "repro.experiment/v2")
+
+
+def is_experiment_schema(tag: Any) -> bool:
+    """Whether ``tag`` names a supported serialized-experiment schema."""
+    return tag in _ACCEPTED_SCHEMAS
 
 
 class WorkingOutcomeClassifier:
@@ -390,10 +403,10 @@ def experiment_from_payload(payload: Mapping, trusted: bool = True):
     from repro.api.experiment import Experiment
     from repro.crn.serialize import network_from_dict
 
-    if payload.get("schema") != EXPERIMENT_SCHEMA:
+    if not is_experiment_schema(payload.get("schema")):
         raise FingerprintError(
             f"unrecognized experiment schema {payload.get('schema')!r}; "
-            f"expected {EXPERIMENT_SCHEMA!r}"
+            f"expected one of {list(_ACCEPTED_SCHEMAS)}"
         )
     return Experiment(
         network=network_from_dict(payload["network"]),

@@ -6,28 +6,41 @@ payload that produced it (:mod:`repro.store.fingerprint`), so the store is a
 previous run persisted — bit-identically, because engines are deterministic
 in their payload and the payload JSON is stored verbatim.
 
-Layout (all JSON, all human-inspectable)::
+Layout (JSON envelopes, gzip-compressed at rest)::
 
     <root>/
-      index.json                     # key -> {kind, label, engine, size, ...}
-      artifacts/<k[:2]>/<key>.json   # artifact envelopes, sharded by prefix
-      campaigns/<id>.json            # campaign manifests
+      index.json                        # key -> {kind, label, engine, size, ...}
+      artifacts/<k[:2]>/<key>.json.gz   # artifact envelopes, sharded by prefix
+      campaigns/<id>.json               # campaign manifests
+
+The store is **tiered**: a bounded in-process LRU of deserialized envelopes
+(the *hot* tier, ``hot_capacity`` entries, shared across threads) fronts the
+gzip-compressed JSON files (the *cold* tier).  Repeated reads of the same
+key skip both the disk and the JSON parse.  Uncompressed legacy
+``<key>.json`` artifacts remain readable; new writes are compressed unless
+``compress=False``.  Gzip headers are written with ``mtime=0`` so identical
+envelopes produce identical files.
 
 Artifact envelopes carry ``schema`` and ``version`` fields; artifacts whose
 schema does not match the store's raise :class:`~repro.errors.StoreError`
-(the version in the message says which library wrote them).  Writes are
-atomic (temp file + ``os.replace``) and serialized through an internal lock,
-so the threaded HTTP service can share one store instance; the index
-self-heals from the artifact files when an entry is missing.
+(the version in the message says which library wrote them).  Canonical-store
+writers also record a ``witness`` (canonical → writer species naming, see
+:mod:`repro.store.canonical`) so readers with different naming can translate
+the payload.  Writes are atomic (temp file + ``os.replace``) and serialized
+through an internal lock, so the threaded HTTP service can share one store
+instance; the index self-heals from the artifact files when an entry is
+missing.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import tempfile
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -50,13 +63,13 @@ CAMPAIGN_SCHEMA = "repro.store.campaign/v1"
 ENSEMBLE_SCHEMA = "repro.ensemble-result/v1"
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (same-directory temp + replace)."""
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-directory temp + replace)."""
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -64,6 +77,10 @@ def _atomic_write(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    _atomic_write_bytes(path, text.encode("utf-8"))
 
 
 class ResultStore:
@@ -77,6 +94,17 @@ class ResultStore:
         Optional standing limits applied by :meth:`gc` when called without
         arguments (and by :meth:`put` after every write when set), evicting
         least-recently-used artifacts first.
+    hot_capacity:
+        Size of the in-process hot tier — a bounded LRU of deserialized
+        envelopes fronting the compressed files.  ``0`` disables it (every
+        read hits the disk).  Hot entries are returned by reference; callers
+        must treat envelopes as read-only (the store's own paths copy before
+        rewriting).
+    compress:
+        Whether new artifacts are written gzip-compressed
+        (``<key>.json.gz``).  Reads always accept both compressed and legacy
+        uncompressed files, so stores created before compression (or with it
+        disabled) stay fully usable.
     """
 
     def __init__(
@@ -84,26 +112,35 @@ class ResultStore:
         root: "str | Path",
         max_artifacts: "int | None" = None,
         max_bytes: "int | None" = None,
+        hot_capacity: int = 128,
+        compress: bool = True,
     ) -> None:
         self.root = Path(root)
         self.max_artifacts = max_artifacts
         self.max_bytes = max_bytes
+        self.hot_capacity = int(hot_capacity)
+        self.compress = compress
         self._lock = threading.RLock()
         # LRU stamps recorded by reads; folded into the index by put()/gc()
         # so the hot read path never rewrites index.json.
         self._recent_access: dict[str, float] = {}
+        # Hot tier: key -> deserialized envelope, most recent last.
+        self._hot: "OrderedDict[str, dict]" = OrderedDict()
         self.root.mkdir(parents=True, exist_ok=True)
 
-    # The lock cannot pickle; campaign/sweep workers get a fresh one.
+    # The lock cannot pickle; campaign/sweep workers get a fresh one.  The
+    # hot tier is per-process state and restarts empty on the other side.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         del state["_lock"]
+        del state["_hot"]
         state["_recent_access"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.RLock()
+        self._hot = OrderedDict()
 
     @classmethod
     def coerce(cls, store: "ResultStore | str | Path") -> "ResultStore":
@@ -122,10 +159,62 @@ class ResultStore:
     def _index_path(self) -> Path:
         return self.root / "index.json"
 
-    def _artifact_path(self, key: str) -> Path:
+    def _artifact_dir(self, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
             raise StoreError(f"malformed artifact key {key!r} (expected hex digest)")
-        return self.root / "artifacts" / key[:2] / f"{key}.json"
+        return self.root / "artifacts" / key[:2]
+
+    def _artifact_path(self, key: str) -> Path:
+        """The *write* path for ``key`` under the current compression setting."""
+        suffix = ".json.gz" if self.compress else ".json"
+        return self._artifact_dir(key) / f"{key}{suffix}"
+
+    def _artifact_candidates(self, key: str) -> "tuple[Path, Path]":
+        """Both possible on-disk paths for ``key`` (compressed first)."""
+        directory = self._artifact_dir(key)
+        return directory / f"{key}.json.gz", directory / f"{key}.json"
+
+    @staticmethod
+    def _key_of_path(path: Path) -> str:
+        # Keys are hex digests (no dots), so everything before the first dot
+        # is the key regardless of which extension the artifact carries.
+        return path.name.split(".", 1)[0]
+
+    def _read_artifact_text(self, key: str) -> "str | None":
+        for path in self._artifact_candidates(key):
+            try:
+                raw = path.read_bytes()
+            except FileNotFoundError:
+                continue
+            except OSError as exc:
+                raise StoreError(f"corrupt artifact {path}: {exc}") from exc
+            if path.suffix == ".gz":
+                try:
+                    raw = gzip.decompress(raw)
+                except (OSError, EOFError) as exc:
+                    raise StoreError(f"corrupt artifact {path}: {exc}") from exc
+            return raw.decode("utf-8")
+        return None
+
+    # -- hot tier ----------------------------------------------------------------
+
+    def _hot_get(self, key: str) -> "dict | None":
+        if self.hot_capacity <= 0:
+            return None
+        with self._lock:
+            envelope = self._hot.get(key)
+            if envelope is not None:
+                self._hot.move_to_end(key)
+                self._recent_access[key] = time.time()
+            return envelope
+
+    def _hot_put_locked(self, key: str, envelope: dict) -> None:
+        if self.hot_capacity <= 0:
+            return
+        self._hot[key] = envelope
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
 
     def _campaign_path(self, campaign_id: str) -> Path:
         safe = str(campaign_id)
@@ -164,17 +253,19 @@ class ResultStore:
         artifacts_dir = self.root / "artifacts"
         if not artifacts_dir.is_dir():
             return
-        for path in artifacts_dir.glob("*/*.json"):
-            if path.stem not in artifacts:
-                stat = path.stat()
-                artifacts[path.stem] = {
-                    "kind": None,
-                    "label": None,
-                    "engine": None,
-                    "size": stat.st_size,
-                    "created": stat.st_mtime,
-                    "access": stat.st_mtime,
-                }
+        for pattern in ("*/*.json", "*/*.json.gz"):
+            for path in artifacts_dir.glob(pattern):
+                key = self._key_of_path(path)
+                if key not in artifacts:
+                    stat = path.stat()
+                    artifacts[key] = {
+                        "kind": None,
+                        "label": None,
+                        "engine": None,
+                        "size": stat.st_size,
+                        "created": stat.st_mtime,
+                        "access": stat.st_mtime,
+                    }
 
     def _write_index(self, index: dict) -> None:
         from repro import __version__
@@ -190,6 +281,7 @@ class ResultStore:
         key: str,
         result: Any,
         descriptor: "Mapping | None" = None,
+        witness: "Mapping[str, str] | None" = None,
     ) -> dict:
         """Persist a result under ``key`` and return its envelope.
 
@@ -197,8 +289,10 @@ class ResultStore:
         :class:`~repro.sim.ensemble.EnsembleResult` or an
         :class:`~repro.sim.fsp.FspResult`; the envelope records which, plus
         the library version and the experiment ``descriptor`` (provenance).
-        Re-putting an existing key overwrites idempotently (content-addressed
-        keys make the payload identical anyway).
+        ``witness`` maps canonical species names to the writer's naming
+        (:mod:`repro.store.canonical`) so readers that address the same
+        isomorphism class under different naming can translate the payload.
+        Re-putting an existing key overwrites idempotently.
         """
         from repro import __version__
 
@@ -211,12 +305,22 @@ class ResultStore:
             "label": _label_of(result),
             "engine": getattr(result, "engine", None),
             "descriptor": dict(descriptor) if descriptor is not None else None,
+            "witness": dict(witness) if witness is not None else None,
             "payload": payload,
         }
-        text = json.dumps(envelope, indent=2)
+        data = json.dumps(envelope, indent=2).encode("utf-8")
+        if self.compress:
+            # mtime=0 keeps the compressed bytes a pure function of content.
+            data = gzip.compress(data, mtime=0)
         with self._lock:
             path = self._artifact_path(key)
-            _atomic_write(path, text)
+            _atomic_write_bytes(path, data)
+            # Drop a stale artifact under the other extension so reads (which
+            # prefer .json.gz) and size accounting never see two copies.
+            for candidate in self._artifact_candidates(key):
+                if candidate != path and candidate.exists():
+                    candidate.unlink()
+            self._hot_put_locked(key, envelope)
             index = self._load_index()
             self._merge_access_locked(index)
             now = time.time()
@@ -224,7 +328,7 @@ class ResultStore:
                 "kind": kind,
                 "label": envelope["label"],
                 "engine": envelope["engine"],
-                "size": len(text),
+                "size": len(data),
                 "created": now,
                 "access": now,
             }
@@ -234,22 +338,27 @@ class ResultStore:
         return envelope
 
     def get_envelope(self, key: str) -> "dict | None":
-        """The raw artifact envelope for ``key``, or ``None`` on a miss.
+        """The artifact envelope for ``key``, or ``None`` on a miss.
 
-        Reads validate the envelope schema (rejecting artifacts written by an
-        incompatible library with a :class:`StoreError` naming the writing
-        version).  The artifact file is the sole source of truth on this
-        path — the index is not touched, so concurrent readers only contend
-        on the in-memory LRU stamp (folded into ``index.json`` by the next
-        :meth:`put` / :meth:`gc`).
+        The hot tier answers first (no disk, no JSON parse); cold reads try
+        the compressed file, then the legacy uncompressed one, validate the
+        envelope schema (rejecting artifacts written by an incompatible
+        library with a :class:`StoreError` naming the writing version), and
+        promote the envelope into the hot tier.  The index is not touched on
+        this path — concurrent readers only contend on the in-memory LRU
+        stamp (folded into ``index.json`` by the next :meth:`put` /
+        :meth:`gc`).  Returned envelopes must be treated as read-only.
         """
-        path = self._artifact_path(key)
-        try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
+        hot = self._hot_get(key)
+        if hot is not None:
+            return hot
+        text = self._read_artifact_text(key)
+        if text is None:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise StoreError(f"corrupt artifact {path}: {exc}") from exc
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt artifact {key[:12]}…: {exc}") from exc
         if envelope.get("schema") != ARTIFACT_SCHEMA:
             raise StoreError(
                 f"artifact {key[:12]}… has schema {envelope.get('schema')!r}, "
@@ -259,6 +368,7 @@ class ResultStore:
             )
         with self._lock:
             self._recent_access[key] = time.time()
+            self._hot_put_locked(key, envelope)
         return envelope
 
     def get(self, key: str) -> Any:
@@ -287,7 +397,11 @@ class ResultStore:
 
     def has(self, key: str) -> bool:
         """Whether ``key`` is present (no access-stamp update, no validation)."""
-        return self._artifact_path(key).exists()
+        if self.hot_capacity > 0:
+            with self._lock:
+                if key in self._hot:
+                    return True
+        return any(path.exists() for path in self._artifact_candidates(key))
 
     def __contains__(self, key: object) -> bool:
         return isinstance(key, str) and self.has(key)
@@ -299,8 +413,9 @@ class ResultStore:
             known = set(index["artifacts"])
         artifacts_dir = self.root / "artifacts"
         if artifacts_dir.is_dir():
-            for path in artifacts_dir.glob("*/*.json"):
-                known.add(path.stem)
+            for pattern in ("*/*.json", "*/*.json.gz"):
+                for path in artifacts_dir.glob(pattern):
+                    known.add(self._key_of_path(path))
         return sorted(known)
 
     def __len__(self) -> int:
@@ -310,18 +425,29 @@ class ResultStore:
         return iter(self.keys())
 
     def evict(self, key: str) -> bool:
-        """Remove one artifact; returns whether anything was deleted."""
+        """Remove one artifact; returns whether anything was deleted.
+
+        "Anything" covers the artifact file *and* its index entry: an
+        artifact whose file was deleted externally still has index state to
+        clean up, and evicting it returns ``True`` (it did mutate the store).
+        The index is reconciled against the disk first so the decision is
+        made on consistent state.
+        """
         with self._lock:
-            path = self._artifact_path(key)
-            existed = path.exists()
-            if existed:
-                path.unlink()
+            removed = False
+            for path in self._artifact_candidates(key):
+                if path.exists():
+                    path.unlink()
+                    removed = True
+            self._hot.pop(key, None)
             self._recent_access.pop(key, None)
             index = self._load_index()
+            self._reconcile_locked(index)
             if key in index["artifacts"]:
                 del index["artifacts"][key]
+                removed = True
                 self._write_index(index)
-        return existed
+        return removed
 
     def gc(
         self,
@@ -358,9 +484,10 @@ class ResultStore:
             key = ordered.pop(0)
             total_bytes -= int(artifacts[key].get("size", 0))
             del artifacts[key]
-            path = self._artifact_path(key)
-            if path.exists():
-                path.unlink()
+            self._hot.pop(key, None)
+            for path in self._artifact_candidates(key):
+                if path.exists():
+                    path.unlink()
             evicted.append(key)
         if evicted:
             self._write_index(index)

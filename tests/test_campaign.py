@@ -171,11 +171,20 @@ class TestCampaignRun:
         assert statuses == ["cached", "cached", "computed", "computed"]
         assert len(store.keys()) == 4
 
-    def test_campaign_results_match_direct_simulation(self, store, campaign):
+    def test_campaign_results_match_store_path_simulation(
+        self, store, campaign, tmp_path
+    ):
+        # Campaign cells execute the canonical store path (misses simulate
+        # the canonical network representative, so isomorphic cells share
+        # one realization); the reference is therefore simulate(store=...),
+        # which follows the same path, on an independent store.
         result = CampaignRunner(store).run(campaign)
         cell = campaign.cells[0]
         direct = cell.experiment.simulate(
-            trials=cell.trials, engine=cell.engine, seed=cell.seed
+            trials=cell.trials,
+            engine=cell.engine,
+            seed=cell.seed,
+            store=ResultStore(tmp_path / "reference"),
         )
         assert result.results[cell.name].to_json() == direct.to_json()
 

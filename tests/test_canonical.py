@@ -1,0 +1,395 @@
+"""Tests for isomorphism-aware canonical fingerprints and store tiering.
+
+Covers the canonical-labeling pass (:mod:`repro.crn.canonical`), the
+payload-level threading (:mod:`repro.store.canonical`), the renamed-model
+warm-hit contract of ``Experiment.simulate(store=)``, the hot/cold store
+tiers, and the fingerprint numeric-aliasing + ``evict()`` regressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.api import Experiment
+from repro.crn import ReactionNetwork
+from repro.crn.canonical import (
+    canonical_form,
+    is_isomorphic,
+    isomorphism_witness,
+    network_invariants,
+)
+from repro.crn.generate import GeneratorConfig, generate_network
+from repro.errors import ExperimentError, NetworkError
+from repro.store import (
+    ResultStore,
+    canonical_json,
+    canonicalize_payload,
+    experiment_to_payload,
+    fingerprint_payload,
+    normalize_numbers,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _generated(seed: int) -> ReactionNetwork:
+    config = GeneratorConfig(n_outcomes=2, chain_length=2, scale=24)
+    return generate_network(config, seed=seed)
+
+
+def _scrambled(network: ReactionNetwork, seed: int) -> "tuple[ReactionNetwork, dict]":
+    """A reaction-shuffled, species-permuted copy plus the rename used."""
+    rng = random.Random(seed)
+    reactions = list(network.reactions)
+    rng.shuffle(reactions)
+    names = [sp.name for sp in network.species]
+    permuted = list(names)
+    rng.shuffle(permuted)
+    mapping = dict(zip(names, permuted))
+    shuffled = ReactionNetwork(
+        reactions,
+        initial_state={sp.name: c for sp, c in network.initial_state.items()},
+        name=network.name,
+        species=names,
+    )
+    return shuffled.renamed(mapping), mapping
+
+
+def _reaction_multiset(network: ReactionNetwork) -> set:
+    return {
+        (
+            tuple(sorted((s.name, c) for s, c in r.reactants.items())),
+            tuple(sorted((s.name, c) for s, c in r.products.items())),
+            r.rate,
+            r.name,
+            r.category,
+        )
+        for r in network.reactions
+    }
+
+
+# ---------------------------------------------------------------------------
+# canonical labeling: property suite over generated CRNs
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalFormProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 120), scramble=st.integers(0, 1000))
+    def test_scrambling_preserves_canonical_key(self, seed, scramble):
+        network = _generated(seed)
+        variant, _ = _scrambled(network, scramble)
+        assert network_invariants(network) == network_invariants(variant)
+        assert canonical_form(network).key == canonical_form(variant).key
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 120), scramble=st.integers(0, 1000))
+    def test_witness_round_trip_is_exact(self, seed, scramble):
+        network = _generated(seed)
+        variant, _ = _scrambled(network, scramble)
+        witness = isomorphism_witness(network, variant)
+        assert witness is not None
+        translated = network.renamed(witness)
+        assert _reaction_multiset(translated) == _reaction_multiset(variant)
+        assert {s.name: c for s, c in translated.initial_state.items()} == {
+            s.name: c for s, c in variant.initial_state.items()
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 120), mutation=st.integers(0, 2))
+    def test_mutants_get_different_keys(self, seed, mutation):
+        network = _generated(seed)
+        reactions = list(network.reactions)
+        initial = {sp.name: c for sp, c in network.initial_state.items()}
+        if mutation == 0:  # perturb one rate
+            reactions[0] = reactions[0].scaled(1.618)
+        elif mutation == 1:  # drop a reaction
+            reactions = reactions[:-1]
+        else:  # shift one molecule of initial state
+            name = sorted(initial)[0]
+            initial[name] = initial[name] + 1
+        mutant = ReactionNetwork(
+            reactions,
+            initial_state=initial,
+            species=[sp.name for sp in network.species],
+        )
+        assert canonical_form(network).key != canonical_form(mutant).key
+        assert not is_isomorphic(network, mutant)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 120), scramble=st.integers(0, 1000))
+    def test_payload_fingerprint_is_scramble_invariant(self, seed, scramble):
+        network = _generated(seed)
+        variant, mapping = _scrambled(network, scramble)
+        prints = []
+        for net in (network, variant):
+            experiment = Experiment.from_network(net)
+            payload = experiment_to_payload(
+                experiment, trials=10, engine="direct", seed=3,
+                chunk_size=64, backend="auto", engine_options=None, until=None,
+            )
+            prints.append(fingerprint_payload(payload))
+        assert prints[0] == prints[1]
+
+
+class TestCanonicalFormBasics:
+    def test_canonical_network_is_fixed_point(self):
+        network = _generated(5)
+        form = canonical_form(network)
+        again = canonical_form(form.network)
+        assert again.key == form.key
+        assert {s.name for s in form.network.species} == set(form.witness)
+
+    def test_witness_maps_canonical_names_to_originals(self):
+        network = _generated(5)
+        form = canonical_form(network)
+        originals = {sp.name for sp in network.species}
+        assert set(form.witness.values()) == originals
+        assert sorted(form.witness) == [name for name in sorted(form.witness)]
+
+    def test_reaction_order_is_a_permutation(self):
+        network = _generated(7)
+        form = canonical_form(network)
+        assert sorted(form.reaction_order) == list(range(network.size))
+
+
+# ---------------------------------------------------------------------------
+# renamed-model warm hits (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+RENAME = {"u": "activator", "v": "repressor", "p": "precursor"}
+
+
+def _permuted_variant(experiment: Experiment) -> Experiment:
+    """Species-renamed + reaction-permuted copy of a network experiment."""
+    renamed = experiment.renamed(RENAME)
+    network = renamed.network
+    permuted = ReactionNetwork(
+        list(reversed(list(network.reactions))),
+        initial_state={sp.name: c for sp, c in network.initial_state.items()},
+        name=network.name,
+        species=[sp.name for sp in network.species],
+    )
+    return dataclasses.replace(renamed, network=permuted)
+
+
+class TestRenamedWarmHits:
+    @pytest.mark.parametrize("engine", ["direct", "first-reaction", "batch-direct", "fsp"])
+    def test_renamed_permuted_variant_warm_hits(self, tmp_path, engine):
+        store = ResultStore(tmp_path / "store")
+        base = Experiment.from_zoo("toggle-switch")
+        base.simulate(trials=30, engine=engine, seed=11, store=store)
+        assert store.stats()["artifacts"] == 1
+
+        variant = _permuted_variant(base)
+        warm = variant.simulate(trials=30, engine=engine, seed=11, store=store)
+        # A warm hit: the isomorphic variant addressed the same artifact.
+        assert store.stats()["artifacts"] == 1
+
+        # ...and the translated payload equals recomputing from scratch.
+        cold = variant.simulate(
+            trials=30, engine=engine, seed=11, store=ResultStore(tmp_path / "fresh")
+        )
+        assert canonical_json(warm.to_payload()) == canonical_json(cold.to_payload())
+
+    def test_translated_species_namings(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        base = Experiment.from_zoo("toggle-switch")
+        original = base.simulate(trials=25, engine="direct", seed=5, store=store)
+        warm = _permuted_variant(base).simulate(
+            trials=25, engine="direct", seed=5, store=store
+        )
+        assert sorted(s.name for s in original.ensemble.species) == ["p", "u", "v"]
+        assert sorted(s.name for s in warm.ensemble.species) == sorted(RENAME.values())
+        # Outcome labels are identity and never translated.
+        assert set(warm.frequencies) == set(original.frequencies)
+        assert warm.frequencies == original.frequencies
+
+    def test_experiment_renamed_requires_network_kind(self):
+        experiment = Experiment.from_distribution({"1": 0.5, "2": 0.5}, gamma=100)
+        with pytest.raises(ExperimentError, match="network experiments"):
+            experiment.renamed({"x": "y"})
+
+    def test_experiment_renamed_is_injective(self):
+        base = Experiment.from_zoo("toggle-switch")
+        with pytest.raises(NetworkError, match="allow_merge"):
+            base.renamed({"u": "v"})
+
+    def test_v1_schema_payload_addresses_v2_entry(self, tmp_path):
+        base = Experiment.from_zoo("toggle-switch")
+        payload = experiment_to_payload(
+            base, trials=10, engine="direct", seed=2,
+            chunk_size=64, backend="auto", engine_options=None, until=None,
+        )
+        legacy = dict(payload)
+        legacy["schema"] = "repro.experiment/v1"
+        assert fingerprint_payload(legacy) == fingerprint_payload(payload)
+        assert canonicalize_payload(legacy).payload["schema"] == "repro.experiment/v2"
+
+
+# ---------------------------------------------------------------------------
+# fingerprint numeric aliasing (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestNumericAliasing:
+    def test_negative_zero_aliases_zero(self):
+        assert fingerprint_payload({"x": -0.0}) == fingerprint_payload({"x": 0.0})
+        assert fingerprint_payload({"x": -0.0}) == fingerprint_payload({"x": 0})
+
+    def test_integral_float_aliases_int(self):
+        assert fingerprint_payload({"rate": 1.0}) == fingerprint_payload({"rate": 1})
+        assert fingerprint_payload({"a": [2.0, 3.5]}) == fingerprint_payload(
+            {"a": [2, 3.5]}
+        )
+
+    def test_bools_are_not_numbers(self):
+        assert fingerprint_payload({"flag": True}) != fingerprint_payload({"flag": 1})
+        assert normalize_numbers(True) is True
+
+    def test_storage_path_preserves_spellings(self):
+        # canonical_json without normalize keeps the exact numeric types —
+        # persisted payloads round-trip byte-identically.
+        assert canonical_json({"x": 1.0}) == '{"x":1.0}'
+        assert canonical_json({"x": 1.0}, normalize=True) == '{"x":1}'
+
+    def test_rate_respelling_same_fingerprint(self):
+        base = Experiment.from_zoo("toggle-switch")
+        payload = experiment_to_payload(
+            base, trials=10, engine="direct", seed=2,
+            chunk_size=64, backend="auto", engine_options=None, until=None,
+        )
+        respelled = normalize_numbers(json.loads(json.dumps(payload)))
+        assert fingerprint_payload(respelled) == fingerprint_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# store tiering (hot LRU + gzip cold)
+# ---------------------------------------------------------------------------
+
+
+class TestStoreTiering:
+    def _seed_artifact(self, store: ResultStore) -> str:
+        experiment = Experiment.from_zoo("toggle-switch")
+        experiment.simulate(trials=10, engine="direct", seed=3, store=store)
+        [key] = store.keys()
+        return key
+
+    def test_cold_artifacts_are_gzip_compressed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = self._seed_artifact(store)
+        path = store._artifact_path(key)
+        assert path.suffix == ".gz"
+        envelope = json.loads(gzip.decompress(path.read_bytes()))
+        assert envelope["key"] == key
+        assert envelope["witness"]  # canonical writers record their witness
+
+    def test_compressed_writes_are_deterministic(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = self._seed_artifact(store)
+        path = store._artifact_path(key)
+        first = path.read_bytes()
+        experiment = Experiment.from_zoo("toggle-switch")
+        experiment.simulate(trials=10, engine="direct", seed=3, store=store)
+        assert path.read_bytes() == first  # gzip mtime=0: content-addressed bytes
+
+    def test_legacy_uncompressed_artifacts_stay_readable(self, tmp_path):
+        legacy = ResultStore(tmp_path / "store", compress=False)
+        key = self._seed_artifact(legacy)
+        assert legacy._artifact_path(key).suffix == ".json"
+        modern = ResultStore(tmp_path / "store")
+        assert modern.get_envelope(key) is not None
+        assert key in modern.keys()
+        assert modern.has(key)
+
+    def test_hot_tier_serves_repeat_reads(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = self._seed_artifact(store)
+        first = store.get_envelope(key)
+        # Repeat reads come from the hot tier: same object, no disk I/O.
+        assert store.get_envelope(key) is first
+        store._artifact_path(key).unlink()
+        assert store.get_envelope(key) is first
+
+    def test_hot_capacity_zero_disables_tier(self, tmp_path):
+        store = ResultStore(tmp_path / "store", hot_capacity=0)
+        key = self._seed_artifact(store)
+        first = store.get_envelope(key)
+        assert store.get_envelope(key) is not first
+
+    def test_hot_tier_is_bounded_lru(self, tmp_path):
+        store = ResultStore(tmp_path / "store", hot_capacity=2)
+        for fill in range(3):
+            store.put(f"{fill:02d}" * 32, self._tiny_result(), descriptor=None)
+        assert len(store._hot) == 2
+        assert "00" * 32 not in store._hot  # oldest evicted
+
+    def test_evict_invalidates_hot_tier(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = self._seed_artifact(store)
+        store.get_envelope(key)
+        assert store.evict(key)
+        assert store.get_envelope(key) is None
+
+    def test_pickled_store_restarts_with_empty_hot_tier(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = self._seed_artifact(store)
+        store.get_envelope(key)
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone._hot) == 0
+        assert clone.get_envelope(key) is not None
+
+    @staticmethod
+    def _tiny_result():
+        from repro.crn import Reaction
+        from repro.sim.ensemble import EnsembleRunner
+        from repro.sim.events import SpeciesThreshold
+
+        network = ReactionNetwork(
+            [Reaction({"a": 1}, {}, rate=1.0)], initial_state={"a": 1}
+        )
+        runner = EnsembleRunner(network, stopping=SpeciesThreshold("a", 0, label="done"))
+        return runner.run(1, seed=1)
+
+
+# ---------------------------------------------------------------------------
+# evict() regression: stale index entries
+# ---------------------------------------------------------------------------
+
+
+class TestEvictReconciliation:
+    def test_evict_true_for_stale_index_entry(self, tmp_path):
+        store = ResultStore(tmp_path / "store", hot_capacity=0)
+        experiment = Experiment.from_zoo("toggle-switch")
+        experiment.simulate(trials=10, engine="direct", seed=3, store=store)
+        [key] = store.keys()
+        # The artifact file vanishes externally; only the index entry remains.
+        store._artifact_path(key).unlink()
+        assert key in json.loads(store._index_path.read_text())["artifacts"]
+        assert store.evict(key) is True  # it removed the index entry
+        assert key not in json.loads(store._index_path.read_text())["artifacts"]
+        assert store.evict(key) is False  # nothing left to remove
+
+    def test_evict_false_for_unknown_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.evict("ab" * 32) is False
+
+    def test_evict_true_for_present_artifact(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        experiment = Experiment.from_zoo("toggle-switch")
+        experiment.simulate(trials=10, engine="direct", seed=3, store=store)
+        [key] = store.keys()
+        assert store.evict(key) is True
+        assert store.keys() == []

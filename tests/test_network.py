@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.crn import Reaction, ReactionNetwork, Species
-from repro.errors import CRNError, SpeciesError
+from repro.errors import CRNError, NetworkError, SpeciesError
 
 
 @pytest.fixture
@@ -94,8 +94,24 @@ class TestTransformations:
 
     def test_renamed_merges_initials(self):
         net = ReactionNetwork(initial_state={"a": 2, "b": 3})
-        merged = net.renamed({"b": "a"})
+        merged = net.renamed({"b": "a"}, allow_merge=True)
         assert merged.initial_count("a") == 5
+
+    def test_renamed_refuses_silent_merge(self):
+        net = ReactionNetwork(initial_state={"a": 2, "b": 3})
+        with pytest.raises(NetworkError, match="allow_merge"):
+            net.renamed({"b": "a"})
+
+    def test_renamed_refuses_colliding_targets(self):
+        net = ReactionNetwork(initial_state={"a": 2, "b": 3, "c": 1})
+        with pytest.raises(NetworkError, match="both map"):
+            net.renamed({"a": "z", "b": "z"})
+
+    def test_renamed_allows_swaps(self):
+        net = ReactionNetwork(initial_state={"a": 2, "b": 3})
+        swapped = net.renamed({"a": "b", "b": "a"})
+        assert swapped.initial_count("a") == 3
+        assert swapped.initial_count("b") == 2
 
     def test_merged(self, simple_network):
         other = ReactionNetwork(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gzip
 import json
 
 import pytest
@@ -359,12 +360,16 @@ class TestStoreMechanics:
     def test_incompatible_artifact_schema_rejected(self, store, experiment):
         key = self._put_run(store, experiment, seed=1)
         path = store._artifact_path(key)
-        envelope = json.loads(path.read_text())
+        envelope = json.loads(gzip.decompress(path.read_bytes()))
         envelope["schema"] = "repro.store.artifact/v99"
         envelope["version"] = "9.9.9"
-        path.write_text(json.dumps(envelope))
+        path.write_bytes(gzip.compress(json.dumps(envelope).encode()))
+        # A fresh store instance: the writer's hot tier still holds the
+        # (valid) envelope from put(), and tampering on disk must not dodge
+        # validation just because a cached copy exists elsewhere.
+        reader = ResultStore(store.root)
         with pytest.raises(StoreError, match="9.9.9"):
-            store.get_envelope(key)
+            reader.get_envelope(key)
 
     def test_wrong_kind_for_load_run(self, store, race_network):
         runner = EnsembleRunner(race_network, stopping=SpeciesThreshold("d1", 5))
