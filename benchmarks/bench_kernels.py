@@ -12,13 +12,27 @@ firings) on the ``direct`` engine across backends:
 * ``backend="numpy"``  — the interpreted array-kernel reference;
 * ``backend="numba"``  — the JIT backend, when numba is installed;
 
-plus ``batch-direct`` for context, and checks that
+plus the array-kernel engines the lock-step layer added:
+
+* ``next-reaction`` on the numpy (and, when installed, numba) backends —
+  the :class:`ArrayHeap` port of the Gibson–Bruck queue;
+* ``batch-direct`` on numpy and, when installed, the fully JIT-compiled
+  numba lock-step sweep;
+* a **mega-batch** row: one columnar sweep over 10× the ensemble size
+  (≥ 10⁵ trials at the full benchmark size) through the
+  ``SimulationOptions.mega_batch`` chunk schedule;
+
+and checks that
 
 * the numpy backend is ≥ 3× faster than the python baseline at the full
   10,000-trial size (the acceptance bar for the kernel layer);
+* the JIT batch-direct sweep is ≥ 10× faster than the interpreted numpy
+  batch-direct sweep at the full size (the acceptance bar for the
+  mega-batch layer — asserted only when numba is installed);
 * every backend reproduces the programmed (0.3, 0.4, 0.3) distribution;
 * seeded runs are bit-identical between the numpy and numba backends (when
-  numba is available) and across worker counts.
+  numba is available) and across worker counts, including under the
+  mega-batch chunk schedule.
 
 Full-size runs append to ``BENCH_kernels.json`` at the repository root so
 the perf trajectory of the hot path is recorded across PRs (smoke runs skip
@@ -56,64 +70,90 @@ from repro.sim import EnsembleRunner, SimulationOptions, numba_available
 TARGET = {"1": 0.3, "2": 0.4, "3": 0.3}
 FULL_TRIALS = 10_000
 SMOKE_TRIALS = 1_000
+MEGA_FACTOR = 10  # the mega-batch row sweeps MEGA_FACTOR × n_trials in one pass
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
-def _runner(backend: str) -> EnsembleRunner:
-    """An Example-1 outcome ensemble on the direct engine, pinned to a backend."""
+def _runner(backend: str, engine: str = "direct") -> EnsembleRunner:
+    """An Example-1 outcome ensemble, pinned to an engine and backend."""
     system = synthesize_distribution(TARGET, gamma=1e3, scale=100)
     return EnsembleRunner(
         system.network_with_inputs(None),
-        engine="direct",
+        engine=engine,
         stopping=system.stopping_condition(10),
         options=SimulationOptions(record_firings=False, backend=backend),
         outcome_classifier=system.classify_outcome,
     )
 
 
-def measure(n_trials: int, seed: int = 2007) -> list[dict[str, object]]:
-    """Time the ensemble once per backend; one row per backend."""
-    backends = ["python", "numpy"] + (["numba"] if numba_available() else [])
-    rows: list[dict[str, object]] = []
-    for backend in backends:
-        runner = _runner(backend)
-        runner.run(min(200, n_trials), seed=seed + 1)  # warm caches / JIT
-        start = time.perf_counter()
-        result = runner.run(n_trials, seed=seed)
-        elapsed = time.perf_counter() - start
-        rows.append(
-            {
-                "backend": backend,
-                "engine": "direct",
-                "seconds": elapsed,
-                "trials/s": n_trials / elapsed,
-                "tv_vs_target": total_variation(result.outcome_distribution(), TARGET),
-            }
-        )
-    # batch-direct for context: the lock-step engine the kernel layer complements.
+def _timed_row(engine: str, backend: str, n_trials: int, seed: int) -> dict[str, object]:
+    """One warmed, timed ensemble run → a display/record row."""
+    runner = _runner(backend, engine=engine)
+    runner.run(min(200, n_trials), seed=seed + 1)  # warm caches / JIT
+    start = time.perf_counter()
+    result = runner.run(n_trials, seed=seed)
+    elapsed = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "engine": engine,
+        "trials": n_trials,
+        "seconds": elapsed,
+        "trials/s": n_trials / elapsed,
+        "tv_vs_target": total_variation(result.outcome_distribution(), TARGET),
+    }
+
+
+def _mega_batch_row(backend: str, n_trials: int, seed: int) -> dict[str, object]:
+    """One columnar mega-batch sweep: all trials advance in a single chunk."""
     system = synthesize_distribution(TARGET, gamma=1e3, scale=100)
-    batch = EnsembleRunner(
+    runner = EnsembleRunner(
         system.network_with_inputs(None),
         engine="batch-direct",
         stopping=system.stopping_condition(10),
-        options=SimulationOptions(record_firings=False),
+        options=SimulationOptions(
+            record_firings=False, backend=backend, mega_batch=n_trials
+        ),
         outcome_classifier=system.classify_outcome,
     )
+    runner.run(min(512, n_trials), seed=seed + 1)  # warm caches / JIT
     start = time.perf_counter()
-    result = batch.run(n_trials, seed=seed)
+    result = runner.run(n_trials, seed=seed)
     elapsed = time.perf_counter() - start
-    rows.append(
-        {
-            "backend": "numpy",
-            "engine": "batch-direct",
-            "seconds": elapsed,
-            "trials/s": n_trials / elapsed,
-            "tv_vs_target": total_variation(result.outcome_distribution(), TARGET),
-        }
-    )
+    return {
+        "backend": backend,
+        "engine": "mega-batch",
+        "trials": n_trials,
+        "seconds": elapsed,
+        "trials/s": n_trials / elapsed,
+        "tv_vs_target": total_variation(result.outcome_distribution(), TARGET),
+    }
+
+
+def measure(n_trials: int, seed: int = 2007) -> list[dict[str, object]]:
+    """Time the ensemble once per (engine, backend); one row each.
+
+    The mega-batch rows sweep ``MEGA_FACTOR × n_trials`` trials in a single
+    columnar pass — 10⁵ at the full benchmark size — so the row demonstrates
+    the preallocated cross-trial buffers at the scale they were built for.
+    """
+    array_backends = ["numpy"] + (["numba"] if numba_available() else [])
+    rows: list[dict[str, object]] = []
+    for backend in ["python", *array_backends]:
+        rows.append(_timed_row("direct", backend, n_trials, seed))
+    # next-reaction joined the array-kernel matrix with the ArrayHeap port.
+    for backend in array_backends:
+        rows.append(_timed_row("next-reaction", backend, n_trials, seed))
+    # batch-direct: the lock-step sweep (numpy reference, JIT when available).
+    for backend in array_backends:
+        rows.append(_timed_row("batch-direct", backend, n_trials, seed))
+    # mega-batch: one columnar sweep over 10× the ensemble size.
+    for backend in array_backends:
+        rows.append(_mega_batch_row(backend, MEGA_FACTOR * n_trials, seed))
     baseline = rows[0]["seconds"]
     for row in rows:
-        row["speedup"] = baseline / row["seconds"]
+        # normalize by throughput so the 10×-sized mega-batch rows compare
+        # fairly against the python baseline on the base ensemble size.
+        row["speedup"] = (baseline / n_trials) * (row["trials"] / row["seconds"])
     return rows
 
 
@@ -150,6 +190,22 @@ def check_determinism(n_trials: int = 400, seed: int = 97) -> dict[str, bool]:
             )
         )
         assert checks["numba_bit_identical"], "numpy and numba backends diverged"
+
+    # the mega-batch chunk schedule must be as worker-invariant as the default.
+    mega_1w = experiment.simulate(
+        trials=n_trials, seed=seed, engine="batch-direct", mega_batch=150, workers=1
+    )
+    mega_2w = experiment.simulate(
+        trials=n_trials, seed=seed, engine="batch-direct", mega_batch=150, workers=2
+    )
+    checks["mega_batch_workers_invariant"] = bool(
+        mega_1w.ensemble.outcome_counts == mega_2w.ensemble.outcome_counts
+        and np.array_equal(mega_1w.ensemble.final_counts, mega_2w.ensemble.final_counts)
+        and np.array_equal(mega_1w.ensemble.final_times, mega_2w.ensemble.final_times)
+    )
+    assert checks["mega_batch_workers_invariant"], (
+        "mega-batch results depend on worker count"
+    )
     return checks
 
 
@@ -167,12 +223,14 @@ def record(rows, checks, n_trials: int) -> None:
     entry = {
         "benchmark": "bench_kernels",
         "trials": n_trials,
+        "mega_batch_trials": MEGA_FACTOR * n_trials,
         "numba_available": numba_available(),
         "numpy_speedup_vs_python": round(float(numpy_row["speedup"]), 3),
         "rows": [
             {
                 "engine": r["engine"],
                 "backend": r["backend"],
+                "trials": int(r["trials"]),
                 "seconds": round(float(r["seconds"]), 4),
                 "trials_per_s": round(float(r["trials/s"]), 1),
                 "speedup_vs_python": round(float(r["speedup"]), 3),
@@ -190,12 +248,13 @@ def run_report(n_trials: int, full_assertions: bool) -> list[dict[str, object]]:
     """Measure, report, record and apply the acceptance checks."""
     rows = measure(n_trials)
     display = [
-        {"path": f"{r['engine']} [{r['backend']}]", **{k: r[k] for k in
-         ("seconds", "trials/s", "speedup", "tv_vs_target")}}
+        {"path": f"{r['engine']} [{r['backend']}]", "trials": r["trials"],
+         **{k: r[k] for k in ("seconds", "trials/s", "speedup", "tv_vs_target")}}
         for r in rows
     ]
     report(
-        f"A6: kernel backends ({n_trials} trials of the Example-1 module, direct SSA)",
+        f"A6: kernel backends ({n_trials} trials of the Example-1 module; "
+        f"mega-batch rows sweep {MEGA_FACTOR * n_trials})",
         format_table(display, floatfmt="{:.3g}"),
     )
     for row in rows:
@@ -210,11 +269,38 @@ def run_report(n_trials: int, full_assertions: bool) -> list[dict[str, object]]:
             f"numpy kernel speedup {numpy_row['speedup']:.2f}x < 3x over the "
             f"python template at {n_trials} trials"
         )
+        mega_numpy = next(
+            r for r in rows if r["engine"] == "mega-batch" and r["backend"] == "numpy"
+        )
+        assert mega_numpy["trials"] >= 100_000, (
+            f"mega-batch row swept only {mega_numpy['trials']} trials; the "
+            f"full benchmark must include a >= 1e5-trial columnar sweep"
+        )
     else:
         assert numpy_row["speedup"] > 1.0, (
             f"numpy kernel slower than the python template "
             f"({numpy_row['speedup']:.2f}x)"
         )
+    if numba_available():
+        # the acceptance bar for the JIT lock-step sweep: >= 10x over the
+        # interpreted numpy batch-direct sweep on the same ensemble.
+        bd_numpy = next(
+            r for r in rows if r["engine"] == "batch-direct" and r["backend"] == "numpy"
+        )
+        bd_numba = next(
+            r for r in rows if r["engine"] == "batch-direct" and r["backend"] == "numba"
+        )
+        jit_speedup = bd_numpy["seconds"] / bd_numba["seconds"]
+        if full_assertions:
+            assert jit_speedup >= 10.0, (
+                f"JIT batch-direct speedup {jit_speedup:.2f}x < 10x over the "
+                f"interpreted numpy sweep at {n_trials} trials"
+            )
+        else:
+            assert jit_speedup > 1.0, (
+                f"JIT batch-direct slower than the interpreted numpy sweep "
+                f"({jit_speedup:.2f}x)"
+            )
     checks = check_determinism()
     if full_assertions:
         record(rows, checks, n_trials)

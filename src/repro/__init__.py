@@ -79,7 +79,7 @@ from repro.adaptive import (
 from repro.store import Campaign, CampaignRunner, ResultStore
 from repro.client import ServiceClient
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -104,6 +104,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser, workers: bool = True)
             "--workers", type=int, default=1,
             help="shard trials across N worker processes (default 1)",
         )
+        parser.add_argument(
+            "--mega-batch", type=int, default=None, metavar="N",
+            help="columnar sweep width for batched engines (requires "
+                 "--engine batch-direct): advance up to N trials per chunk "
+                 "in one sweep over reused buffers (intended range 1e5-1e6)",
+        )
     parser.add_argument(
         "--backend",
         default="auto",
@@ -442,6 +448,7 @@ def _cmd_simulate(args) -> int:
             seed=args.seed,
             engine_options=_engine_options_from(args),
             backend=args.backend,
+            mega_batch=args.mega_batch,
             store=args.store,
             until=_until_from(args),
         )
@@ -498,6 +505,13 @@ def _cmd_settle(args) -> int:
 
 
 def _cmd_engines(args) -> int:
+    from repro.sim.kernels.backend import BACKEND_NAMES, available_backends
+
+    # An engine may *declare* a backend this environment cannot load (numba
+    # without the numba package); mark those so the table reports what will
+    # actually run, not just what the engine supports.
+    usable = set(available_backends())
+    missing = set()
     rows = []
     for row in registry.capability_matrix():
         flags = {
@@ -507,16 +521,29 @@ def _cmd_engines(args) -> int:
                 "distribution",
             )
         }
+        declared = [name.strip() for name in row["backends"].split(",") if name.strip()]
+        shown = []
+        for name in declared:
+            if name in usable or name not in BACKEND_NAMES:
+                shown.append(name)
+            else:
+                shown.append(name + "*")
+                missing.add(name)
         table_row = {
             "engine": row["engine"],
             **flags,
-            "backends": row["backends"],
+            "backends": ", ".join(shown) if shown else row["backends"],
             "options": row["options"],
         }
         if args.verbose:
             table_row["summary"] = row["summary"]
         rows.append(table_row)
     print(format_table(rows, title="Registered simulation engines"))
+    for name in sorted(missing):
+        print(
+            f"* {name}: declared but not available in this environment "
+            f"(requests fall back to numpy)"
+        )
     return 0
 
 
@@ -669,6 +696,7 @@ def _cmd_example1(args) -> int:
         seed=args.seed,
         engine_options=_engine_options_from(args),
         backend=args.backend,
+        mega_batch=args.mega_batch,
         store=args.store,
         until=_until_from(args),
     )
@@ -691,6 +719,7 @@ def _cmd_example2(args) -> int:
         seed=args.seed,
         engine_options=_engine_options_from(args),
         backend=args.backend,
+        mega_batch=args.mega_batch,
         store=args.store,
         until=_until_from(args),
     )

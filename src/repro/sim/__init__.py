@@ -63,7 +63,7 @@ from repro.sim.fsp import (
 )
 from repro.sim.next_reaction import NextReactionSimulator
 from repro.sim.ode import OdeEngine, OdeIntegrator, OdeOptions, OdeResult, simulate_ode
-from repro.sim.priority_queue import IndexedPriorityQueue
+from repro.sim.priority_queue import ArrayHeap, IndexedPriorityQueue
 from repro.sim.registry import EngineInfo, EngineRegistry, register_engine, registry
 from repro.sim.propensity import CompiledNetwork, combinations, reaction_propensity
 from repro.sim.rng import derive_seed, make_rng, spawn_children, spawn_children_range
@@ -97,6 +97,7 @@ __all__ = [
     "CompiledNetwork",
     "combinations",
     "reaction_propensity",
+    "ArrayHeap",
     "IndexedPriorityQueue",
     "dependency_graph",
     "dependency_stats",

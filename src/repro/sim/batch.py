@@ -4,17 +4,24 @@ Every experiment in the paper is a Monte-Carlo ensemble of *independent*
 trials (Section 3 runs 100,000 trials per Figure-3 point), which makes the
 ensemble embarrassingly data-parallel: instead of running one Python-level
 Gillespie loop per trial, :class:`BatchDirectEngine` advances all unfinished
-trials together, one reaction event per trial per step, using whole-array
-NumPy operations:
+trials together, one reaction event per trial per step.
 
-* the propensity matrix has shape ``(n_active, n_reactions)`` and is rebuilt
-  from the count matrix with a handful of vectorized falling-factorial
-  products (the ``h(X)`` combinatorics of Gillespie 1977, the paper's [6]);
-* waiting times are one vectorized exponential draw (``Exp(1)/a_total``);
-* the fired reaction per trial is selected by inverting the per-row
-  propensity CDF with one comparison-and-sum;
-* stopping conditions are evaluated as boolean masks over the batch (with a
-  generic per-trial fallback for conditions that cannot be vectorized).
+When the stopping condition compiles into a kernel
+:class:`~repro.sim.kernels.plan.StoppingPlan` (every condition the paper's
+experiments use), the whole advance-until-stopped loop runs as one columnar
+sweep in the kernel layer (:mod:`repro.sim.kernels.batch`): propensity
+matrix rebuilds, exponential waits, CDF inversion, delta application, plan
+evaluation and active-set compaction over preallocated cross-trial buffers,
+consuming pre-drawn :class:`~repro.sim.kernels.blocks.RandomBlocks`.  The
+numpy reference sweep and the fused numba kernel consume the same stream in
+the same op order, so seeded batches are bit-identical across backends —
+and the buffers are reused across ``run_batch`` calls of the same width,
+which is what makes 10⁵–10⁶-trial mega-batches and the adaptive
+controller's doubling rounds allocation-free after the first round.
+
+Conditions that cannot be compiled fall back to the original interpreted
+lock-step loop (per-step generator draws, vectorized or per-row condition
+checks) — same dynamics, different random stream.
 
 The per-trial random *sequences* differ from the sequential
 :class:`~repro.sim.direct.DirectMethodSimulator` (draws are interleaved
@@ -40,6 +47,18 @@ from repro.crn.network import ReactionNetwork
 from repro.crn.state import State
 from repro.errors import SimulationError
 from repro.sim.base import SimulationOptions, merge_options, resolve_initial_counts
+from repro.sim.kernels.backend import (
+    STOP_CONDITION,
+    STOP_MAX_STEPS,
+    STOP_MAX_TIME,
+)
+from repro.sim.kernels.batch import (
+    BatchBuffers,
+    BatchSweepJob,
+    batch_random_blocks,
+    plan_clause_hits,
+)
+from repro.sim.kernels.plan import compile_stopping_plan
 from repro.sim.events import (
     AnyCondition,
     CategoryFiringCondition,
@@ -151,6 +170,11 @@ class BatchDirectEngine:
         # come from the kernel layer; applying the chosen reactions of a whole
         # batch is one fancy-indexed add over knet.delta_matrix.
         self._knet = self.compiled.kernel_network()
+        # Cross-trial sweep buffers, allocated once per chunk width and
+        # reused across run_batch calls on this engine (the ensemble runner
+        # keeps one engine per runner, so the adaptive controller's doubling
+        # rounds share these arrays round after round).
+        self._sweep_buffers = BatchBuffers()
 
     @property
     def network(self) -> ReactionNetwork:
@@ -205,11 +229,103 @@ class BatchDirectEngine:
             )
         rng = self._default_rng if seed is None else make_rng(seed)
         backend = self._matrix_backend(opts.backend)
-        knet = self._knet
         compiled = self.compiled
-        n_reactions = compiled.n_reactions
-
         start = resolve_initial_counts(compiled, initial_state)
+
+        if stopping is not None:
+            stopping.reset(compiled)
+        plan = compile_stopping_plan(stopping, compiled)
+        if plan is not None:
+            # The hot path: the whole lock-step loop runs as one columnar
+            # sweep inside the kernel backend (numpy reference or fused
+            # numba kernel; bit-identical across the two).
+            return self._run_batch_sweep(n_trials, start, plan, opts, rng, backend)
+        # Generic fallback for conditions that cannot be compiled into a
+        # stopping plan: the interpreted lock-step loop below, with the
+        # condition evaluated per step (vectorized where possible).
+        return self._run_batch_generic(n_trials, start, stopping, opts, rng, backend)
+
+    def _run_batch_sweep(
+        self,
+        n_trials: int,
+        start: np.ndarray,
+        plan,
+        opts: SimulationOptions,
+        rng: np.random.Generator,
+        backend,
+    ) -> BatchResult:
+        """Run the batch as one columnar sweep over the preallocated buffers."""
+        compiled = self.compiled
+        knet = self._knet
+        buffers = self._sweep_buffers
+        buffers.ensure(n_trials, compiled.n_species, compiled.n_reactions)
+        buffers.reset(n_trials, start)
+
+        # t=0 stopping pre-pass (no randomness consumed; shared by both
+        # backends, like the per-trial engines' Python-side t=0 check).
+        hits = plan_clause_hits(
+            plan, buffers.counts[:n_trials], buffers.firings[:n_trials]
+        )
+        hit0 = hits >= 0
+        if hit0.any():
+            buffers.stop_codes[:n_trials][hit0] = STOP_CONDITION
+            buffers.clauses[:n_trials][hit0] = hits[hit0]
+        running = np.flatnonzero(~hit0)
+        n_active = running.size
+        buffers.active[:n_active] = running
+
+        job = BatchSweepJob(
+            knet=knet,
+            plan=plan,
+            buffers=buffers,
+            blocks=batch_random_blocks(rng, n_trials),
+            n_trials=n_trials,
+            n_active=n_active,
+            max_time=opts.max_time,
+            max_steps=opts.max_steps,
+        )
+        backend.run_batch(job)
+
+        # Package copies: the buffers are reused by the next run_batch call.
+        codes = buffers.stop_codes[:n_trials]
+        stop_reasons = np.full(n_trials, StopReason.EXHAUSTED, dtype=object)
+        stop_details = np.full(n_trials, "", dtype=object)
+        stop_reasons[codes == STOP_MAX_TIME] = StopReason.MAX_TIME
+        stop_reasons[codes == STOP_MAX_STEPS] = StopReason.MAX_STEPS
+        condition = codes == STOP_CONDITION
+        if condition.any():
+            stop_reasons[condition] = StopReason.CONDITION
+            labels = np.array(plan.labels, dtype=object)
+            stop_details[condition] = labels[buffers.clauses[:n_trials][condition]]
+        return BatchResult(
+            species=compiled.species,
+            final_counts=buffers.counts[:n_trials].copy(),
+            final_times=buffers.times[:n_trials].copy(),
+            firing_counts=buffers.firings[:n_trials].copy(),
+            stop_reasons=stop_reasons,
+            stop_details=stop_details,
+        )
+
+    def _run_batch_generic(
+        self,
+        n_trials: int,
+        start: np.ndarray,
+        stopping: StoppingCondition,
+        opts: SimulationOptions,
+        rng: np.random.Generator,
+        backend,
+    ) -> BatchResult:
+        """The interpreted lock-step loop (generic-condition fallback).
+
+        Kept for stopping conditions that cannot be compiled into a
+        :class:`StoppingPlan` (predicates, all-of combinations, third-party
+        subclasses); its per-step randomness comes straight from the
+        generator, so seeded results for these conditions are unchanged
+        from earlier releases.
+        """
+        compiled = self.compiled
+        knet = self._knet
+        n_reactions = compiled.n_reactions
         counts = np.tile(start, (n_trials, 1))
         times = np.zeros(n_trials, dtype=float)
         firings = np.zeros((n_trials, n_reactions), dtype=np.int64)
@@ -218,17 +334,16 @@ class BatchDirectEngine:
         stop_details = np.full(n_trials, "", dtype=object)
         active = np.ones(n_trials, dtype=bool)
 
-        checker = None
-        if stopping is not None:
-            stopping.reset(compiled)
-            checker = _compile_stopping(stopping, compiled)
-            # A stopping condition may already hold at t=0 (threshold met initially).
-            details = checker(counts, firings, times)
-            hit = _decided_mask(details)
-            if hit.any():
-                stop_reasons[hit] = StopReason.CONDITION
-                stop_details[hit] = details[hit]
-                active[hit] = False
+        # Only uncompilable conditions reach this path (``stopping.reset``
+        # already ran in run_batch), so the checker is always present.
+        checker = _compile_stopping(stopping, compiled)
+        # A stopping condition may already hold at t=0 (threshold met initially).
+        details = checker(counts, firings, times)
+        hit = _decided_mask(details)
+        if hit.any():
+            stop_reasons[hit] = StopReason.CONDITION
+            stop_details[hit] = details[hit]
+            active[hit] = False
 
         while active.any():
             idx = np.flatnonzero(active)

@@ -341,11 +341,20 @@ class EnsembleRunner:
         # Fail fast on a backend the engine does not support (the same check
         # the per-run dispatch performs, surfaced before any trials run).
         validate_backend_request(options.backend, info.backends, engine)
+        if options.mega_batch is not None and not info.batched:
+            raise EnsembleError(
+                f"mega_batch requires a batched engine; engine {engine!r} runs "
+                "one trial at a time (use engine='batch-direct')"
+            )
         self.engine_info = info
         self.engine_options = engine_options
         self.stopping = stopping
         self.options = options
         self.outcome_classifier = outcome_classifier or self._default_classifier
+        # Lazily-created batched engine, kept for the runner's lifetime so its
+        # columnar sweep buffers are allocated once and reused across chunks
+        # and adaptive doubling rounds (see BatchBuffers in kernels/batch.py).
+        self._batch_engine = None
 
     @staticmethod
     def _default_classifier(trajectory: Trajectory) -> "str | None":
@@ -444,8 +453,11 @@ class EnsembleRunner:
         # deterministic sub-seed; fixed chunking then keeps parallel results
         # invariant to the worker count.
         sub_seed = None if seed is None else derive_seed(seed, "batch", start, stop)
-        engine = self.engine_info.create(self.compiled, engine_options=self.engine_options)
-        batch = engine.run_batch(
+        if self._batch_engine is None:
+            self._batch_engine = self.engine_info.create(
+                self.compiled, engine_options=self.engine_options
+            )
+        batch = self._batch_engine.run_batch(
             count,
             initial_state=dict(initial_state) if initial_state else None,
             stopping=self.stopping,
@@ -543,7 +555,10 @@ class ParallelEnsembleRunner(EnsembleRunner):
     chunk_size:
         Trials per shard (default 512).  Smaller chunks balance load better;
         larger chunks amortize per-chunk setup (network recompilation, and
-        batch-engine efficiency grows with batch width).
+        batch-engine efficiency grows with batch width).  When the options
+        carry ``mega_batch`` (batched engines only), it overrides this —
+        each chunk then advances up to ``mega_batch`` trials in one columnar
+        sweep; the schedule remains worker-invariant for the new width.
     """
 
     def __init__(
@@ -570,6 +585,10 @@ class ParallelEnsembleRunner(EnsembleRunner):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers <= 0:
             raise EnsembleError(f"workers must be positive, got {self.workers}")
+        # mega_batch widens the chunk schedule: the sweep advances that many
+        # trials per chunk instead of the default shard size.
+        if self.options.mega_batch is not None:
+            chunk_size = int(self.options.mega_batch)
         self.chunk_size = chunk_size
 
     def run(

@@ -139,6 +139,17 @@ class KernelBackend:
     def run(self, kernel_name: str, job: KernelJob) -> KernelOutcome:
         raise NotImplementedError
 
+    def run_batch(self, job) -> None:
+        """Advance a whole batch of lock-step trials to their stops.
+
+        ``job`` is a :class:`~repro.sim.kernels.batch.BatchSweepJob`; results
+        (stop codes, clause indices, final counts/times/firings) are left in
+        its buffers.  Both implementations follow the determinism contract in
+        :mod:`repro.sim.kernels.batch`, so seeded batches are bit-identical
+        across backends.
+        """
+        raise NotImplementedError
+
     def propensity_matrix(self, knet: KernelNetwork, counts: np.ndarray) -> np.ndarray:
         """Propensities of every reaction for every count row."""
         raise NotImplementedError

@@ -35,11 +35,16 @@ from repro.sim.kernels.backend import (
     KernelOutcome,
 )
 from repro.sim.kernels.network import KernelNetwork
-from repro.sim.priority_queue import IndexedPriorityQueue
+from repro.sim.priority_queue import ArrayHeap
 
 __all__ = ["NumpyKernelBackend"]
 
 _INF = math.inf
+
+#: Queue class the next-reaction kernel instantiates.  Module-level so the
+#: equivalence tests can swap in the object-level IndexedPriorityQueue and
+#: assert seeded runs are bit-identical across the two implementations.
+_NEXT_REACTION_QUEUE = ArrayHeap
 
 
 def _propensity(rates, reactants, counts, j) -> float:
@@ -414,12 +419,15 @@ def _run_first_reaction(job: KernelJob) -> KernelOutcome:
 
 
 def _run_next_reaction(job: KernelJob) -> KernelOutcome:
-    """Gibson–Bruck next-reaction method over the indexed priority queue.
+    """Gibson–Bruck next-reaction method over the array-backed binary heap.
 
-    The queue stays the Python :class:`IndexedPriorityQueue`; the win over
-    the template engine is the elimination of per-event ``Generator`` calls
-    and Python object dispatch around it.  (No numba variant exists for this
-    kernel — the queue is inherently object-level.)
+    The queue is the :class:`~repro.sim.priority_queue.ArrayHeap` — three
+    contiguous ndarrays with sift-up/sift-down as index arithmetic, the
+    same layout the numba kernel mutates directly — driven here through its
+    method API.  It implements the identical algorithm as the object-level
+    :class:`IndexedPriorityQueue`, so seeded results are unchanged from the
+    list-backed version (the equivalence tests swap the two via
+    ``_NEXT_REACTION_QUEUE``).
     """
     knet = job.knet
     views = knet.py_views()
@@ -465,7 +473,7 @@ def _run_next_reaction(job: KernelJob) -> KernelOutcome:
             exp_pos += 1
         else:
             tentative[j] = _INF
-    queue = IndexedPriorityQueue(tentative)
+    queue = _NEXT_REACTION_QUEUE(tentative)
 
     time = 0.0
     steps = 0
@@ -578,6 +586,11 @@ class NumpyKernelBackend(KernelBackend):
 
     def run(self, kernel_name: str, job: KernelJob) -> KernelOutcome:
         return _KERNELS[kernel_name](job)
+
+    def run_batch(self, job) -> None:
+        from repro.sim.kernels.batch import run_batch_sweep
+
+        run_batch_sweep(job)
 
     def propensity_matrix(self, knet: KernelNetwork, counts: np.ndarray) -> np.ndarray:
         return knet.propensity_matrix(counts)

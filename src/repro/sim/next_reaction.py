@@ -32,14 +32,17 @@ __all__ = ["NextReactionSimulator"]
 class NextReactionSimulator(StochasticSimulator):
     """Exact SSA via the Gibson–Bruck next-reaction method.
 
-    The indexed priority queue is inherently object-level, so this engine
-    has a ``numpy`` kernel (buffered loop, chunked random draws, queue kept)
-    but no ``numba`` variant.
+    The ``python`` template drives :class:`IndexedPriorityQueue`; the array
+    kernels drive the ndarray-backed :class:`~repro.sim.priority_queue
+    .ArrayHeap` instead — same heapify/sift algorithm, so the ``numpy``
+    kernel's seeded results are unchanged, and the ``numba`` kernel runs
+    identical sift arithmetic on the same three arrays inside jitted code
+    (bit-identical to numpy).
     """
 
     method_name = "next-reaction"
     kernel_name = "next-reaction"
-    supported_backends = ("python", "numpy")
+    supported_backends = ("python", "numpy", "numba")
 
     def _prepare(self, counts: np.ndarray, rng: np.random.Generator) -> None:
         compiled = self.compiled

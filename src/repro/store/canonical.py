@@ -255,7 +255,9 @@ def _fingerprint_identity(identity: Mapping) -> str:
     return digest.hexdigest()
 
 
-def canonicalize_payload(payload: Mapping) -> CanonicalPayload:
+def canonicalize_payload(
+    payload: Mapping, network: "object | None" = None
+) -> CanonicalPayload:
     """Canonicalize a serialized experiment payload.
 
     Parses the payload's network, computes its canonical form
@@ -263,6 +265,12 @@ def canonicalize_payload(payload: Mapping) -> CanonicalPayload:
     reaction-index reference in the descriptors, and fingerprints the
     result.  Payloads referencing opaque callables fall back to identity
     canonicalization (``exact=False``).
+
+    ``network`` optionally supplies the *live* :class:`ReactionNetwork` the
+    payload was serialized from: when its serialization matches the
+    payload's, the canonical form is computed on (and cached against) that
+    object, so repeated ``simulate(store=)`` calls on one network skip the
+    canonical labeling search entirely.  A non-matching network is ignored.
     """
     from repro.store.serialize import EXPERIMENT_SCHEMA, is_experiment_schema
 
@@ -284,10 +292,16 @@ def canonicalize_payload(payload: Mapping) -> CanonicalPayload:
         return CanonicalPayload(key=key, payload=data, witness=witness, exact=False)
 
     from repro.crn.canonical import canonical_form
+    from repro.crn.network import ReactionNetwork
     from repro.crn.serialize import network_from_dict, network_to_dict
 
-    network = network_from_dict(data["network"])
-    form = canonical_form(network)
+    live = (
+        network
+        if isinstance(network, ReactionNetwork)
+        and network_to_dict(network) == data["network"]
+        else None
+    )
+    form = canonical_form(live if live is not None else network_from_dict(data["network"]))
     rename = form.inverse_witness  # caller name -> canonical name
     reaction_position = {
         original: position for position, original in enumerate(form.reaction_order)

@@ -214,8 +214,12 @@ def _state_classifier_from_descriptor(data: "Mapping | None", trusted: bool = Tr
 
 
 def _options_payload(options: SimulationOptions) -> dict:
-    """Encode options; an unbounded ``max_time`` becomes ``None`` (JSON-safe)."""
-    return {
+    """Encode options; an unbounded ``max_time`` becomes ``None`` (JSON-safe).
+
+    ``mega_batch`` is emitted only when set: the default (``None``) adds no
+    key, so fingerprints of pre-existing store entries are unchanged.
+    """
+    payload = {
         "max_time": None if math.isinf(options.max_time) else float(options.max_time),
         "max_steps": int(options.max_steps),
         "record_firings": bool(options.record_firings),
@@ -223,10 +227,14 @@ def _options_payload(options: SimulationOptions) -> dict:
         "snapshot_stride": int(options.snapshot_stride),
         "backend": str(options.backend),
     }
+    if options.mega_batch is not None:
+        payload["mega_batch"] = int(options.mega_batch)
+    return payload
 
 
 def _options_from_payload(data: Mapping) -> SimulationOptions:
     max_time = data.get("max_time")
+    mega_batch = data.get("mega_batch")
     return SimulationOptions(
         max_time=math.inf if max_time is None else float(max_time),
         max_steps=int(data["max_steps"]),
@@ -234,6 +242,7 @@ def _options_from_payload(data: Mapping) -> SimulationOptions:
         record_states=bool(data["record_states"]),
         snapshot_stride=int(data["snapshot_stride"]),
         backend=str(data["backend"]),
+        mega_batch=None if mega_batch is None else int(mega_batch),
     )
 
 

@@ -393,3 +393,71 @@ class TestEvictReconciliation:
         [key] = store.keys()
         assert store.evict(key) is True
         assert store.keys() == []
+
+
+# ---------------------------------------------------------------------------
+# canonical-form caching on live network objects
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalFormCache:
+    @pytest.fixture
+    def count_labelings(self, monkeypatch):
+        """Count invocations of the (expensive) labeling search."""
+        from repro.crn import canonical as canonical_module
+
+        calls = []
+        original = canonical_module._compute_canonical_form
+
+        def counting(network):
+            calls.append(network)
+            return original(network)
+
+        monkeypatch.setattr(canonical_module, "_compute_canonical_form", counting)
+        return calls
+
+    def test_repeated_calls_hit_the_cache(self, count_labelings):
+        network = _generated(11)
+        first = canonical_form(network)
+        second = canonical_form(network)
+        assert second is first  # identical object: no recompute, no copy
+        assert len(count_labelings) == 1
+
+    def test_distinct_objects_do_not_share_entries(self, count_labelings):
+        a = _generated(11)
+        b = _generated(11)
+        assert canonical_form(a).key == canonical_form(b).key
+        assert len(count_labelings) == 2
+
+    def test_mutation_invalidates_the_cache(self, count_labelings):
+        network = _generated(11)
+        before = canonical_form(network)
+        species = sorted(network.species, key=lambda s: s.name)[0]
+        network.set_initial(species, network.initial_state[species] + 1)
+        after = canonical_form(network)
+        assert len(count_labelings) == 2
+        assert after is not before
+        # And the recomputed form is itself cached again.
+        assert canonical_form(network) is after
+        assert len(count_labelings) == 2
+
+    def test_cache_entry_evicted_when_network_collected(self):
+        import gc
+
+        from repro.crn import canonical as canonical_module
+
+        network = _generated(13)
+        canonical_form(network)
+        key = id(network)
+        assert key in canonical_module._FORM_CACHE
+        del network
+        gc.collect()
+        assert key not in canonical_module._FORM_CACHE
+
+    def test_repeated_store_simulations_label_once(self, tmp_path, count_labelings):
+        experiment = Experiment.from_zoo("toggle-switch")
+        store = ResultStore(tmp_path / "store")
+        experiment.simulate(trials=10, engine="direct", seed=3, store=store)
+        experiment.simulate(trials=10, engine="direct", seed=3, store=store)  # hit
+        experiment.simulate(trials=20, engine="direct", seed=4, store=store)  # miss
+        assert len(count_labelings) == 1

@@ -136,6 +136,35 @@ class TestEngineSelection:
         assert main(["engines", "--verbose"]) == 0
         assert "lock-step" in capsys.readouterr().out
 
+    def test_engines_reports_backend_availability_truthfully(self, capsys):
+        from repro.sim import numba_available
+
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        if numba_available():
+            assert "numba*" not in out
+            assert "declared but not available" not in out
+        else:
+            # Engines still *declare* numba, but the table must say it cannot
+            # actually load here (requests fall back to numpy).
+            assert "numba*" in out
+            assert "declared but not available" in out
+            assert "fall back to numpy" in out
+
+    def test_simulate_mega_batch_flag(self, design_file, capsys):
+        code = main(["simulate", str(design_file), "--trials", "300", "--seed", "7",
+                     "--engine", "batch-direct", "--mega-batch", "100000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ensemble of 300 trials" in out
+
+    def test_mega_batch_rejected_for_per_trial_engine(self, design_file, capsys):
+        code = main(["simulate", str(design_file), "--trials", "10", "--seed", "7",
+                     "--engine", "direct", "--mega-batch", "1000"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "batched engine" in captured.err
+
     def test_simulate_batch_engine_with_workers(self, design_file, capsys):
         code = main(["simulate", str(design_file), "--trials", "120", "--seed", "7",
                      "--engine", "batch-direct", "--workers", "2"])

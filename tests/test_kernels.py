@@ -43,7 +43,7 @@ from repro.sim.trajectory import FiringRecord
 KERNEL_BACKENDS = ["numpy"] + (["numba"] if numba_available() else [])
 KERNEL_ENGINES = {
     "numpy": ["direct", "first-reaction", "next-reaction"],
-    "numba": ["direct", "first-reaction"],
+    "numba": ["direct", "first-reaction", "next-reaction"],
 }
 ENGINE_BACKEND_CASES = [
     (engine, backend)
@@ -218,7 +218,7 @@ class TestBackendResolution:
 
     def test_registry_records_backends(self):
         assert registry.get("direct").backends == ("python", "numpy", "numba")
-        assert registry.get("next-reaction").backends == ("python", "numpy")
+        assert registry.get("next-reaction").backends == ("python", "numpy", "numba")
         assert registry.get("batch-direct").backends == ("numpy", "numba")
         assert registry.get("ode").backends == ()
         assert registry.get("fsp").backends == ()
@@ -254,10 +254,23 @@ class TestBackendResolution:
         with pytest.raises(SimulationError, match="stopping condition"):
             simulator.run(stopping=condition, backend="numpy")
 
-    def test_numba_without_kernel_for_engine_rejected(self):
-        simulator = make_simulator(_death(), engine="next-reaction", seed=1)
-        with pytest.raises(SimulationError, match="does not support backend"):
-            simulator.run(backend="numba")
+    def test_next_reaction_declares_numba(self):
+        # The array-heap port gave next-reaction a numba kernel; requesting it
+        # without numba installed falls back to numpy (identical results)
+        # instead of being rejected.
+        simulator = make_simulator(_death(15), engine="next-reaction", seed=1)
+        if numba_available():
+            trajectory = simulator.run(backend="numba")
+        else:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                trajectory = simulator.run(backend="numba")
+        reference = make_simulator(_death(15), engine="next-reaction", seed=1).run(
+            backend="numpy"
+        )
+        np.testing.assert_array_equal(trajectory.times, reference.times)
+        np.testing.assert_array_equal(
+            trajectory.reaction_indices, reference.reaction_indices
+        )
 
     @pytest.mark.skipif(numba_available(), reason="numba installed: no fallback")
     def test_numba_request_warns_and_falls_back_to_numpy(self):

@@ -1,69 +1,85 @@
-"""Tests (including property-based tests) for the indexed priority queue."""
+"""Tests (including property-based tests) for the indexed priority queues.
+
+Two implementations of the Gibson–Bruck indexed priority queue exist —
+the object-level :class:`IndexedPriorityQueue` and the ndarray-backed
+:class:`ArrayHeap` the kernel backends drive.  Both run the identical
+algorithm, so beyond per-class unit tests this module asserts *operation
+by operation* equivalence (same layouts, same minima, even under ties)
+and that the numpy next-reaction kernel produces bit-identical seeded
+trajectories no matter which queue it is wired to, across the whole
+conformance corpus.
+"""
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import IndexedPriorityQueue
+from repro.sim import ArrayHeap, IndexedPriorityQueue, make_simulator
+
+QUEUE_CLASSES = [IndexedPriorityQueue, ArrayHeap]
 
 
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES)
 class TestBasics:
-    def test_min_of_initial_keys(self):
-        q = IndexedPriorityQueue([3.0, 1.0, 2.0])
+    def test_min_of_initial_keys(self, queue_class):
+        q = queue_class([3.0, 1.0, 2.0])
         assert q.min() == (1, 1.0)
 
-    def test_update_raises_key(self):
-        q = IndexedPriorityQueue([3.0, 1.0, 2.0])
+    def test_update_raises_key(self, queue_class):
+        q = queue_class([3.0, 1.0, 2.0])
         q.update(1, 5.0)
         assert q.min() == (2, 2.0)
 
-    def test_update_lowers_key(self):
-        q = IndexedPriorityQueue([3.0, 1.0, 2.0])
+    def test_update_lowers_key(self, queue_class):
+        q = queue_class([3.0, 1.0, 2.0])
         q.update(0, 0.5)
         assert q.min() == (0, 0.5)
 
-    def test_key_lookup(self):
-        q = IndexedPriorityQueue([3.0, 1.0])
+    def test_key_lookup(self, queue_class):
+        q = queue_class([3.0, 1.0])
         assert q.key(0) == 3.0
         q.update(0, 9.0)
         assert q.key(0) == 9.0
 
-    def test_infinite_keys_supported(self):
-        q = IndexedPriorityQueue([math.inf, 2.0, math.inf])
+    def test_infinite_keys_supported(self, queue_class):
+        q = queue_class([math.inf, 2.0, math.inf])
         assert q.min() == (1, 2.0)
         assert q.finite_items() == [1]
 
-    def test_empty_queue_min_raises(self):
+    def test_empty_queue_min_raises(self, queue_class):
         with pytest.raises(IndexError):
-            IndexedPriorityQueue([]).min()
+            queue_class([]).min()
 
-    def test_len_and_as_dict(self):
-        q = IndexedPriorityQueue([1.0, 2.0])
+    def test_len_and_as_dict(self, queue_class):
+        q = queue_class([1.0, 2.0])
         assert len(q) == 2
         assert q.as_dict() == {0: 1.0, 1: 2.0}
 
-    def test_is_valid_after_operations(self):
-        q = IndexedPriorityQueue([5.0, 4.0, 3.0, 2.0, 1.0])
+    def test_is_valid_after_operations(self, queue_class):
+        q = queue_class([5.0, 4.0, 3.0, 2.0, 1.0])
         assert q.is_valid()
         q.update(4, 10.0)
         q.update(0, 0.0)
         assert q.is_valid()
 
 
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES)
 @settings(max_examples=200, deadline=None)
 @given(keys=st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=40))
-def test_property_min_matches_python_min(keys):
-    q = IndexedPriorityQueue(keys)
+def test_property_min_matches_python_min(queue_class, keys):
+    q = queue_class(keys)
     item, key = q.min()
     assert key == min(keys)
     assert keys[item] == key
     assert q.is_valid()
 
 
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES)
 @settings(max_examples=200, deadline=None)
 @given(
     keys=st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=25),
@@ -72,8 +88,8 @@ def test_property_min_matches_python_min(keys):
         max_size=30,
     ),
 )
-def test_property_updates_preserve_heap_invariant(keys, updates):
-    q = IndexedPriorityQueue(keys)
+def test_property_updates_preserve_heap_invariant(queue_class, keys, updates):
+    q = queue_class(keys)
     shadow = list(keys)
     for item, new_key in updates:
         item = item % len(shadow)
@@ -83,3 +99,87 @@ def test_property_updates_preserve_heap_invariant(keys, updates):
         min_item, min_key = q.min()
         assert min_key == min(shadow)
         assert shadow[min_item] == min_key
+
+
+# ---------------------------------------------------------------------------
+# operation-by-operation equivalence of the two implementations
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    keys=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=25),
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=24), st.floats(min_value=0, max_value=1e6)),
+        max_size=40,
+    ),
+    tie_every=st.integers(min_value=0, max_value=3),
+)
+def test_property_array_heap_mirrors_object_queue(keys, updates, tie_every):
+    """Same key sequence + updates → identical heap layouts and minima.
+
+    ``tie_every`` coerces a fraction of update keys onto existing values so
+    tie-handling (strict-comparison sifts leave order untouched) is exercised,
+    not just generic keys.
+    """
+    reference = IndexedPriorityQueue(keys)
+    heap = ArrayHeap(keys)
+    assert list(heap.items) == reference._heap
+    assert list(heap.positions) == reference._position
+    for step, (item, new_key) in enumerate(updates):
+        item = item % len(keys)
+        if tie_every and step % (tie_every + 1) == tie_every:
+            new_key = reference._keys[(item + 1) % len(keys)]  # force a tie
+        reference.update(item, new_key)
+        heap.update(item, new_key)
+        assert list(heap.items) == reference._heap
+        assert list(heap.positions) == reference._position
+        assert list(heap.keys) == reference._keys
+        assert heap.min() == reference.min()
+    assert heap.is_valid() and reference.is_valid()
+
+
+# ---------------------------------------------------------------------------
+# seeded kernel equivalence across the conformance corpus
+# ---------------------------------------------------------------------------
+
+
+def _corpus_networks():
+    from repro.zoo.corpus import corpus_entries
+
+    return [(entry.name, entry.model.network()) for entry in corpus_entries()]
+
+
+@pytest.mark.parametrize(
+    "name,network", _corpus_networks(), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_numpy_kernel_identical_under_either_queue(name, network):
+    """The numpy next-reaction kernel is queue-implementation independent.
+
+    Wiring the kernel to the object-level queue (via the
+    ``_NEXT_REACTION_QUEUE`` seam) must reproduce the ArrayHeap trajectories
+    bit for bit on every conformance-corpus model: the array port changed the
+    data layout, never the algorithm.
+    """
+    from repro.sim.kernels import numpy_backend
+
+    def run():
+        return make_simulator(network, engine="next-reaction", seed=37).run(
+            max_steps=300, backend="numpy"
+        )
+
+    assert numpy_backend._NEXT_REACTION_QUEUE is ArrayHeap
+    with_heap = run()
+    original = numpy_backend._NEXT_REACTION_QUEUE
+    numpy_backend._NEXT_REACTION_QUEUE = IndexedPriorityQueue
+    try:
+        with_object_queue = run()
+    finally:
+        numpy_backend._NEXT_REACTION_QUEUE = original
+
+    np.testing.assert_array_equal(with_heap.times, with_object_queue.times)
+    np.testing.assert_array_equal(
+        with_heap.reaction_indices, with_object_queue.reaction_indices
+    )
+    assert with_heap.final_time == with_object_queue.final_time
+    assert with_heap.stop_reason == with_object_queue.stop_reason
